@@ -1,0 +1,220 @@
+//! Differentiable activation functions: ReLU, GELU, tanh, sigmoid and
+//! row-wise softmax.
+
+use tensor::Tensor;
+
+use crate::{Result, Var};
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_COEFF: f32 = 0.044_715;
+
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x)).tanh())
+}
+
+fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEFF * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+impl<'t> Var<'t> {
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        let x = self.value();
+        let value = x.map(|v| v.max(0.0));
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                vec![g.mul(&mask).expect("same shape")]
+            })),
+        )
+    }
+
+    /// Gaussian error linear unit (tanh approximation), the non-linearity
+    /// used inside the ViT encoder MLP and classification head.
+    pub fn gelu(self) -> Var<'t> {
+        let x = self.value();
+        let value = x.map(gelu_scalar);
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let dx = x.map(gelu_grad_scalar);
+                vec![g.mul(&dx).expect("same shape")]
+            })),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        let value = self.value().map(f32::tanh);
+        let y = value.clone();
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let dy = y.map(|v| 1.0 - v * v);
+                vec![g.mul(&dy).expect("same shape")]
+            })),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'t> {
+        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let y = value.clone();
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let dy = y.map(|v| v * (1.0 - v));
+                vec![g.mul(&dy).expect("same shape")]
+            })),
+        )
+    }
+
+    /// Row-wise softmax (over the last axis of a matrix).
+    ///
+    /// Used for the attention weights inside multi-head self-attention.
+    ///
+    /// # Errors
+    /// Returns an error for rank-0 or rank>2 tensors.
+    pub fn softmax_rows(self) -> Result<Var<'t>> {
+        let value = self.value().softmax_rows()?;
+        let s = value.clone();
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                // dX = S ⊙ (G - rowsum(G ⊙ S))
+                let (rows, cols) = s.shape().as_matrix().expect("softmax output is a matrix");
+                let gs = g.mul(&s).expect("same shape");
+                let mut out = vec![0.0f32; rows * cols];
+                for i in 0..rows {
+                    let dot: f32 = gs.as_slice()[i * cols..(i + 1) * cols].iter().sum();
+                    for j in 0..cols {
+                        let idx = i * cols + j;
+                        out[idx] = s.as_slice()[idx] * (g.as_slice()[idx] - dot);
+                    }
+                }
+                vec![Tensor::from_vec(out, s.shape().dims()).expect("same shape")]
+            })),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use tensor::Tensor;
+
+    fn t(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    /// Central-difference gradient check for a scalar-valued function of one
+    /// tensor input.
+    fn finite_diff<F>(x: &Tensor, f: F) -> Tensor
+    where
+        F: Fn(&Tensor) -> f32,
+    {
+        let eps = 1e-3;
+        let mut grad = x.zeros_like();
+        for i in 0..x.len() {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[i] -= eps;
+            grad.as_mut_slice()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        }
+        grad
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn relu_forward_and_grad() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[-1.0, 0.5, 2.0], &[3]));
+        let loss = x.relu().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(loss.value().item().unwrap(), 2.5);
+        assert_eq!(tape.grad(x).unwrap().as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_matches_finite_difference() {
+        let xv = t(&[-2.0, -0.5, 0.0, 0.7, 1.5], &[5]);
+        let tape = Tape::new();
+        let x = tape.var(xv.clone());
+        let loss = x.gelu().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        let numeric = finite_diff(&xv, |v| v.map(super::gelu_scalar).sum());
+        assert_close(&tape.grad(x).unwrap(), &numeric, 1e-2);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0, GELU(large) ≈ x, GELU(-large) ≈ 0
+        assert!(super::gelu_scalar(0.0).abs() < 1e-7);
+        assert!((super::gelu_scalar(6.0) - 6.0).abs() < 1e-3);
+        assert!(super::gelu_scalar(-6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_gradients() {
+        let xv = t(&[-1.0, 0.0, 1.0], &[3]);
+        let tape = Tape::new();
+        let x = tape.var(xv.clone());
+        let loss = x.tanh().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        let numeric = finite_diff(&xv, |v| v.map(f32::tanh).sum());
+        assert_close(&tape.grad(x).unwrap(), &numeric, 1e-2);
+
+        let tape2 = Tape::new();
+        let x2 = tape2.var(xv.clone());
+        let loss2 = x2.sigmoid().sum_all().unwrap();
+        tape2.backward(loss2).unwrap();
+        let numeric2 = finite_diff(&xv, |v| v.map(|u| 1.0 / (1.0 + (-u).exp())).sum());
+        assert_close(&tape2.grad(x2).unwrap(), &numeric2, 1e-2);
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_difference() {
+        let xv = t(&[0.2, -0.4, 1.3, 0.0, 0.9, -1.1], &[2, 3]);
+        // Loss = sum of softmax * fixed weights (to get a non-trivial grad).
+        let w = t(&[1.0, 2.0, 3.0, -1.0, 0.5, 0.0], &[2, 3]);
+        let tape = Tape::new();
+        let x = tape.var(xv.clone());
+        let loss = x
+            .softmax_rows()
+            .unwrap()
+            .mul_mask(&w)
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        tape.backward(loss).unwrap();
+        let wc = w.clone();
+        let numeric = finite_diff(&xv, move |v| {
+            v.softmax_rows().unwrap().mul(&wc).unwrap().sum()
+        });
+        assert_close(&tape.grad(x).unwrap(), &numeric, 1e-2);
+    }
+
+    #[test]
+    fn softmax_rows_forward_is_normalized() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[5.0, 5.0, 5.0, 1.0, 2.0, 3.0], &[2, 3]));
+        let s = x.softmax_rows().unwrap().value();
+        assert!((s.row(0).unwrap().sum() - 1.0).abs() < 1e-6);
+        assert!((s.at(0, 0).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+    }
+}

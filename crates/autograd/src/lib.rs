@@ -1,0 +1,45 @@
+//! Reverse-mode automatic differentiation over dense [`tensor::Tensor`]s.
+//!
+//! The crate implements a classic *tape* (Wengert list) design: a [`Tape`]
+//! records every primitive operation performed on [`Var`] handles during a
+//! forward pass, and [`Tape::backward`] walks the recorded list in reverse to
+//! accumulate gradients with respect to every recorded variable.
+//!
+//! The set of primitives is deliberately the exact set needed by the VITAL
+//! vision transformer and the comparison baselines: dense affine maps,
+//! multi-head self-attention building blocks (matmul / transpose / softmax /
+//! concatenation), layer normalisation, GELU/ReLU/tanh/sigmoid activations,
+//! dropout via constant masks, and classification / regression losses.
+//!
+//! # Example
+//!
+//! ```
+//! use autograd::Tape;
+//! use tensor::Tensor;
+//!
+//! # fn main() -> Result<(), tensor::TensorError> {
+//! let tape = Tape::new();
+//! let x = tape.var(Tensor::from_vec(vec![1.0, 2.0], &[1, 2])?);
+//! let w = tape.var(Tensor::from_vec(vec![3.0, 4.0], &[2, 1])?);
+//! let y = x.matmul(w)?;          // y = 1*3 + 2*4 = 11
+//! let loss = y.sum_all()?;
+//! tape.backward(loss)?;
+//! assert_eq!(tape.grad(w)?.as_slice(), &[1.0, 2.0]); // dy/dw = x
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod activation;
+mod loss;
+mod norm;
+mod ops;
+mod structural;
+mod tape;
+
+pub use tape::{Tape, Var};
+
+/// Convenience alias for results returned by autograd operations.
+pub type Result<T> = std::result::Result<T, tensor::TensorError>;

@@ -1,0 +1,314 @@
+//! Arithmetic and linear-algebra primitives with recorded gradients.
+
+use tensor::Tensor;
+
+use crate::{Result, Var};
+
+impl<'t> Var<'t> {
+    /// Elementwise addition. Gradient flows unchanged to both operands.
+    ///
+    /// # Errors
+    /// Returns an error if the operand shapes differ.
+    pub fn add(self, other: Var<'t>) -> Result<Var<'t>> {
+        let value = self.value().add(&other.value())?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| vec![g.clone(), g.clone()])),
+        ))
+    }
+
+    /// Elementwise subtraction (`self - other`).
+    ///
+    /// # Errors
+    /// Returns an error if the operand shapes differ.
+    pub fn sub(self, other: Var<'t>) -> Result<Var<'t>> {
+        let value = self.value().sub(&other.value())?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| vec![g.clone(), g.scale(-1.0)])),
+        ))
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    /// Returns an error if the operand shapes differ.
+    pub fn mul(self, other: Var<'t>) -> Result<Var<'t>> {
+        let a = self.value();
+        let b = other.value();
+        let value = a.mul(&b)?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![
+                    g.mul(&b).expect("shapes fixed at record time"),
+                    g.mul(&a).expect("shapes fixed at record time"),
+                ]
+            })),
+        ))
+    }
+
+    /// Multiplies every element by the scalar `c`.
+    pub fn scale(self, c: f32) -> Var<'t> {
+        let value = self.value().scale(c);
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| vec![g.scale(c)])),
+        )
+    }
+
+    /// Adds the scalar `c` to every element.
+    pub fn add_scalar(self, c: f32) -> Var<'t> {
+        let value = self.value().add_scalar(c);
+        self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| vec![g.clone()])),
+        )
+    }
+
+    /// Elementwise multiplication by a *constant* tensor (no gradient flows
+    /// into the mask). This is the primitive behind dropout.
+    ///
+    /// # Errors
+    /// Returns an error if the shapes differ.
+    pub fn mul_mask(self, mask: &Tensor) -> Result<Var<'t>> {
+        let value = self.value().mul(mask)?;
+        let mask = mask.clone();
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.mul(&mask).expect("shapes fixed at record time")]
+            })),
+        ))
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Gradients: `dA = g · Bᵀ`, `dB = Aᵀ · g`.
+    ///
+    /// # Errors
+    /// Returns an error if the inner dimensions differ.
+    pub fn matmul(self, other: Var<'t>) -> Result<Var<'t>> {
+        let a = self.value();
+        let b = other.value();
+        let value = a.matmul(&b)?;
+        let a_shape_is_vec = a.shape().rank() == 1;
+        Ok(self.tape.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| {
+                let da = g.matmul_nt(&b).expect("shapes fixed at record time");
+                let db = a.matmul_tn(g).expect("shapes fixed at record time");
+                // If the left operand was rank-1 it was treated as [1, k]; the
+                // gradient must match the recorded parent's rank-1 shape.
+                let da = if a_shape_is_vec { da.flatten() } else { da };
+                vec![da, db]
+            })),
+        ))
+    }
+
+    /// Adds a rank-1 bias vector to every row of a matrix.
+    ///
+    /// Gradients: `dX = g`, `dbias = Σ_rows g`.
+    ///
+    /// # Errors
+    /// Returns an error if `bias.len()` differs from the column count.
+    pub fn add_row_broadcast(self, bias: Var<'t>) -> Result<Var<'t>> {
+        let value = self.value().add_row_broadcast(&bias.value())?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id, bias.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![
+                    g.clone(),
+                    g.sum_rows().expect("gradient of a matrix has rows"),
+                ]
+            })),
+        ))
+    }
+
+    /// Multiplies every row of a matrix elementwise by a rank-1 vector.
+    ///
+    /// # Errors
+    /// Returns an error if `scale.len()` differs from the column count.
+    pub fn mul_row_broadcast(self, scale: Var<'t>) -> Result<Var<'t>> {
+        let x = self.value();
+        let s = scale.value();
+        let value = x.mul_row_broadcast(&s)?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id, scale.id],
+            Some(Box::new(move |g: &Tensor| {
+                let dx = g.mul_row_broadcast(&s).expect("shapes fixed");
+                let ds = g
+                    .mul(&x)
+                    .expect("shapes fixed")
+                    .sum_rows()
+                    .expect("matrix has rows");
+                vec![dx, ds]
+            })),
+        ))
+    }
+
+    /// Sum of all elements, producing a scalar variable.
+    ///
+    /// # Errors
+    /// This operation itself is infallible for any non-empty tensor but keeps
+    /// a `Result` signature for composition with `?` chains.
+    pub fn sum_all(self) -> Result<Var<'t>> {
+        let x = self.value();
+        let shape: Vec<usize> = x.shape().dims().to_vec();
+        let value = Tensor::scalar(x.sum());
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let gv = g.as_slice()[0];
+                vec![Tensor::full(&shape, gv)]
+            })),
+        ))
+    }
+
+    /// Mean of all elements, producing a scalar variable.
+    ///
+    /// # Errors
+    /// Returns an error for empty tensors.
+    pub fn mean_all(self) -> Result<Var<'t>> {
+        let x = self.value();
+        if x.is_empty() {
+            return Err(tensor::TensorError::Empty { op: "mean_all" });
+        }
+        let n = x.len() as f32;
+        let shape: Vec<usize> = x.shape().dims().to_vec();
+        let value = Tensor::scalar(x.mean());
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let gv = g.as_slice()[0] / n;
+                vec![Tensor::full(&shape, gv)]
+            })),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Tape;
+    use tensor::Tensor;
+
+    fn t(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn add_and_sub_gradients() {
+        let tape = Tape::new();
+        let a = tape.var(t(&[1.0, 2.0], &[2]));
+        let b = tape.var(t(&[3.0, 4.0], &[2]));
+        let y = a.add(b).unwrap().sub(a).unwrap(); // y = b
+        let loss = y.sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[1.0, 1.0]);
+        // a contributes +1 and -1 -> 0
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mul_gradients() {
+        let tape = Tape::new();
+        let a = tape.var(t(&[2.0, 3.0], &[2]));
+        let b = tape.var(t(&[5.0, 7.0], &[2]));
+        let loss = a.mul(b).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[5.0, 7.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let tape = Tape::new();
+        let a = tape.var(t(&[1.0, -1.0], &[2]));
+        let loss = a.scale(3.0).add_scalar(10.0).sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[3.0, 3.0]);
+        assert_eq!(loss.value().item().unwrap(), 20.0);
+    }
+
+    #[test]
+    fn matmul_gradients_match_manual() {
+        let tape = Tape::new();
+        let a = tape.var(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = tape.var(t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let loss = a.matmul(b).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        // dA = ones(2,2) * B^T ; dB = A^T * ones(2,2)
+        let ones = Tensor::ones(&[2, 2]);
+        let da = ones.matmul_nt(&b.value()).unwrap();
+        let db = a.value().matmul_tn(&ones).unwrap();
+        assert_eq!(tape.grad(a).unwrap(), da);
+        assert_eq!(tape.grad(b).unwrap(), db);
+    }
+
+    #[test]
+    fn bias_broadcast_gradient_sums_rows() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = tape.var(t(&[10.0, 20.0], &[2]));
+        let loss = x.add_row_broadcast(b).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[2.0, 2.0]);
+        assert_eq!(tape.grad(x).unwrap(), Tensor::ones(&[2, 2]));
+    }
+
+    #[test]
+    fn scale_broadcast_gradients() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let s = tape.var(t(&[2.0, 0.5], &[2]));
+        let loss = x.mul_row_broadcast(s).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        // dX[i][j] = s[j]; dS[j] = sum_i x[i][j]
+        assert_eq!(
+            tape.grad(x).unwrap().as_slice(),
+            &[2.0, 0.5, 2.0, 0.5]
+        );
+        assert_eq!(tape.grad(s).unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn mask_blocks_gradient_into_dropped_elements() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0], &[3]));
+        let mask = t(&[1.0, 0.0, 2.0], &[3]);
+        let loss = x.mul_mask(&mask).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(x).unwrap().as_slice(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn mean_all_divides_gradient() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[2.0, 4.0, 6.0, 8.0], &[4]));
+        let loss = x.mean_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(x).unwrap().as_slice(), &[0.25; 4]);
+        assert!(tape.var(Tensor::zeros(&[0])).mean_all().is_err());
+    }
+
+    #[test]
+    fn vector_matmul_gradient_has_vector_shape() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0], &[2]));
+        let w = tape.var(t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]));
+        let loss = x.matmul(w).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(x).unwrap().shape().dims(), &[2]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Shape-manipulating primitives: reshape, transpose, slicing, concatenation
+//! and pooling. These are the glue of the patch-embedding and multi-head
+//! attention pipelines.
+
+use tensor::Tensor;
+
+use crate::{Result, Var};
+
+impl<'t> Var<'t> {
+    /// Reinterprets the value with a new shape of equal volume.
+    ///
+    /// # Errors
+    /// Returns an error if the volumes differ.
+    pub fn reshape(self, dims: &[usize]) -> Result<Var<'t>> {
+        let original: Vec<usize> = self.value().shape().dims().to_vec();
+        let value = self.value().reshape(dims)?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.reshape(&original).expect("volume preserved")]
+            })),
+        ))
+    }
+
+    /// Matrix transpose.
+    ///
+    /// # Errors
+    /// Returns an error for non-matrix values.
+    pub fn transpose(self) -> Result<Var<'t>> {
+        let value = self.value().transpose()?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.transpose().expect("matrix gradient")]
+            })),
+        ))
+    }
+
+    /// Copies rows `[start, end)` of a matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the range is out of bounds.
+    pub fn slice_rows(self, start: usize, end: usize) -> Result<Var<'t>> {
+        let x = self.value();
+        let (rows, cols) = x.shape().as_matrix()?;
+        let value = x.slice_rows(start, end)?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut full = Tensor::zeros(&[rows, cols]);
+                full.as_mut_slice()[start * cols..end * cols].copy_from_slice(g.as_slice());
+                vec![full]
+            })),
+        ))
+    }
+
+    /// Copies columns `[start, end)` of a matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the range is out of bounds.
+    pub fn slice_cols(self, start: usize, end: usize) -> Result<Var<'t>> {
+        let x = self.value();
+        let (rows, cols) = x.shape().as_matrix()?;
+        let value = x.slice_cols(start, end)?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let mut full = Tensor::zeros(&[rows, cols]);
+                let w = end - start;
+                for r in 0..rows {
+                    full.as_mut_slice()[r * cols + start..r * cols + end]
+                        .copy_from_slice(&g.as_slice()[r * w..(r + 1) * w]);
+                }
+                vec![full]
+            })),
+        ))
+    }
+
+    /// Mean over the rows of a matrix, producing a `1 × cols` matrix.
+    ///
+    /// Used to pool the transformer encoder's patch outputs before the
+    /// fine-tuning MLP head.
+    ///
+    /// # Errors
+    /// Returns an error for non-matrix values or zero-row matrices.
+    pub fn mean_pool_rows(self) -> Result<Var<'t>> {
+        let x = self.value();
+        let (rows, cols) = x.shape().as_matrix()?;
+        if rows == 0 {
+            return Err(tensor::TensorError::Empty {
+                op: "mean_pool_rows",
+            });
+        }
+        let value = x.mean_rows()?.reshape(&[1, cols])?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                let scale = 1.0 / rows as f32;
+                let row = g.scale(scale);
+                let mut full = Vec::with_capacity(rows * cols);
+                for _ in 0..rows {
+                    full.extend_from_slice(row.as_slice());
+                }
+                vec![Tensor::from_vec(full, &[rows, cols]).expect("tile volume")]
+            })),
+        ))
+    }
+
+    /// Vertically concatenates matrices with equal column counts.
+    ///
+    /// # Errors
+    /// Returns an error if `parts` is empty, the parts belong to different
+    /// tapes, or column counts differ.
+    pub fn concat_rows(parts: &[Var<'t>]) -> Result<Var<'t>> {
+        let first = parts
+            .first()
+            .ok_or(tensor::TensorError::Empty { op: "concat_rows" })?;
+        let tape = first.tape;
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let value = Tensor::concat_rows(&refs)?;
+        let row_counts: Vec<usize> = values
+            .iter()
+            .map(|v| v.rows().expect("concat operand is a matrix"))
+            .collect();
+        let parents: Vec<usize> = parts.iter().map(|p| p.id).collect();
+        Ok(tape.push(
+            value,
+            parents,
+            Some(Box::new(move |g: &Tensor| {
+                let mut grads = Vec::with_capacity(row_counts.len());
+                let mut offset = 0;
+                for rc in &row_counts {
+                    grads.push(
+                        g.slice_rows(offset, offset + rc)
+                            .expect("gradient covers all rows"),
+                    );
+                    offset += rc;
+                }
+                grads
+            })),
+        ))
+    }
+
+    /// Horizontally concatenates matrices with equal row counts (multi-head
+    /// attention output concatenation).
+    ///
+    /// # Errors
+    /// Returns an error if `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[Var<'t>]) -> Result<Var<'t>> {
+        let first = parts
+            .first()
+            .ok_or(tensor::TensorError::Empty { op: "concat_cols" })?;
+        let tape = first.tape;
+        let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let value = Tensor::concat_cols(&refs)?;
+        let col_counts: Vec<usize> = values
+            .iter()
+            .map(|v| v.cols().expect("concat operand is a matrix"))
+            .collect();
+        let parents: Vec<usize> = parts.iter().map(|p| p.id).collect();
+        Ok(tape.push(
+            value,
+            parents,
+            Some(Box::new(move |g: &Tensor| {
+                let mut grads = Vec::with_capacity(col_counts.len());
+                let mut offset = 0;
+                for cc in &col_counts {
+                    grads.push(
+                        g.slice_cols(offset, offset + cc)
+                            .expect("gradient covers all cols"),
+                    );
+                    offset += cc;
+                }
+                grads
+            })),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Tape, Var};
+    use tensor::Tensor;
+
+    fn t(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn reshape_round_trips_gradient() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let loss = x.reshape(&[4]).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(x).unwrap().shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn transpose_gradient_is_transposed() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        let mask = t(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0], &[3, 2]);
+        let loss = x
+            .transpose()
+            .unwrap()
+            .mul_mask(&mask)
+            .unwrap()
+            .sum_all()
+            .unwrap();
+        tape.backward(loss).unwrap();
+        // Only x[0][0] influences the loss.
+        let g = tape.grad(x).unwrap();
+        assert_eq!(g.at(0, 0).unwrap(), 1.0);
+        assert_eq!(g.sum(), 1.0);
+    }
+
+    #[test]
+    fn slice_rows_gradient_zero_pads() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let loss = x.slice_rows(1, 2).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(
+            tape.grad(x).unwrap().as_slice(),
+            &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn slice_cols_gradient_zero_pads() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        let loss = x.slice_cols(0, 1).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(
+            tape.grad(x).unwrap().as_slice(),
+            &[1.0, 0.0, 0.0, 1.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn mean_pool_rows_spreads_gradient() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let pooled = x.mean_pool_rows().unwrap();
+        assert_eq!(pooled.value().shape().dims(), &[1, 2]);
+        assert_eq!(pooled.value().as_slice(), &[2.0, 3.0]);
+        let loss = pooled.sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(x).unwrap().as_slice(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn concat_rows_splits_gradient() {
+        let tape = Tape::new();
+        let a = tape.var(t(&[1.0, 2.0], &[1, 2]));
+        let b = tape.var(t(&[3.0, 4.0], &[1, 2]));
+        let cat = Var::concat_rows(&[a, b]).unwrap();
+        assert_eq!(cat.value().shape().dims(), &[2, 2]);
+        let mask = t(&[1.0, 1.0, 2.0, 2.0], &[2, 2]);
+        let loss = cat.mul_mask(&mask).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        let tape = Tape::new();
+        let a = tape.var(t(&[1.0, 2.0], &[2, 1]));
+        let b = tape.var(t(&[3.0, 4.0], &[2, 1]));
+        let cat = Var::concat_cols(&[a, b]).unwrap();
+        assert_eq!(cat.value().shape().dims(), &[2, 2]);
+        let mask = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let loss = cat.mul_mask(&mask).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[5.0, 7.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn empty_concat_errors() {
+        let parts: Vec<Var<'_>> = Vec::new();
+        assert!(Var::concat_rows(&parts).is_err());
+        assert!(Var::concat_cols(&parts).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based finite-difference gradient checks on randomly generated
+//! computation graphs that exercise the composition of autograd primitives
+//! the VITAL transformer relies on (affine → layer-norm → GELU → softmax).
+
+use autograd::Tape;
+use proptest::prelude::*;
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+
+/// Scalar objective used in all checks: a fixed-weight sum so the gradient is
+/// non-trivial but deterministic.
+fn weighted_sum(t: &Tensor, weights: &Tensor) -> f32 {
+    t.mul(weights).unwrap().sum()
+}
+
+fn finite_diff(
+    x: &Tensor,
+    f: impl Fn(&Tensor) -> f32,
+    eps: f32,
+) -> Tensor {
+    let mut grad = x.zeros_like();
+    for i in 0..x.len() {
+        let mut plus = x.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = x.clone();
+        minus.as_mut_slice()[i] -= eps;
+        grad.as_mut_slice()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+    }
+    grad
+}
+
+fn assert_close(analytic: &Tensor, numeric: &Tensor, tol: f32) -> Result<(), TestCaseError> {
+    for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+        prop_assert!(
+            (a - n).abs() < tol.max(0.02 * n.abs()),
+            "analytic {a} vs numeric {n}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_gelu_chain_gradcheck(seed in 0u64..500, rows in 1usize..4, inner in 1usize..5, cols in 1usize..4) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.uniform_tensor(&[rows, inner], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[inner, cols], -1.0, 1.0);
+        let b = rng.uniform_tensor(&[cols], -0.5, 0.5);
+        let weights = rng.uniform_tensor(&[rows, cols], -1.0, 1.0);
+
+        let tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let wv = tape.var(w.clone());
+        let bv = tape.var(b.clone());
+        let out = xv.matmul(wv).unwrap().add_row_broadcast(bv).unwrap().gelu();
+        let loss = out.mul_mask(&weights).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+
+        let wc = weights.clone();
+        let xc = x.clone();
+        let bc = b.clone();
+        let numeric_w = finite_diff(&w, |w_| {
+            let y = xc.matmul(w_).unwrap().add_row_broadcast(&bc).unwrap();
+            weighted_sum(&y.map(|v| 0.5 * v * (1.0 + (0.797_884_6 * (v + 0.044_715 * v * v * v)).tanh())), &wc)
+        }, 1e-3);
+        assert_close(&tape.grad(wv).unwrap(), &numeric_w, 3e-2)?;
+    }
+
+    #[test]
+    fn layernorm_softmax_chain_gradcheck(seed in 0u64..500, rows in 1usize..4, cols in 2usize..6) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.uniform_tensor(&[rows, cols], -2.0, 2.0);
+        let gamma = rng.uniform_tensor(&[cols], 0.5, 1.5);
+        let beta = rng.uniform_tensor(&[cols], -0.5, 0.5);
+        let weights = rng.uniform_tensor(&[rows, cols], -1.0, 1.0);
+
+        let tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let gv = tape.constant(gamma.clone());
+        let bv = tape.constant(beta.clone());
+        let out = xv
+            .layer_norm(gv, bv, 1e-5)
+            .unwrap()
+            .softmax_rows()
+            .unwrap();
+        let loss = out.mul_mask(&weights).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+
+        let reference = |x_: &Tensor| {
+            let (r, c) = x_.shape().as_matrix().unwrap();
+            let mut normalized = vec![0.0f32; r * c];
+            for i in 0..r {
+                let row = &x_.as_slice()[i * c..(i + 1) * c];
+                let mean: f32 = row.iter().sum::<f32>() / c as f32;
+                let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+                for j in 0..c {
+                    normalized[i * c + j] =
+                        gamma.as_slice()[j] * (row[j] - mean) / (var + 1e-5).sqrt() + beta.as_slice()[j];
+                }
+            }
+            let n = Tensor::from_vec(normalized, &[r, c]).unwrap();
+            weighted_sum(&n.softmax_rows().unwrap(), &weights)
+        };
+        let numeric = finite_diff(&x, reference, 1e-3);
+        assert_close(&tape.grad(xv).unwrap(), &numeric, 3e-2)?;
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck(seed in 0u64..500, batch in 1usize..4, classes in 2usize..6) {
+        let mut rng = SeededRng::new(seed);
+        let logits = rng.uniform_tensor(&[batch, classes], -2.0, 2.0);
+        let targets: Vec<usize> = (0..batch).map(|_| rng.index(classes)).collect();
+
+        let tape = Tape::new();
+        let lv = tape.var(logits.clone());
+        let loss = lv.softmax_cross_entropy(&targets).unwrap();
+        tape.backward(loss).unwrap();
+
+        let numeric = finite_diff(&logits, |l| {
+            let probs = l.softmax_rows().unwrap();
+            let mut total = 0.0;
+            for (i, &t) in targets.iter().enumerate() {
+                total -= probs.at(i, t).unwrap().max(1e-12).ln();
+            }
+            total / batch as f32
+        }, 1e-3);
+        assert_close(&tape.grad(lv).unwrap(), &numeric, 2e-2)?;
+    }
+
+    #[test]
+    fn attention_like_block_gradcheck(seed in 0u64..300, n in 2usize..4, d in 2usize..4) {
+        // score = softmax(Q Kᵀ / sqrt(d)) V — the core of MSA.
+        let mut rng = SeededRng::new(seed);
+        let q = rng.uniform_tensor(&[n, d], -1.0, 1.0);
+        let k = rng.uniform_tensor(&[n, d], -1.0, 1.0);
+        let v = rng.uniform_tensor(&[n, d], -1.0, 1.0);
+        let weights = rng.uniform_tensor(&[n, d], -1.0, 1.0);
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let tape = Tape::new();
+        let qv = tape.var(q.clone());
+        let kv = tape.constant(k.clone());
+        let vv = tape.constant(v.clone());
+        let scores = qv
+            .matmul(kv.transpose().unwrap())
+            .unwrap()
+            .scale(scale)
+            .softmax_rows()
+            .unwrap();
+        let out = scores.matmul(vv).unwrap();
+        let loss = out.mul_mask(&weights).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+
+        let numeric = finite_diff(&q, |q_| {
+            let s = q_
+                .matmul(&k.transpose().unwrap())
+                .unwrap()
+                .scale(scale)
+                .softmax_rows()
+                .unwrap();
+            weighted_sum(&s.matmul(&v).unwrap(), &weights)
+        }, 1e-3);
+        assert_close(&tape.grad(qv).unwrap(), &numeric, 3e-2)?;
+    }
+}

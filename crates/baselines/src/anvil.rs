@@ -1,0 +1,299 @@
+//! ANVIL (paper ref. \[19\]): a multi-head attention neural network with a
+//! Euclidean-distance matching stage for smartphone-invariant localization.
+//!
+//! The reproduction follows the published architecture at a functional level:
+//! the normalised fingerprint is linearly embedded into a short token
+//! sequence, a multi-head self-attention block extracts device-invariant
+//! features, and a projection head produces an embedding. Training minimises
+//! classification loss; at inference the framework matches the query
+//! embedding to per-RP centroids by Euclidean distance (the "matching"
+//! stage), falling back to the classifier logits when centroids are missing.
+
+use autograd::{Tape, Var};
+use fingerprint::{FingerprintDataset, FingerprintObservation};
+use nn::optim::{zero_grads, Adam, Optimizer};
+use nn::{Activation, Dense, Init, Layer, LayerNorm, Mlp, MultiHeadSelfAttention, Param, Session};
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+use vital::{DamConfig, Localizer, Result, VitalError};
+
+use crate::{FeatureExtractor, FeatureMode};
+
+/// Number of tokens the fingerprint is folded into before attention.
+const TOKENS: usize = 8;
+
+/// The attention-based embedding network shared by training and inference.
+#[derive(Debug)]
+struct AnvilNetwork {
+    token_embed: Dense,
+    norm: LayerNorm,
+    attention: MultiHeadSelfAttention,
+    head: Mlp,
+    embed_head: Mlp,
+    token_width: usize,
+}
+
+impl AnvilNetwork {
+    fn new(rng: &mut SeededRng, feature_width: usize, num_classes: usize) -> Result<Self> {
+        let token_width = feature_width.div_ceil(TOKENS);
+        let d_model = 32;
+        Ok(AnvilNetwork {
+            token_embed: Dense::new(rng, token_width, d_model, Init::Xavier),
+            norm: LayerNorm::new(d_model),
+            attention: MultiHeadSelfAttention::new(rng, d_model, 4)?,
+            head: Mlp::new(rng, &[d_model, 64, num_classes], Activation::Relu),
+            embed_head: Mlp::new(rng, &[d_model, 32], Activation::Relu),
+            token_width,
+        })
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut params = self.token_embed.params();
+        params.extend(self.norm.params());
+        params.extend(self.attention.params());
+        params.extend(self.head.params());
+        params.extend(self.embed_head.params());
+        params
+    }
+
+    /// Folds a flat feature vector into `TOKENS` equal-width tokens (zero
+    /// padded) for the attention block.
+    fn tokenize(&self, features: &[f32]) -> Result<Tensor> {
+        let mut padded = features.to_vec();
+        padded.resize(self.token_width * TOKENS, 0.0);
+        Ok(Tensor::from_vec(padded, &[TOKENS, self.token_width])?)
+    }
+
+    /// Returns `(pooled_embedding, class_logits)` for one sample.
+    fn forward_sample<'t>(
+        &self,
+        session: &Session<'t>,
+        features: &[f32],
+    ) -> Result<(Var<'t>, Var<'t>)> {
+        let tokens = session.constant(self.tokenize(features)?);
+        let embedded = self.token_embed.forward(session, tokens)?;
+        let attended = self
+            .attention
+            .forward(session, self.norm.forward(session, embedded)?)?
+            .add(embedded)?;
+        let pooled = attended.mean_pool_rows()?;
+        let embedding = self.embed_head.forward(session, pooled)?;
+        let logits = self.head.forward(session, pooled)?;
+        Ok((embedding, logits))
+    }
+}
+
+/// The ANVIL localizer.
+#[derive(Debug)]
+pub struct AnvilLocalizer {
+    seed: u64,
+    extractor: FeatureExtractor,
+    epochs: usize,
+    network: Option<AnvilNetwork>,
+    centroids: Vec<Option<Vec<f32>>>,
+    num_classes: usize,
+}
+
+impl AnvilLocalizer {
+    /// Creates an untrained ANVIL instance.
+    pub fn new(seed: u64) -> Self {
+        AnvilLocalizer {
+            seed,
+            extractor: FeatureExtractor::new(FeatureMode::MeanChannel),
+            epochs: 30,
+            network: None,
+            centroids: Vec::new(),
+            num_classes: 0,
+        }
+    }
+
+    /// Bolts the VITAL DAM onto the input pipeline (paper §VI.D).
+    pub fn with_dam(mut self, dam: Option<DamConfig>) -> Self {
+        self.extractor = FeatureExtractor::new(FeatureMode::MeanChannel).with_dam(dam);
+        self
+    }
+
+    /// Overrides the number of training epochs (default 30).
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs.max(1);
+        self
+    }
+
+    fn embed(&self, features: &[f32]) -> Result<(Vec<f32>, Vec<f32>)> {
+        let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let (embedding, logits) = network.forward_sample(&session, features)?;
+        Ok((embedding.value().into_vec(), logits.value().into_vec()))
+    }
+}
+
+impl Localizer for AnvilLocalizer {
+    fn name(&self) -> &str {
+        "ANVIL"
+    }
+
+    fn fit(&mut self, train: &FingerprintDataset) -> Result<()> {
+        if train.is_empty() {
+            return Err(VitalError::InvalidDataset("empty training set".into()));
+        }
+        self.num_classes = train.num_rps();
+        let mut rng = SeededRng::new(self.seed);
+        let mut init_rng = SeededRng::new(self.seed.wrapping_add(1));
+        let feature_width = self
+            .extractor
+            .feature_width(train.num_aps());
+        let network = AnvilNetwork::new(&mut init_rng, feature_width, self.num_classes)?;
+        let params = network.params();
+        let mut optimizer = Adam::new(2e-3);
+
+        let observations = train.observations();
+        let mut order: Vec<usize> = (0..observations.len()).collect();
+        let batch = 16;
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(batch) {
+                let tape = Tape::new();
+                let session = Session::new(&tape, true, self.seed.wrapping_add(epoch as u64));
+                let mut logits = Vec::with_capacity(chunk.len());
+                let mut labels = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let features = self.extractor.extract(&observations[i], true, &mut rng);
+                    let (_, sample_logits) = network.forward_sample(&session, &features)?;
+                    logits.push(sample_logits);
+                    labels.push(observations[i].rp_label);
+                }
+                let stacked = Var::concat_rows(&logits)?;
+                let loss = stacked.softmax_cross_entropy(&labels)?;
+                session.backward(loss)?;
+                optimizer.step(&params);
+                zero_grads(&params);
+            }
+        }
+        self.network = Some(network);
+
+        // Euclidean-matching stage: per-RP embedding centroids over the clean
+        // training fingerprints.
+        let mut sums: Vec<(Vec<f32>, usize)> = vec![(Vec::new(), 0); self.num_classes];
+        let mut clean_rng = SeededRng::new(self.seed.wrapping_add(2));
+        for observation in observations {
+            let features = self.extractor.extract(observation, false, &mut clean_rng);
+            let (embedding, _) = self.embed(&features)?;
+            let slot = &mut sums[observation.rp_label];
+            if slot.0.is_empty() {
+                slot.0 = vec![0.0; embedding.len()];
+            }
+            for (s, e) in slot.0.iter_mut().zip(&embedding) {
+                *s += e;
+            }
+            slot.1 += 1;
+        }
+        self.centroids = sums
+            .into_iter()
+            .map(|(sum, count)| {
+                if count == 0 {
+                    None
+                } else {
+                    Some(sum.into_iter().map(|v| v / count as f32).collect())
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn predict(&self, observation: &FingerprintObservation) -> Result<usize> {
+        let mut rng = SeededRng::new(0);
+        let features = self.extractor.extract(observation, false, &mut rng);
+        let (embedding, logits) = self.embed(&features)?;
+        // Euclidean matching against per-RP centroids.
+        let mut best: Option<(usize, f32)> = None;
+        for (label, centroid) in self.centroids.iter().enumerate() {
+            let Some(centroid) = centroid else { continue };
+            let d: f32 = centroid
+                .iter()
+                .zip(&embedding)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((label, d));
+            }
+        }
+        match best {
+            Some((label, _)) => Ok(label),
+            None => {
+                // No centroids (degenerate training set): classifier argmax.
+                let logits = Tensor::from_vec(logits.clone(), &[logits.len()])?;
+                Ok(logits.argmax()?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingerprint::{base_devices, DatasetConfig};
+    use sim_radio::building_1;
+    use vital::evaluate_localizer;
+
+    #[test]
+    fn unfitted_errors_and_name() {
+        let anvil = AnvilLocalizer::new(0);
+        assert_eq!(anvil.name(), "ANVIL");
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 0,
+            },
+        );
+        assert!(anvil.predict(&ds.observations()[0]).is_err());
+        let mut unfit = AnvilLocalizer::new(0);
+        assert!(unfit.fit(&ds.filter_devices(&["NONE"])).is_err());
+    }
+
+    #[test]
+    fn trains_and_localizes_better_than_chance() {
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..2],
+            &DatasetConfig {
+                captures_per_rp: 2,
+                samples_per_capture: 3,
+                seed: 2,
+            },
+        );
+        let split = ds.split(0.8, 5);
+        let mut anvil = AnvilLocalizer::new(3).with_epochs(12);
+        anvil.fit(&split.train).unwrap();
+        let report = evaluate_localizer(&anvil, &split.test, &building).unwrap();
+        assert!(
+            report.mean_error_m() < 10.0,
+            "ANVIL mean error {} m",
+            report.mean_error_m()
+        );
+    }
+
+    #[test]
+    fn dam_variant_trains() {
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 6,
+            },
+        );
+        let mut anvil = AnvilLocalizer::new(1)
+            .with_dam(Some(DamConfig::default()))
+            .with_epochs(3);
+        anvil.fit(&ds).unwrap();
+        assert!(anvil.predict(&ds.observations()[0]).unwrap() < ds.num_rps());
+    }
+}

@@ -1,0 +1,243 @@
+//! CNNLoc (paper ref. \[21\]): stacked-autoencoder pre-training followed by a
+//! 1-D convolutional neural network classifier over the RSSI fingerprint.
+
+use autograd::Tape;
+use fingerprint::{FingerprintDataset, FingerprintObservation};
+use nn::optim::{zero_grads, Adam, Optimizer};
+use nn::{Activation, Conv1d, Layer, Mlp, Param, Session, StackedAutoencoder};
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+use vital::{DamConfig, Localizer, Result, VitalError};
+
+use crate::{FeatureExtractor, FeatureMode};
+
+/// The CNNLoc localizer: SAE encoder + 1-D CNN + MLP classifier.
+#[derive(Debug)]
+pub struct CnnLocLocalizer {
+    seed: u64,
+    extractor: FeatureExtractor,
+    pretrain_epochs: usize,
+    epochs: usize,
+    autoencoder: Option<StackedAutoencoder>,
+    conv: Option<Conv1d>,
+    classifier: Option<Mlp>,
+    num_classes: usize,
+}
+
+impl CnnLocLocalizer {
+    /// Creates an untrained CNNLoc instance.
+    pub fn new(seed: u64) -> Self {
+        CnnLocLocalizer {
+            seed,
+            extractor: FeatureExtractor::new(FeatureMode::MeanChannel),
+            pretrain_epochs: 40,
+            epochs: 35,
+            autoencoder: None,
+            conv: None,
+            classifier: None,
+            num_classes: 0,
+        }
+    }
+
+    /// Bolts the VITAL DAM onto the input pipeline (paper §VI.D).
+    pub fn with_dam(mut self, dam: Option<DamConfig>) -> Self {
+        self.extractor = FeatureExtractor::new(FeatureMode::MeanChannel).with_dam(dam);
+        self
+    }
+
+    /// Overrides the classifier training epochs (default 35).
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs.max(1);
+        self
+    }
+
+    /// Overrides the SAE pre-training epochs (default 40).
+    pub fn with_pretrain_epochs(mut self, epochs: usize) -> Self {
+        self.pretrain_epochs = epochs.max(1);
+        self
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut params = Vec::new();
+        if let Some(ae) = &self.autoencoder {
+            params.extend(ae.params());
+        }
+        if let Some(conv) = &self.conv {
+            params.extend(conv.params());
+        }
+        if let Some(clf) = &self.classifier {
+            params.extend(clf.params());
+        }
+        params
+    }
+
+    fn forward_logits(&self, features: &Tensor) -> Result<Tensor> {
+        let (ae, conv, classifier) = match (&self.autoencoder, &self.conv, &self.classifier) {
+            (Some(a), Some(c), Some(m)) => (a, c, m),
+            _ => return Err(VitalError::NotFitted),
+        };
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let x = session.constant(features.clone());
+        let code = ae.encode(&session, x)?;
+        let conv_out = conv.forward(&session, code)?.relu();
+        let logits = classifier.forward(&session, conv_out)?;
+        Ok(logits.value())
+    }
+}
+
+impl Localizer for CnnLocLocalizer {
+    fn name(&self) -> &str {
+        "CNNLoc"
+    }
+
+    fn fit(&mut self, train: &FingerprintDataset) -> Result<()> {
+        if train.is_empty() {
+            return Err(VitalError::InvalidDataset("empty training set".into()));
+        }
+        self.num_classes = train.num_rps();
+        let mut rng = SeededRng::new(self.seed);
+        let (features, labels) = self.extractor.extract_matrix(train, true, 1, &mut rng);
+        let width = features.cols()?;
+
+        // Stage 1: stacked-autoencoder pre-training on the fingerprints.
+        let mut init_rng = SeededRng::new(self.seed.wrapping_add(1));
+        let code_dim = (width / 2).max(8);
+        let autoencoder = StackedAutoencoder::new(&mut init_rng, width, &[width.max(16), code_dim]);
+        autoencoder
+            .pretrain(&features, self.pretrain_epochs, 5e-3, 0.02, self.seed)
+            .map_err(VitalError::from)?;
+
+        // Stage 2: 1-D CNN + MLP classifier on the encoded representation.
+        let conv = Conv1d::new(&mut init_rng, 3.min(code_dim), 8, 1)?;
+        let conv_width = conv.out_width_for(code_dim)?;
+        let classifier = Mlp::new(
+            &mut init_rng,
+            &[conv_width, 128, self.num_classes],
+            Activation::Relu,
+        )
+        .with_dropout(0.1);
+
+        self.autoencoder = Some(autoencoder);
+        self.conv = Some(conv);
+        self.classifier = Some(classifier);
+        let params = self.params();
+        let mut optimizer = Adam::new(1.5e-3);
+
+        let n = features.rows()?;
+        let mut order: Vec<usize> = (0..n).collect();
+        let batch = 32;
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(batch) {
+                let rows: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| features.slice_rows(i, i + 1))
+                    .collect::<std::result::Result<_, _>>()?;
+                let refs: Vec<&Tensor> = rows.iter().collect();
+                let x_batch = Tensor::concat_rows(&refs)?;
+                let y_batch: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+
+                let tape = Tape::new();
+                let session = Session::new(&tape, true, self.seed.wrapping_add(epoch as u64));
+                let x = session.constant(x_batch);
+                let code = self
+                    .autoencoder
+                    .as_ref()
+                    .expect("set above")
+                    .encode(&session, x)?;
+                let conv_out = self.conv.as_ref().expect("set above").forward(&session, code)?.relu();
+                let logits = self
+                    .classifier
+                    .as_ref()
+                    .expect("set above")
+                    .forward(&session, conv_out)?;
+                let loss = logits.softmax_cross_entropy(&y_batch)?;
+                session.backward(loss)?;
+                optimizer.step(&params);
+                zero_grads(&params);
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, observation: &FingerprintObservation) -> Result<usize> {
+        let mut rng = SeededRng::new(0);
+        let features = self.extractor.extract(observation, false, &mut rng);
+        let x = Tensor::from_vec(features.clone(), &[1, features.len()])?;
+        let logits = self.forward_logits(&x)?;
+        Ok(logits.row(0)?.argmax()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingerprint::{base_devices, DatasetConfig};
+    use sim_radio::building_1;
+    use vital::evaluate_localizer;
+
+    #[test]
+    fn unfitted_errors_and_name() {
+        let cnnloc = CnnLocLocalizer::new(0);
+        assert_eq!(cnnloc.name(), "CNNLoc");
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 0,
+            },
+        );
+        assert!(cnnloc.predict(&ds.observations()[0]).is_err());
+        let mut unfit = CnnLocLocalizer::new(0);
+        assert!(unfit.fit(&ds.filter_devices(&["NONE"])).is_err());
+    }
+
+    #[test]
+    fn trains_and_localizes_better_than_chance() {
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..2],
+            &DatasetConfig {
+                captures_per_rp: 2,
+                samples_per_capture: 3,
+                seed: 1,
+            },
+        );
+        let split = ds.split(0.8, 9);
+        let mut cnnloc = CnnLocLocalizer::new(4)
+            .with_epochs(12)
+            .with_pretrain_epochs(10);
+        cnnloc.fit(&split.train).unwrap();
+        let report = evaluate_localizer(&cnnloc, &split.test, &building).unwrap();
+        assert!(
+            report.mean_error_m() < 12.0,
+            "CNNLoc mean error {} m",
+            report.mean_error_m()
+        );
+    }
+
+    #[test]
+    fn dam_variant_trains() {
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 5,
+            },
+        );
+        let mut cnnloc = CnnLocLocalizer::new(2)
+            .with_dam(Some(DamConfig::default()))
+            .with_epochs(2)
+            .with_pretrain_epochs(2);
+        cnnloc.fit(&ds).unwrap();
+        assert!(cnnloc.predict(&ds.observations()[0]).unwrap() < ds.num_rps());
+    }
+}

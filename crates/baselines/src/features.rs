@@ -1,0 +1,270 @@
+//! Fingerprint feature extraction shared by the baseline frameworks.
+
+use fingerprint::{FingerprintObservation, MISSING_AP_DBM};
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+use vital::{DamConfig, DataAugmentationModule};
+
+/// How a fingerprint observation is turned into a flat feature vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeatureMode {
+    /// The per-AP mean RSSI, min-max normalised — the representation used by
+    /// most DNN baselines.
+    #[default]
+    MeanChannel,
+    /// All three channels (min/max/mean) concatenated.
+    ThreeChannel,
+    /// Signal Strength Difference: RSSI relative to the strongest AP, a
+    /// classical calibration-free transform (paper ref. \[18\]).
+    Ssd,
+    /// Hyperbolic Location Fingerprint: pairwise RSSI ratios against the
+    /// strongest AP in log-space (paper ref. \[18\]).
+    Hlf,
+}
+
+/// Converts observations into feature vectors, optionally passing them
+/// through the VITAL Data Augmentation Module (for the Fig. 9 ablation).
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    mode: FeatureMode,
+    dam: Option<DataAugmentationModule>,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor for the given representation.
+    pub fn new(mode: FeatureMode) -> Self {
+        FeatureExtractor { mode, dam: None }
+    }
+
+    /// Enables DAM pre-processing (normalisation + dropout/noise during
+    /// training) on top of the representation.
+    pub fn with_dam(mut self, config: Option<DamConfig>) -> Self {
+        self.dam = config.map(DataAugmentationModule::new);
+        self
+    }
+
+    /// Whether DAM is attached.
+    pub fn has_dam(&self) -> bool {
+        self.dam.is_some()
+    }
+
+    /// The feature representation in use.
+    pub fn mode(&self) -> FeatureMode {
+        self.mode
+    }
+
+    /// Width of the feature vector for a building with `num_aps` access
+    /// points.
+    pub fn feature_width(&self, num_aps: usize) -> usize {
+        match self.mode {
+            FeatureMode::MeanChannel | FeatureMode::Ssd | FeatureMode::Hlf => num_aps,
+            FeatureMode::ThreeChannel => 3 * num_aps,
+        }
+    }
+
+    fn raw_features(&self, observation: &FingerprintObservation) -> Vec<f32> {
+        match self.mode {
+            FeatureMode::MeanChannel => normalize_rssi(observation.mean_channel()),
+            FeatureMode::ThreeChannel => {
+                let mut v = normalize_rssi(&observation.min);
+                v.extend(normalize_rssi(&observation.max));
+                v.extend(normalize_rssi(&observation.mean));
+                v
+            }
+            FeatureMode::Ssd => ssd_transform(observation.mean_channel()),
+            FeatureMode::Hlf => hlf_transform(observation.mean_channel()),
+        }
+    }
+
+    /// Extracts a feature vector. When DAM is attached and `training` is
+    /// `true`, the DAM dropout / Gaussian-noise stages are applied (each call
+    /// may produce a different augmented view).
+    pub fn extract(
+        &self,
+        observation: &FingerprintObservation,
+        training: bool,
+        rng: &mut SeededRng,
+    ) -> Vec<f32> {
+        let features = self.raw_features(observation);
+        match &self.dam {
+            Some(dam) => dam.augment_vector(&features, training, rng),
+            None => features,
+        }
+    }
+
+    /// Extracts features for a whole dataset as a `[samples, width]` matrix
+    /// plus labels. With DAM attached and `training == true`,
+    /// `augmented_copies` extra augmented views are appended per observation
+    /// (fingerprint replication for vector models).
+    pub fn extract_matrix(
+        &self,
+        dataset: &fingerprint::FingerprintDataset,
+        training: bool,
+        augmented_copies: usize,
+        rng: &mut SeededRng,
+    ) -> (Tensor, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let copies = if training && self.dam.is_some() {
+            1 + augmented_copies
+        } else {
+            1
+        };
+        for observation in dataset.observations() {
+            for copy in 0..copies {
+                // The first copy of each observation is unaugmented so the
+                // clean fingerprint is always part of the training pool.
+                let augment = training && copy > 0;
+                rows.push(self.extract(observation, augment, rng));
+                labels.push(observation.rp_label);
+            }
+        }
+        let width = rows.first().map(Vec::len).unwrap_or(0);
+        let flat: Vec<f32> = rows.into_iter().flatten().collect();
+        let matrix = Tensor::from_vec(flat, &[labels.len(), width])
+            .expect("rows share the extractor's feature width");
+        (matrix, labels)
+    }
+}
+
+/// Min-max normalises raw RSSI (−100…0 dBm) into `[0, 1]`, where 0 means "not
+/// visible".
+pub fn normalize_rssi(rssi: &[f32]) -> Vec<f32> {
+    rssi.iter()
+        .map(|v| ((v - MISSING_AP_DBM) / -MISSING_AP_DBM).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// Signal Strength Difference transform: every AP's RSSI relative to the
+/// strongest AP of the fingerprint. Constant device-wide gain offsets cancel
+/// out, which is what makes the transform calibration-free.
+pub fn ssd_transform(rssi: &[f32]) -> Vec<f32> {
+    let strongest = rssi.iter().cloned().fold(MISSING_AP_DBM, f32::max);
+    rssi.iter()
+        .map(|v| {
+            if *v <= MISSING_AP_DBM {
+                // Missing APs keep a large constant difference.
+                -1.0
+            } else {
+                ((v - strongest) / 50.0).clamp(-1.0, 0.0) + 1.0
+            }
+        })
+        .collect()
+}
+
+/// Hyperbolic Location Fingerprint transform: log-domain power ratios against
+/// the strongest AP.
+pub fn hlf_transform(rssi: &[f32]) -> Vec<f32> {
+    let strongest = rssi.iter().cloned().fold(MISSING_AP_DBM, f32::max);
+    rssi.iter()
+        .map(|v| {
+            if *v <= MISSING_AP_DBM {
+                0.0
+            } else {
+                // dBm are already log-scale powers; the ratio of linear powers
+                // is the difference of dB values, rescaled to ~[0, 1].
+                (1.0 + (v - strongest) / 60.0).clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingerprint::{base_devices, DatasetConfig, FingerprintDataset};
+    use sim_radio::building_1;
+
+    fn obs(mean: Vec<f32>) -> FingerprintObservation {
+        FingerprintObservation {
+            rp_label: 3,
+            device: "T".into(),
+            min: mean.iter().map(|v| v - 2.0).collect(),
+            max: mean.iter().map(|v| v + 2.0).collect(),
+            mean,
+        }
+    }
+
+    #[test]
+    fn normalize_rssi_maps_range() {
+        let n = normalize_rssi(&[-100.0, -50.0, 0.0]);
+        assert_eq!(n, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn ssd_cancels_constant_offsets() {
+        let base = vec![-60.0, -70.0, -80.0];
+        let offset: Vec<f32> = base.iter().map(|v| v + 7.0).collect();
+        assert_eq!(ssd_transform(&base), ssd_transform(&offset));
+        // Missing AP handled distinctly.
+        let with_missing = ssd_transform(&[-60.0, MISSING_AP_DBM]);
+        assert_eq!(with_missing[1], -1.0);
+    }
+
+    #[test]
+    fn hlf_is_offset_invariant_and_bounded() {
+        let base = vec![-55.0, -65.0, -95.0];
+        let offset: Vec<f32> = base.iter().map(|v| v + 4.0).collect();
+        assert_eq!(hlf_transform(&base), hlf_transform(&offset));
+        for v in hlf_transform(&base) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(hlf_transform(&[MISSING_AP_DBM, -50.0])[0], 0.0);
+    }
+
+    #[test]
+    fn feature_widths_per_mode() {
+        assert_eq!(FeatureExtractor::new(FeatureMode::MeanChannel).feature_width(18), 18);
+        assert_eq!(FeatureExtractor::new(FeatureMode::ThreeChannel).feature_width(18), 54);
+        assert_eq!(FeatureExtractor::new(FeatureMode::Ssd).feature_width(18), 18);
+        assert_eq!(FeatureExtractor::new(FeatureMode::Hlf).feature_width(18), 18);
+    }
+
+    #[test]
+    fn extract_respects_mode_and_dam() {
+        let o = obs(vec![-60.0, -70.0, -100.0, -55.0]);
+        let mut rng = SeededRng::new(0);
+        let plain = FeatureExtractor::new(FeatureMode::MeanChannel);
+        let features = plain.extract(&o, true, &mut rng);
+        assert_eq!(features.len(), 4);
+        assert!(!plain.has_dam());
+
+        let with_dam = FeatureExtractor::new(FeatureMode::MeanChannel)
+            .with_dam(Some(DamConfig::default()));
+        assert!(with_dam.has_dam());
+        // Training extraction is stochastic; eval extraction is deterministic.
+        let e1 = with_dam.extract(&o, false, &mut rng);
+        let e2 = with_dam.extract(&o, false, &mut rng);
+        assert_eq!(e1, e2);
+        let t1 = with_dam.extract(&o, true, &mut rng);
+        assert_eq!(t1.len(), 4);
+    }
+
+    #[test]
+    fn matrix_extraction_adds_augmented_copies_only_with_dam() {
+        let building = building_1();
+        let dataset = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 0,
+            },
+        );
+        let mut rng = SeededRng::new(1);
+        let plain = FeatureExtractor::new(FeatureMode::MeanChannel);
+        let (m, labels) = plain.extract_matrix(&dataset, true, 2, &mut rng);
+        assert_eq!(m.rows().unwrap(), dataset.len());
+        assert_eq!(labels.len(), dataset.len());
+
+        let dammed = FeatureExtractor::new(FeatureMode::MeanChannel)
+            .with_dam(Some(DamConfig::default()));
+        let (m2, labels2) = dammed.extract_matrix(&dataset, true, 2, &mut rng);
+        assert_eq!(m2.rows().unwrap(), dataset.len() * 3);
+        assert_eq!(labels2.len(), dataset.len() * 3);
+        // Eval-time extraction never replicates.
+        let (m3, _) = dammed.extract_matrix(&dataset, false, 2, &mut rng);
+        assert_eq!(m3.rows().unwrap(), dataset.len());
+    }
+}

@@ -1,0 +1,88 @@
+//! State-of-the-art heterogeneity-resilient indoor-localization baselines.
+//!
+//! The VITAL paper compares against four deep-learning frameworks
+//! (§II, §VI.C) plus the classical calibration-free approaches mentioned in
+//! related work. Each is re-implemented here on the same substrates
+//! ([`nn`], [`fingerprint`]) and behind the same [`vital::Localizer`]
+//! interface so the benchmark harness can evaluate them identically, with or
+//! without the DAM augmentation bolted on (paper §VI.D, Fig. 9):
+//!
+//! | Framework | Paper ref | Architecture reproduced |
+//! |-----------|-----------|--------------------------|
+//! | [`AnvilLocalizer`]  | \[19\] | multi-head attention encoder + Euclidean-distance matching over per-RP embedding centroids |
+//! | [`SherpaLocalizer`] | \[20\] | DNN classifier whose top-K candidate RPs are refined by weighted KNN |
+//! | [`CnnLocLocalizer`] | \[21\] | stacked autoencoder pre-training + 1-D CNN classifier |
+//! | [`WiDeepLocalizer`] | \[22\] | denoising stacked autoencoder + Gaussian-kernel (GP-style) classifier |
+//! | [`KnnLocalizer`]    | \[18\]/classical | plain, SSD or HLF (hyperbolic) fingerprint KNN |
+//!
+//! # Example
+//!
+//! ```no_run
+//! use baselines::{KnnLocalizer, FeatureMode};
+//! use fingerprint::{base_devices, DatasetConfig, FingerprintDataset};
+//! use sim_radio::building_1;
+//! use vital::{evaluate_localizer, Localizer};
+//!
+//! # fn main() -> Result<(), vital::VitalError> {
+//! let building = building_1();
+//! let data = FingerprintDataset::collect(&building, &base_devices(), &DatasetConfig::default());
+//! let split = data.split(0.8, 7);
+//! let mut knn = KnnLocalizer::new(5, FeatureMode::Ssd);
+//! knn.fit(&split.train)?;
+//! let report = evaluate_localizer(&knn, &split.test, &building)?;
+//! println!("{}: {:.2} m", knn.name(), report.mean_error_m());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod anvil;
+mod cnnloc;
+mod features;
+mod knn;
+mod sherpa;
+mod wideep;
+
+pub use anvil::AnvilLocalizer;
+pub use cnnloc::CnnLocLocalizer;
+pub use features::{hlf_transform, normalize_rssi, ssd_transform, FeatureExtractor, FeatureMode};
+pub use knn::KnnLocalizer;
+pub use sherpa::SherpaLocalizer;
+pub use wideep::WiDeepLocalizer;
+
+use vital::Localizer;
+
+/// Builds the full comparison suite of the paper's Fig. 7/8/10 —
+/// ANVIL, SHERPA, CNNLoc and WiDeep — each optionally with DAM enabled.
+///
+/// `seed` controls weight initialisation; `with_dam` bolts the VITAL Data
+/// Augmentation Module onto every framework (paper §VI.D).
+pub fn comparison_suite(with_dam: bool, seed: u64) -> Vec<Box<dyn Localizer>> {
+    let dam = if with_dam {
+        Some(vital::DamConfig::default())
+    } else {
+        None
+    };
+    vec![
+        Box::new(AnvilLocalizer::new(seed).with_dam(dam)),
+        Box::new(SherpaLocalizer::new(seed).with_dam(dam)),
+        Box::new(CnnLocLocalizer::new(seed).with_dam(dam)),
+        Box::new(WiDeepLocalizer::new(seed).with_dam(dam)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_suite_contains_the_four_frameworks() {
+        let suite = comparison_suite(false, 0);
+        let names: Vec<&str> = suite.iter().map(|l| l.name()).collect();
+        assert_eq!(names, vec!["ANVIL", "SHERPA", "CNNLoc", "WiDeep"]);
+        let with_dam = comparison_suite(true, 0);
+        assert_eq!(with_dam.len(), 4);
+    }
+}

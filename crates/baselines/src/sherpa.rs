@@ -1,0 +1,265 @@
+//! SHERPA (paper ref. \[20\]): a lightweight framework combining a deep
+//! neural network classifier with K-nearest-neighbour refinement.
+//!
+//! The DNN produces a posterior over reference points; its top candidate
+//! classes gate a distance-weighted KNN vote restricted to those candidates,
+//! which is what gives SHERPA its robustness to device-specific offsets.
+
+use autograd::Tape;
+use fingerprint::{FingerprintDataset, FingerprintObservation};
+use nn::optim::{zero_grads, Adam, Optimizer};
+use nn::{Activation, Layer, Mlp, Session};
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+use vital::{DamConfig, Localizer, Result, VitalError};
+
+use crate::{FeatureExtractor, FeatureMode};
+
+/// The SHERPA localizer: DNN coarse classification + KNN refinement.
+#[derive(Debug)]
+pub struct SherpaLocalizer {
+    seed: u64,
+    extractor: FeatureExtractor,
+    epochs: usize,
+    top_candidates: usize,
+    neighbours: usize,
+    network: Option<Mlp>,
+    num_classes: usize,
+    train_features: Vec<Vec<f32>>,
+    train_labels: Vec<usize>,
+}
+
+impl SherpaLocalizer {
+    /// Creates an untrained SHERPA instance.
+    pub fn new(seed: u64) -> Self {
+        SherpaLocalizer {
+            seed,
+            extractor: FeatureExtractor::new(FeatureMode::MeanChannel),
+            epochs: 40,
+            top_candidates: 3,
+            neighbours: 5,
+            network: None,
+            num_classes: 0,
+            train_features: Vec::new(),
+            train_labels: Vec::new(),
+        }
+    }
+
+    /// Bolts the VITAL DAM onto the input pipeline (paper §VI.D).
+    pub fn with_dam(mut self, dam: Option<DamConfig>) -> Self {
+        self.extractor = FeatureExtractor::new(FeatureMode::MeanChannel).with_dam(dam);
+        self
+    }
+
+    /// Overrides the number of training epochs (default 40).
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs.max(1);
+        self
+    }
+
+    fn posterior(&self, features: &[f32]) -> Result<Tensor> {
+        let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let x = session.constant(Tensor::from_vec(features.to_vec(), &[1, features.len()])?);
+        let logits = network.forward(&session, x)?;
+        Ok(logits.value().softmax_rows()?)
+    }
+}
+
+impl Localizer for SherpaLocalizer {
+    fn name(&self) -> &str {
+        "SHERPA"
+    }
+
+    fn fit(&mut self, train: &FingerprintDataset) -> Result<()> {
+        if train.is_empty() {
+            return Err(VitalError::InvalidDataset("empty training set".into()));
+        }
+        self.num_classes = train.num_rps();
+        let mut rng = SeededRng::new(self.seed);
+        let (features, labels) = self.extractor.extract_matrix(train, true, 2, &mut rng);
+        let width = features.cols()?;
+
+        let mut init_rng = SeededRng::new(self.seed.wrapping_add(1));
+        let network = Mlp::new(
+            &mut init_rng,
+            &[width, 128, 64, self.num_classes],
+            Activation::Relu,
+        )
+        .with_dropout(0.1);
+        let mut optimizer = Adam::new(2e-3);
+        let params = network.params();
+        let batch = 32;
+        let n = features.rows()?;
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..self.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(batch) {
+                let rows: Vec<Tensor> = chunk
+                    .iter()
+                    .map(|&i| features.slice_rows(i, i + 1))
+                    .collect::<std::result::Result<_, _>>()?;
+                let refs: Vec<&Tensor> = rows.iter().collect();
+                let x_batch = Tensor::concat_rows(&refs)?;
+                let y_batch: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                let tape = Tape::new();
+                let session = Session::new(&tape, true, self.seed.wrapping_add(epoch as u64));
+                let logits = network.forward(&session, session.constant(x_batch))?;
+                let loss = logits.softmax_cross_entropy(&y_batch)?;
+                session.backward(loss)?;
+                optimizer.step(&params);
+                zero_grads(&params);
+            }
+        }
+        self.network = Some(network);
+
+        // KNN memory uses clean (non-augmented) fingerprints.
+        let mut clean_rng = SeededRng::new(self.seed.wrapping_add(2));
+        self.train_features = train
+            .observations()
+            .iter()
+            .map(|o| self.extractor.extract(o, false, &mut clean_rng))
+            .collect();
+        self.train_labels = train.labels();
+        Ok(())
+    }
+
+    fn predict(&self, observation: &FingerprintObservation) -> Result<usize> {
+        let mut rng = SeededRng::new(0);
+        let query = self.extractor.extract(observation, false, &mut rng);
+        let posterior = self.posterior(&query)?;
+        // Top candidate classes from the DNN.
+        let mut ranked: Vec<(usize, f32)> = posterior
+            .row(0)?
+            .as_slice()
+            .iter()
+            .cloned()
+            .enumerate()
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let candidates: Vec<usize> = ranked
+            .iter()
+            .take(self.top_candidates)
+            .map(|(c, _)| *c)
+            .collect();
+
+        // Distance-weighted KNN vote restricted to the candidate classes.
+        let mut scored: Vec<(f32, usize)> = self
+            .train_features
+            .iter()
+            .zip(&self.train_labels)
+            .filter(|(_, label)| candidates.contains(label))
+            .map(|(f, &label)| {
+                let d: f32 = f
+                    .iter()
+                    .zip(&query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                (d, label)
+            })
+            .collect();
+        if scored.is_empty() {
+            // Fall back to the DNN's argmax when no memory matches.
+            return Ok(candidates.first().copied().unwrap_or(0));
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scored.truncate(self.neighbours);
+        let mut votes: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+        for (d, label) in scored {
+            *votes.entry(label).or_insert(0.0) += 1.0 / (d + 1e-3);
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(label, _)| label)
+            .ok_or(VitalError::NotFitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingerprint::{base_devices, DatasetConfig};
+    use sim_radio::building_1;
+    use vital::evaluate_localizer;
+
+    #[test]
+    fn unfitted_errors() {
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 0,
+            },
+        );
+        let sherpa = SherpaLocalizer::new(0);
+        assert_eq!(sherpa.name(), "SHERPA");
+        assert!(sherpa.predict(&ds.observations()[0]).is_err());
+    }
+
+    #[test]
+    fn trains_and_localizes_better_than_chance() {
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..2],
+            &DatasetConfig {
+                captures_per_rp: 2,
+                samples_per_capture: 3,
+                seed: 1,
+            },
+        );
+        let split = ds.split(0.8, 2);
+        let mut sherpa = SherpaLocalizer::new(7).with_epochs(15);
+        sherpa.fit(&split.train).unwrap();
+        let report = evaluate_localizer(&sherpa, &split.test, &building).unwrap();
+        // Random guessing on a 62 m path averages >20 m.
+        assert!(
+            report.mean_error_m() < 10.0,
+            "SHERPA mean error {} m",
+            report.mean_error_m()
+        );
+    }
+
+    #[test]
+    fn dam_variant_trains() {
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 3,
+            },
+        );
+        let mut sherpa = SherpaLocalizer::new(1)
+            .with_dam(Some(DamConfig::default()))
+            .with_epochs(3);
+        sherpa.fit(&ds).unwrap();
+        let prediction = sherpa.predict(&ds.observations()[0]).unwrap();
+        assert!(prediction < ds.num_rps());
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let building = building_1();
+        let ds = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 4,
+            },
+        );
+        let empty = ds.filter_devices(&["NONE"]);
+        let mut sherpa = SherpaLocalizer::new(0);
+        assert!(sherpa.fit(&empty).is_err());
+    }
+}

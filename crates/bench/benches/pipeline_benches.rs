@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the data substrate and the classical
+//! baselines: RF channel sampling, fingerprint capture, dataset collection,
+//! feature transforms and KNN inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fingerprint::{base_devices, capture_observation, DatasetConfig, FingerprintDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_radio::{building_1, building_3, Channel};
+use std::hint::black_box;
+use vital::Localizer;
+
+fn bench_radio(c: &mut Criterion) {
+    let building = building_1();
+    let channel = Channel::new(&building, 1);
+    let rp = building.reference_points()[30];
+
+    c.bench_function("channel_mean_fingerprint_18aps", |b| {
+        b.iter(|| channel.mean_fingerprint(black_box(rp.position)))
+    });
+
+    let dense = building_3();
+    let dense_channel = Channel::new(&dense, 1);
+    let dense_rp = dense.reference_points()[40];
+    c.bench_function("channel_mean_fingerprint_30aps_walls", |b| {
+        b.iter(|| dense_channel.mean_fingerprint(black_box(dense_rp.position)))
+    });
+
+    c.bench_function("capture_observation_5samples", |b| {
+        let device = &base_devices()[0];
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            capture_observation(&channel, device, black_box(&rp), 5, &mut rng)
+        })
+    });
+}
+
+fn bench_dataset_and_features(c: &mut Criterion) {
+    let building = building_1();
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.bench_function("collect_one_device_full_path", |b| {
+        b.iter(|| {
+            FingerprintDataset::collect(
+                &building,
+                &base_devices()[..1],
+                &DatasetConfig {
+                    captures_per_rp: 1,
+                    samples_per_capture: 5,
+                    seed: 3,
+                },
+            )
+        })
+    });
+    group.finish();
+
+    let dataset = FingerprintDataset::collect(
+        &building,
+        &base_devices()[..1],
+        &DatasetConfig {
+            captures_per_rp: 1,
+            samples_per_capture: 5,
+            seed: 3,
+        },
+    );
+    let observation = dataset.observations()[10].clone();
+    c.bench_function("ssd_transform", |b| {
+        b.iter(|| baselines::ssd_transform(black_box(observation.mean_channel())))
+    });
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let building = building_1();
+    let dataset = FingerprintDataset::collect(
+        &building,
+        &base_devices(),
+        &DatasetConfig {
+            captures_per_rp: 1,
+            samples_per_capture: 5,
+            seed: 4,
+        },
+    );
+    let split = dataset.split(0.8, 4);
+    let mut knn = baselines::KnnLocalizer::new(5, baselines::FeatureMode::MeanChannel);
+    knn.fit(&split.train).unwrap();
+    let query = split.test.observations()[0].clone();
+    c.bench_function("knn_predict_378_fingerprints", |b| {
+        b.iter(|| knn.predict(black_box(&query)).unwrap())
+    });
+}
+
+criterion_group!(pipeline_benches, bench_radio, bench_dataset_and_features, bench_knn);
+criterion_main!(pipeline_benches);

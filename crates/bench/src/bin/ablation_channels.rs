@@ -1,0 +1,79 @@
+//! Ablation (DESIGN.md §6): the value of the 3-channel (min/max/mean) pixel
+//! model versus a mean-only representation.
+//!
+//! Run with `cargo run --release -p bench --bin ablation_channels`.
+
+use bench::{print_table, write_csv, Scale, TableRow};
+use fingerprint::{FingerprintDataset, FingerprintObservation};
+use sim_radio::building_1;
+use vital::{evaluate_localizer, VitalConfig, VitalModel};
+
+/// Collapses an observation's three channels to the mean channel only.
+fn mean_only(observation: &FingerprintObservation) -> FingerprintObservation {
+    FingerprintObservation {
+        rp_label: observation.rp_label,
+        device: observation.device.clone(),
+        min: observation.mean.clone(),
+        max: observation.mean.clone(),
+        mean: observation.mean.clone(),
+    }
+}
+
+fn collapse(dataset: &FingerprintDataset) -> FingerprintDataset {
+    FingerprintDataset::from_observations(
+        dataset.building(),
+        dataset.num_aps(),
+        dataset.num_rps(),
+        dataset.observations().iter().map(mean_only).collect(),
+    )
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let building = building_1();
+    let dataset = bench::runner::collect_base_dataset(&building, scale, 71);
+    let split = dataset.split(0.8, 71);
+
+    let variants: Vec<(&str, FingerprintDataset, FingerprintDataset)> = vec![
+        (
+            "3-channel (min/max/mean)",
+            split.train.clone(),
+            split.test.clone(),
+        ),
+        (
+            "mean channel only",
+            collapse(&split.train),
+            collapse(&split.test),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, train, test) in variants {
+        let mut config = VitalConfig::fast(
+            building.access_points().len(),
+            building.reference_points().len(),
+        );
+        config.image_size = scale.image_size();
+        config.patch_size = scale.patch_size();
+        config.train.epochs = scale.vital_epochs();
+        let mean_error = VitalModel::new(config)
+            .and_then(|mut model| {
+                model.fit(&train)?;
+                evaluate_localizer(&model, &test, &building)
+            })
+            .map(|r| r.mean_error_m())
+            .unwrap_or(f32::NAN);
+        println!("{label:<26} -> {mean_error:.2} m");
+        rows.push(TableRow::new(label, vec![mean_error]));
+    }
+
+    let columns = ["mean error (m)"];
+    print_table(
+        "Pixel-channel ablation — VITAL on Building 1, base devices",
+        &columns,
+        &rows,
+    );
+    if let Ok(path) = write_csv("ablation_channels", &columns, &rows) {
+        println!("written {}", path.display());
+    }
+}

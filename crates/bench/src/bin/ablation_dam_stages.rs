@@ -1,0 +1,72 @@
+//! Ablation (DESIGN.md §6): contribution of the individual DAM stages —
+//! normalisation, random dropout and Gaussian noise — to VITAL's accuracy.
+//!
+//! Run with `cargo run --release -p bench --bin ablation_dam_stages`.
+
+use bench::{print_table, write_csv, Scale, TableRow};
+use sim_radio::building_1;
+use vital::{evaluate_localizer, DamConfig, VitalConfig, VitalModel};
+
+fn main() {
+    let scale = Scale::from_env();
+    let building = building_1();
+    let dataset = bench::runner::collect_base_dataset(&building, scale, 53);
+    let split = dataset.split(0.8, 53);
+
+    let variants: Vec<(&str, DamConfig)> = vec![
+        ("full DAM", DamConfig::default()),
+        (
+            "no dropout",
+            DamConfig {
+                dropout_rate: 0.0,
+                ..DamConfig::default()
+            },
+        ),
+        (
+            "no noise",
+            DamConfig {
+                noise_std: 0.0,
+                ..DamConfig::default()
+            },
+        ),
+        (
+            "no normalisation",
+            DamConfig {
+                normalize: false,
+                ..DamConfig::default()
+            },
+        ),
+        ("disabled", DamConfig::disabled()),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, dam) in variants {
+        let mut config = VitalConfig::fast(
+            building.access_points().len(),
+            building.reference_points().len(),
+        );
+        config.image_size = scale.image_size();
+        config.patch_size = scale.patch_size();
+        config.train.epochs = scale.vital_epochs();
+        config.dam = dam;
+        let mean_error = VitalModel::new(config)
+            .and_then(|mut model| {
+                model.fit(&split.train)?;
+                evaluate_localizer(&model, &split.test, &building)
+            })
+            .map(|r| r.mean_error_m())
+            .unwrap_or(f32::NAN);
+        println!("{label:<18} -> {mean_error:.2} m");
+        rows.push(TableRow::new(label, vec![mean_error]));
+    }
+
+    let columns = ["mean error (m)"];
+    print_table(
+        "DAM stage ablation — VITAL on Building 1, base devices",
+        &columns,
+        &rows,
+    );
+    if let Ok(path) = write_csv("ablation_dam_stages", &columns, &rows) {
+        println!("written {}", path.display());
+    }
+}

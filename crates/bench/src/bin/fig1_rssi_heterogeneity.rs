@@ -1,0 +1,74 @@
+//! Figure 1: RSSI values of ten Wi-Fi APs observed by four different
+//! smartphones at the same location.
+//!
+//! Reproduces the paper's motivating observation: per-device offsets, similar
+//! device pairs (HTC ≈ S7, IPHONE ≈ PIXEL) and APs visible to one device but
+//! missing (−100 dB) on another.
+//!
+//! Run with `cargo run -p bench --bin fig1_rssi_heterogeneity`.
+
+use bench::{print_table, write_csv, TableRow};
+use fingerprint::{all_devices, capture_observation, MISSING_AP_DBM};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_radio::{building_1, Channel};
+
+fn main() {
+    let building = building_1();
+    let channel = Channel::new(&building, 2023);
+    let rp = &building.reference_points()[25];
+    let device_names = ["HTC", "S7", "IPHONE", "PIXEL"];
+    let devices: Vec<_> = all_devices()
+        .into_iter()
+        .filter(|d| device_names.contains(&d.acronym.as_str()))
+        .collect();
+
+    let num_aps = building.access_points().len().min(10);
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut per_device_means = Vec::new();
+    for device in &devices {
+        // 10 samples per device, as in the figure.
+        let observation = capture_observation(&channel, device, rp, 10, &mut rng);
+        let means: Vec<f32> = observation.mean[..num_aps].to_vec();
+        rows.push(TableRow::new(device.acronym.clone(), means.clone()));
+        per_device_means.push((device.acronym.clone(), means));
+    }
+
+    let columns: Vec<String> = (0..num_aps)
+        .map(|i| format!("AP{i}"))
+        .collect();
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    print_table(
+        "Fig. 1 — mean RSSI (dBm) of 10 APs at one RP, four smartphones",
+        &column_refs,
+        &rows,
+    );
+    if let Ok(path) = write_csv("fig1_rssi_heterogeneity", &column_refs, &rows) {
+        println!("written {}", path.display());
+    }
+
+    // The qualitative observations the paper draws from this figure.
+    let spread: Vec<f32> = (0..num_aps)
+        .map(|ap| {
+            let values: Vec<f32> = per_device_means.iter().map(|(_, m)| m[ap]).collect();
+            values.iter().cloned().fold(f32::MIN, f32::max)
+                - values.iter().cloned().fold(f32::MAX, f32::min)
+        })
+        .collect();
+    let max_spread = spread.iter().cloned().fold(0.0, f32::max);
+    println!("max cross-device deviation on a single AP: {max_spread:.1} dB");
+
+    let missing_mismatches = (0..num_aps)
+        .filter(|&ap| {
+            let visible = per_device_means
+                .iter()
+                .filter(|(_, m)| m[ap] > MISSING_AP_DBM + 1.0)
+                .count();
+            visible > 0 && visible < per_device_means.len()
+        })
+        .count();
+    println!(
+        "APs visible on some devices but missing on others: {missing_mismatches} of {num_aps}"
+    );
+}

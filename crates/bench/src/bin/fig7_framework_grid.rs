@@ -1,0 +1,68 @@
+//! Figure 7: mean indoor localization error across all six base smartphones,
+//! four buildings and five localization frameworks (color-coded grid in the
+//! paper; emitted here as one table per building).
+//!
+//! Run with `cargo run --release -p bench --bin fig7_framework_grid`.
+
+use bench::runner::run_building_experiment;
+use bench::{print_table, write_csv, Framework, Scale, TableRow};
+use sim_radio::benchmark_buildings;
+
+fn main() {
+    let scale = Scale::from_env();
+    let frameworks = Framework::all();
+    let mut csv_rows = Vec::new();
+
+    for building in benchmark_buildings() {
+        println!("\n### {} ###", building.name());
+        let results = match run_building_experiment(&building, &frameworks, scale, true, 17) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{} failed: {e}", building.name());
+                continue;
+            }
+        };
+        // Columns: device acronyms (stable order from the first result).
+        let devices: Vec<String> = results
+            .first()
+            .map(|r| r.per_device.iter().map(|(d, _)| d.clone()).collect())
+            .unwrap_or_default();
+        let mut rows = Vec::new();
+        for result in &results {
+            let values: Vec<f32> = devices
+                .iter()
+                .map(|d| {
+                    result
+                        .per_device
+                        .iter()
+                        .find(|(name, _)| name == d)
+                        .map(|(_, report)| report.mean_error_m())
+                        .unwrap_or(f32::NAN)
+                })
+                .collect();
+            rows.push(TableRow::new(result.framework.clone(), values.clone()));
+            csv_rows.push(TableRow::new(
+                format!("{}/{}", building.name(), result.framework),
+                values,
+            ));
+        }
+        let column_refs: Vec<&str> = devices.iter().map(String::as_str).collect();
+        print_table(
+            &format!(
+                "Fig. 7 — mean error (m) per base device, {}",
+                building.name()
+            ),
+            &column_refs,
+            &rows,
+        );
+    }
+
+    let device_columns = ["BLU", "HTC", "S7", "LG", "MOTO", "OP3"];
+    if let Ok(path) = write_csv("fig7_framework_grid", &device_columns, &csv_rows) {
+        println!("written {}", path.display());
+    }
+    println!(
+        "expected shape: WiDeep worst overall, CNNLoc weak in the quiet Building 4, \
+         ANVIL/SHERPA mid-pack, VITAL lowest errors."
+    );
+}

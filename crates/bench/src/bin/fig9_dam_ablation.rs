@@ -1,0 +1,48 @@
+//! Figure 9: slope graph of the impact of DAM — the mean localization error
+//! of every framework trained with and without the Data Augmentation Module.
+//!
+//! Run with `cargo run --release -p bench --bin fig9_dam_ablation`.
+
+use bench::runner::run_building_experiment;
+use bench::{print_table, write_csv, Framework, Scale, TableRow};
+use sim_radio::building_1;
+
+fn main() {
+    let scale = Scale::from_env();
+    let building = building_1();
+    let frameworks = Framework::all();
+
+    let without = run_building_experiment(&building, &frameworks, scale, false, 31)
+        .expect("baseline (no DAM) experiment");
+    let with = run_building_experiment(&building, &frameworks, scale, true, 31)
+        .expect("DAM experiment");
+
+    let mut rows = Vec::new();
+    for framework in frameworks {
+        let name = framework.name();
+        let before = without
+            .iter()
+            .find(|r| r.framework == name)
+            .map(|r| r.overall.mean_error_m())
+            .unwrap_or(f32::NAN);
+        let after = with
+            .iter()
+            .find(|r| r.framework == name)
+            .map(|r| r.overall.mean_error_m())
+            .unwrap_or(f32::NAN);
+        rows.push(TableRow::new(name, vec![before, after, before - after]));
+    }
+    let columns = ["w/o DAM (m)", "w/ DAM (m)", "improvement (m)"];
+    print_table(
+        "Fig. 9 — impact of DAM on mean error (Building 1, base devices)",
+        &columns,
+        &rows,
+    );
+    if let Ok(path) = write_csv("fig9_dam_ablation", &columns, &rows) {
+        println!("written {}", path.display());
+    }
+    println!(
+        "expected shape: DAM helps VITAL, ANVIL, SHERPA and CNNLoc; WiDeep can get worse \
+         (its denoising SAE already perturbs the input aggressively and over-fits)."
+    );
+}

@@ -1,0 +1,66 @@
+//! §VI.B model footprint: trainable parameter count of the paper-scale
+//! configuration (reported as 234,706 in the paper) and single-observation
+//! inference latency (reported as ~50 ms on a smartphone).
+//!
+//! Run with `cargo run --release -p bench --bin model_footprint`.
+
+use std::time::Instant;
+
+use fingerprint::{base_devices, capture_observation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_radio::{building_1, Channel};
+use tensor::rng::SeededRng;
+use vital::{VitalConfig, VitalModel};
+
+fn main() {
+    let building = building_1();
+    let num_aps = building.access_points().len();
+    let num_classes = building.reference_points().len();
+
+    for (label, config) in [
+        ("paper scale (206×206, 20×20, 5 heads)", VitalConfig::paper(num_aps, num_classes)),
+        ("fast scale (24×24, 6×6, 4 heads)", VitalConfig::fast(num_aps, num_classes)),
+    ] {
+        let patch_size = config.patch_size;
+        let model = match VitalModel::new(config) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{label}: configuration failed: {e}");
+                continue;
+            }
+        };
+        println!("\n== {label} ==");
+        println!("trainable parameters: {}", model.param_count());
+        println!("patches per image: {}", model.transformer().num_patches());
+        println!("patch dimension: {}", model.transformer().patch_dim());
+
+        // Inference latency over the full online pipeline: capture → image →
+        // DAM (inference mode) → patches → transformer forward.
+        let channel = Channel::new(&building, 1);
+        let mut capture_rng = StdRng::seed_from_u64(2);
+        let observation = capture_observation(
+            &channel,
+            &base_devices()[0],
+            &building.reference_points()[10],
+            5,
+            &mut capture_rng,
+        );
+        let mut rng = SeededRng::new(3);
+        let patches = model
+            .prepare_patches(&observation, false, &mut rng)
+            .expect("pipeline");
+        // Warm up, then time.
+        let _ = model.transformer().predict(&patches);
+        let runs = 10;
+        let start = Instant::now();
+        for _ in 0..runs {
+            let _ = model.transformer().predict(&patches);
+        }
+        let per_inference = start.elapsed() / runs;
+        println!(
+            "inference latency (transformer forward): {:.2} ms (paper reports ~50 ms on-device, patch {patch_size})",
+            per_inference.as_secs_f64() * 1e3
+        );
+    }
+}

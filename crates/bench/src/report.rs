@@ -1,0 +1,96 @@
+//! Plain-text table and CSV emission for experiment results.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One row of an experiment results table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Row label (e.g. framework or building name).
+    pub label: String,
+    /// Column values.
+    pub values: Vec<f32>,
+}
+
+impl TableRow {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<f32>) -> Self {
+        TableRow {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// Prints an aligned plain-text table to stdout and returns the rendered
+/// string (used by tests).
+pub fn print_table(title: &str, columns: &[&str], rows: &[TableRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let label_width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .chain(std::iter::once(12))
+        .max()
+        .unwrap_or(12);
+    out.push_str(&format!("{:label_width$}", ""));
+    for c in columns {
+        out.push_str(&format!(" {c:>12}"));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:label_width$}", row.label));
+        for v in &row.values {
+            out.push_str(&format!(" {v:>12.3}"));
+        }
+        out.push('\n');
+    }
+    println!("{out}");
+    out
+}
+
+/// Writes the rows as CSV under `target/experiments/<name>.csv`, returning
+/// the path written.
+///
+/// # Errors
+/// Returns an I/O error if the directory or file cannot be written.
+pub fn write_csv(name: &str, columns: &[&str], rows: &[TableRow]) -> std::io::Result<PathBuf> {
+    let dir = Path::new("target").join("experiments");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path)?;
+    writeln!(file, "label,{}", columns.join(","))?;
+    for row in rows {
+        let values: Vec<String> = row.values.iter().map(|v| format!("{v:.4}")).collect();
+        writeln!(file, "{},{}", row.label, values.join(","))?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows_and_columns() {
+        let rows = vec![
+            TableRow::new("VITAL", vec![1.18, 0.0, 3.0]),
+            TableRow::new("WiDeep", vec![3.73, 0.1, 8.2]),
+        ];
+        let rendered = print_table("Fig. 8", &["mean", "min", "max"], &rows);
+        assert!(rendered.contains("VITAL"));
+        assert!(rendered.contains("WiDeep"));
+        assert!(rendered.contains("mean"));
+        assert!(rendered.contains("3.730"));
+    }
+
+    #[test]
+    fn csv_is_written() {
+        let rows = vec![TableRow::new("a", vec![1.0, 2.0])];
+        let path = write_csv("unit_test_output", &["x", "y"], &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("label,x,y"));
+        assert!(content.contains("a,1.0000,2.0000"));
+    }
+}

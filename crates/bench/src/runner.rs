@@ -1,0 +1,274 @@
+//! Shared train/evaluate plumbing used by every experiment binary.
+
+use baselines::{AnvilLocalizer, CnnLocLocalizer, SherpaLocalizer, WiDeepLocalizer};
+use fingerprint::{base_devices, extended_devices, DatasetConfig, FingerprintDataset};
+use sim_radio::Building;
+use vital::{
+    evaluate_localizer, DamConfig, LocalizationReport, Localizer, Result, VitalConfig, VitalModel,
+};
+
+use crate::Scale;
+
+/// The five localization frameworks compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framework {
+    /// The proposed vision-transformer framework.
+    Vital,
+    /// Multi-head attention + Euclidean matching (ref. \[19\]).
+    Anvil,
+    /// DNN + KNN hybrid (ref. \[20\]).
+    Sherpa,
+    /// Stacked autoencoder + 1-D CNN (ref. \[21\]).
+    CnnLoc,
+    /// Denoising SAE + Gaussian-kernel classifier (ref. \[22\]).
+    WiDeep,
+}
+
+impl Framework {
+    /// All frameworks in the order the paper reports them.
+    pub fn all() -> [Framework; 5] {
+        [
+            Framework::Vital,
+            Framework::Anvil,
+            Framework::Sherpa,
+            Framework::CnnLoc,
+            Framework::WiDeep,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Framework::Vital => "VITAL",
+            Framework::Anvil => "ANVIL",
+            Framework::Sherpa => "SHERPA",
+            Framework::CnnLoc => "CNNLoc",
+            Framework::WiDeep => "WiDeep",
+        }
+    }
+}
+
+/// The trained/evaluated outcome of one (framework, building) pair.
+#[derive(Debug, Clone)]
+pub struct FrameworkResult {
+    /// Framework display name.
+    pub framework: String,
+    /// Building the experiment ran in.
+    pub building: String,
+    /// Per-device localization reports (device acronym → report).
+    pub per_device: Vec<(String, LocalizationReport)>,
+    /// Pooled report over every test observation.
+    pub overall: LocalizationReport,
+}
+
+/// Builds an untrained instance of `framework` for `building`.
+///
+/// # Errors
+/// Returns an error if the VITAL configuration derived from the scale is
+/// invalid for this building.
+pub fn build_framework(
+    framework: Framework,
+    building: &Building,
+    scale: Scale,
+    with_dam: bool,
+    seed: u64,
+) -> Result<Box<dyn Localizer>> {
+    let dam = if with_dam {
+        Some(DamConfig::default())
+    } else {
+        None
+    };
+    Ok(match framework {
+        Framework::Vital => {
+            let mut config = VitalConfig::fast(
+                building.access_points().len(),
+                building.reference_points().len(),
+            );
+            config.image_size = scale.image_size();
+            config.patch_size = scale.patch_size();
+            config.train.epochs = scale.vital_epochs();
+            config.train.seed = seed;
+            config.dam = dam.unwrap_or_else(DamConfig::disabled);
+            Box::new(VitalModel::new(config)?)
+        }
+        Framework::Anvil => Box::new(
+            AnvilLocalizer::new(seed)
+                .with_dam(dam)
+                .with_epochs(scale.baseline_epochs()),
+        ),
+        Framework::Sherpa => Box::new(
+            SherpaLocalizer::new(seed)
+                .with_dam(dam)
+                .with_epochs(scale.baseline_epochs()),
+        ),
+        Framework::CnnLoc => Box::new(
+            CnnLocLocalizer::new(seed)
+                .with_dam(dam)
+                .with_epochs(scale.baseline_epochs())
+                .with_pretrain_epochs(scale.baseline_epochs()),
+        ),
+        Framework::WiDeep => Box::new(
+            WiDeepLocalizer::new(seed)
+                .with_dam(dam)
+                .with_pretrain_epochs(scale.baseline_epochs() * 2),
+        ),
+    })
+}
+
+/// Collects the base-device group-training dataset for a building at the
+/// given scale.
+pub fn collect_base_dataset(building: &Building, scale: Scale, seed: u64) -> FingerprintDataset {
+    FingerprintDataset::collect(
+        building,
+        &base_devices(),
+        &DatasetConfig {
+            captures_per_rp: scale.captures_per_rp(),
+            samples_per_capture: 5,
+            seed,
+        },
+    )
+}
+
+/// Collects an extended-device (unseen hardware) dataset for a building.
+pub fn collect_extended_dataset(
+    building: &Building,
+    scale: Scale,
+    seed: u64,
+) -> FingerprintDataset {
+    FingerprintDataset::collect(
+        building,
+        &extended_devices(),
+        &DatasetConfig {
+            captures_per_rp: scale.captures_per_rp(),
+            samples_per_capture: 5,
+            seed: seed.wrapping_add(0xEE),
+        },
+    )
+}
+
+/// Trains `framework` on `train` and evaluates it on `test`, overall and per
+/// device.
+///
+/// # Errors
+/// Returns an error if training or evaluation fails.
+pub fn train_and_evaluate(
+    framework: Framework,
+    building: &Building,
+    train: &FingerprintDataset,
+    test: &FingerprintDataset,
+    scale: Scale,
+    with_dam: bool,
+    seed: u64,
+) -> Result<FrameworkResult> {
+    let mut localizer = build_framework(framework, building, scale, with_dam, seed)?;
+    localizer.fit(train)?;
+    evaluate_on_devices(localizer.as_ref(), building, test)
+}
+
+/// Evaluates an already-trained localizer on `test`, reporting the pooled and
+/// per-device errors.
+///
+/// # Errors
+/// Returns an error if evaluation fails.
+pub fn evaluate_on_devices(
+    localizer: &dyn Localizer,
+    building: &Building,
+    test: &FingerprintDataset,
+) -> Result<FrameworkResult> {
+    let overall = evaluate_localizer(localizer, test, building)?;
+    let mut per_device = Vec::new();
+    for device in test.devices() {
+        let subset = test.filter_devices(&[device.as_str()]);
+        if subset.is_empty() {
+            continue;
+        }
+        per_device.push((device, evaluate_localizer(localizer, &subset, building)?));
+    }
+    Ok(FrameworkResult {
+        framework: localizer.name().to_string(),
+        building: building.name().to_string(),
+        per_device,
+        overall,
+    })
+}
+
+/// Runs the standard base-device experiment in one building: collect, 80/20
+/// split, train every requested framework on the group-training pool and
+/// evaluate it per device (the Fig. 7 protocol).
+///
+/// # Errors
+/// Returns an error if any framework fails to train or evaluate.
+pub fn run_building_experiment(
+    building: &Building,
+    frameworks: &[Framework],
+    scale: Scale,
+    with_dam: bool,
+    seed: u64,
+) -> Result<Vec<FrameworkResult>> {
+    let dataset = collect_base_dataset(building, scale, seed);
+    let split = dataset.split(0.8, seed);
+    let mut results = Vec::with_capacity(frameworks.len());
+    for &framework in frameworks {
+        results.push(train_and_evaluate(
+            framework,
+            building,
+            &split.train,
+            &split.test,
+            scale,
+            with_dam,
+            seed,
+        )?);
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_radio::building_1;
+
+    #[test]
+    fn framework_enumeration() {
+        assert_eq!(Framework::all().len(), 5);
+        assert_eq!(Framework::Vital.name(), "VITAL");
+        assert_eq!(Framework::WiDeep.name(), "WiDeep");
+    }
+
+    #[test]
+    fn build_framework_constructs_each_variant() {
+        let building = building_1();
+        for fw in Framework::all() {
+            let localizer = build_framework(fw, &building, Scale::Quick, true, 0).unwrap();
+            assert_eq!(localizer.name(), fw.name());
+        }
+    }
+
+    #[test]
+    fn dataset_collection_respects_scale() {
+        let building = building_1();
+        let ds = collect_base_dataset(&building, Scale::Quick, 0);
+        assert_eq!(
+            ds.len(),
+            6 * building.reference_points().len() * Scale::Quick.captures_per_rp()
+        );
+        let ext = collect_extended_dataset(&building, Scale::Quick, 0);
+        assert_eq!(ext.devices().len(), 3);
+    }
+
+    #[test]
+    fn knn_style_framework_round_trips_through_runner() {
+        // Use the cheapest framework (WiDeep with minimal pretraining) to
+        // exercise the full runner path quickly.
+        let building = building_1();
+        let dataset = collect_base_dataset(&building, Scale::Quick, 1);
+        let split = dataset.split(0.8, 1);
+        let mut localizer = Box::new(
+            baselines::KnnLocalizer::new(3, baselines::FeatureMode::MeanChannel),
+        );
+        localizer.fit(&split.train).unwrap();
+        let result = evaluate_on_devices(localizer.as_ref(), &building, &split.test).unwrap();
+        assert_eq!(result.building, "Building 1");
+        assert!(!result.per_device.is_empty());
+        assert!(result.overall.mean_error_m() < 20.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Experiment scaling (quick vs full runs).
+
+/// How much compute the experiment binaries spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced epochs and sweep grids; the default. Suitable for CI and for
+    /// verifying the qualitative shape of every figure in minutes.
+    Quick,
+    /// Full training budgets (closer to the paper's setup, much slower).
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `VITAL_SCALE` environment variable
+    /// (`quick`/`full`, default `quick`).
+    pub fn from_env() -> Self {
+        match std::env::var("VITAL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "full" => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Training epochs for the VITAL transformer.
+    pub fn vital_epochs(&self) -> usize {
+        match self {
+            Scale::Quick => 30,
+            Scale::Full => 60,
+        }
+    }
+
+    /// Training epochs for the neural baselines.
+    pub fn baseline_epochs(&self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Full => 40,
+        }
+    }
+
+    /// Observations captured per (device, RP) pair.
+    pub fn captures_per_rp(&self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 2,
+        }
+    }
+
+    /// RSSI image side length used for VITAL (the paper's 206 is reserved for
+    /// the model-footprint experiment; training uses a reduced image).
+    pub fn image_size(&self) -> usize {
+        match self {
+            Scale::Quick => 24,
+            Scale::Full => 48,
+        }
+    }
+
+    /// Patch size paired with [`Scale::image_size`].
+    pub fn patch_size(&self) -> usize {
+        match self {
+            Scale::Quick => 6,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Number of grid points per axis in the hyperparameter sweeps
+    /// (Figs. 5 and 6).
+    pub fn sweep_points(&self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 5,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::Quick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full_everywhere() {
+        let q = Scale::Quick;
+        let f = Scale::Full;
+        assert!(q.vital_epochs() < f.vital_epochs());
+        assert!(q.baseline_epochs() < f.baseline_epochs());
+        assert!(q.captures_per_rp() <= f.captures_per_rp());
+        assert!(q.image_size() < f.image_size());
+        assert!(q.sweep_points() < f.sweep_points());
+    }
+
+    #[test]
+    fn default_is_quick() {
+        assert_eq!(Scale::default(), Scale::Quick);
+    }
+
+    #[test]
+    fn image_and_patch_sizes_tile_cleanly() {
+        for s in [Scale::Quick, Scale::Full] {
+            assert_eq!(s.image_size() % s.patch_size(), 0);
+        }
+    }
+}

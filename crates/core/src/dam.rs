@@ -1,0 +1,240 @@
+//! The Data Augmentation Module (DAM), paper §V.A.
+//!
+//! DAM prepares fingerprints for the vision transformer in four stages:
+//!
+//! 1. **Normalisation** — each channel of the 1-D image is standardised so
+//!    pixels share a distribution (faster convergence, smoother gradients).
+//! 2. **Fingerprint replication** — the 1-D image is replicated row-wise into
+//!    an `R × R` 2-D image, concatenating augmented copies with the original.
+//! 3. **Random dropout** — pixels of the replicated rows are randomly dropped
+//!    to mimic the *missing APs* problem.
+//! 4. **Gaussian noise** — dropped pixels are infilled with random noise and
+//!    the replicas are jittered, mimicking fluctuating AP visibility.
+//!
+//! The module is deliberately framework-agnostic: the `baselines` crate calls
+//! [`DataAugmentationModule::augment_vector`] to plug the same augmentation
+//! into ANVIL, SHERPA, CNNLoc and WiDeep (paper §VI.D).
+
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+
+use crate::image::{Rssi1d, RssiImage};
+use crate::{DamConfig, Result};
+
+/// The Data Augmentation Module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataAugmentationModule {
+    config: DamConfig,
+}
+
+impl DataAugmentationModule {
+    /// Creates a DAM with the given configuration.
+    pub fn new(config: DamConfig) -> Self {
+        DataAugmentationModule { config }
+    }
+
+    /// The module's configuration.
+    pub fn config(&self) -> &DamConfig {
+        &self.config
+    }
+
+    /// Stage 1: standardises a channel to zero mean / unit variance.
+    ///
+    /// Values are returned untouched when normalisation is disabled.
+    pub fn normalize_channel(&self, values: &[f32]) -> Vec<f32> {
+        if !self.config.normalize {
+            return values.to_vec();
+        }
+        let t = Tensor::from_vec(values.to_vec(), &[values.len()])
+            .expect("vector length matches its own shape");
+        t.standardize().into_vec()
+    }
+
+    /// Stages 2–4: replicates a normalised 1-D image into an `R × R` 2-D
+    /// image and applies dropout + Gaussian-noise augmentation to the
+    /// replicated rows.
+    ///
+    /// Row 0 always carries the unaugmented fingerprint; when `training` is
+    /// `false` (online phase) every row is an exact replica, so inference is
+    /// deterministic.
+    ///
+    /// # Errors
+    /// Returns an error if the 1-D image is empty.
+    pub fn augment(&self, image: &Rssi1d, training: bool, rng: &mut SeededRng) -> Result<RssiImage> {
+        let size = image.width();
+        let mut channels = Vec::with_capacity(3);
+        for channel in image.channels() {
+            let normalized = self.normalize_channel(channel);
+            let base = Tensor::from_vec(normalized.clone(), &[size])?;
+            let mut replicated = base.tile_rows(size)?;
+            if training && self.config.is_augmenting() {
+                let data = replicated.as_mut_slice();
+                for row in 1..size {
+                    for col in 0..size {
+                        let idx = row * size + col;
+                        if self.config.dropout_rate > 0.0
+                            && rng.bernoulli(self.config.dropout_rate as f64)
+                        {
+                            // Dropped feature: infill with pure noise (stage 4
+                            // "infill the dropped features with some random
+                            // noise to represent different AP visibilities").
+                            data[idx] = rng.normal(0.0, self.config.noise_std.max(1e-3));
+                        } else if self.config.noise_std > 0.0 {
+                            data[idx] += rng.normal(0.0, self.config.noise_std * 0.5);
+                        }
+                    }
+                }
+            }
+            channels.push(replicated);
+        }
+        let channels: [Tensor; 3] = [
+            channels[0].clone(),
+            channels[1].clone(),
+            channels[2].clone(),
+        ];
+        RssiImage::new(size, channels)
+    }
+
+    /// Applies DAM-style augmentation to a plain RSSI feature vector
+    /// (normalise, random dropout, Gaussian infill) without the 2-D
+    /// replication — the form consumed by the non-image baselines when DAM is
+    /// bolted onto them (paper §VI.D).
+    pub fn augment_vector(&self, values: &[f32], training: bool, rng: &mut SeededRng) -> Vec<f32> {
+        let mut out = self.normalize_channel(values);
+        if training && self.config.is_augmenting() {
+            for v in &mut out {
+                if self.config.dropout_rate > 0.0 && rng.bernoulli(self.config.dropout_rate as f64)
+                {
+                    *v = rng.normal(0.0, self.config.noise_std.max(1e-3));
+                } else if self.config.noise_std > 0.0 {
+                    *v += rng.normal(0.0, self.config.noise_std * 0.5);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for DataAugmentationModule {
+    fn default() -> Self {
+        DataAugmentationModule::new(DamConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::RssiImageCreator;
+    use fingerprint::FingerprintObservation;
+
+    fn image(width: usize) -> Rssi1d {
+        let obs = FingerprintObservation {
+            rp_label: 0,
+            device: "T".into(),
+            min: (0..width).map(|i| -95.0 + i as f32).collect(),
+            max: (0..width).map(|i| -75.0 + i as f32).collect(),
+            mean: (0..width).map(|i| -85.0 + i as f32).collect(),
+        };
+        RssiImageCreator::new(width).create(&obs).unwrap()
+    }
+
+    #[test]
+    fn normalization_standardizes() {
+        let dam = DataAugmentationModule::default();
+        let n = dam.normalize_channel(&[-90.0, -70.0, -50.0, -30.0]);
+        let t = Tensor::from_vec(n, &[4]).unwrap();
+        assert!(t.mean().abs() < 1e-5);
+        assert!((t.std() - 1.0).abs() < 1e-4);
+
+        let no_norm = DataAugmentationModule::new(DamConfig {
+            normalize: false,
+            ..DamConfig::default()
+        });
+        assert_eq!(
+            no_norm.normalize_channel(&[-90.0, -70.0]),
+            vec![-90.0, -70.0]
+        );
+    }
+
+    #[test]
+    fn replication_produces_square_image() {
+        let dam = DataAugmentationModule::new(DamConfig::disabled());
+        let mut rng = SeededRng::new(0);
+        let out = dam.augment(&image(12), true, &mut rng).unwrap();
+        assert_eq!(out.size(), 12);
+        for channel in out.channels() {
+            assert_eq!(channel.shape().dims(), &[12, 12]);
+            // With augmentation disabled every row equals row 0.
+            let first = channel.row(0).unwrap();
+            for r in 1..12 {
+                assert_eq!(channel.row(r).unwrap(), first);
+            }
+        }
+    }
+
+    #[test]
+    fn inference_mode_is_deterministic_even_with_augmentation_enabled() {
+        let dam = DataAugmentationModule::default();
+        let mut rng1 = SeededRng::new(1);
+        let mut rng2 = SeededRng::new(999);
+        let a = dam.augment(&image(10), false, &mut rng1).unwrap();
+        let b = dam.augment(&image(10), false, &mut rng2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_mode_perturbs_replicated_rows_but_not_row_zero() {
+        let dam = DataAugmentationModule::default();
+        let mut rng = SeededRng::new(2);
+        let out = dam.augment(&image(16), true, &mut rng).unwrap();
+        let clean = dam.augment(&image(16), false, &mut rng).unwrap();
+        for (aug_channel, clean_channel) in out.channels().iter().zip(clean.channels()) {
+            // Row 0 carries the unaugmented fingerprint.
+            assert_eq!(aug_channel.row(0).unwrap(), clean_channel.row(0).unwrap());
+            // At least one replicated row must differ.
+            let changed = (1..16).any(|r| {
+                aug_channel.row(r).unwrap().as_slice() != clean_channel.row(r).unwrap().as_slice()
+            });
+            assert!(changed, "augmentation had no effect");
+        }
+    }
+
+    #[test]
+    fn dropout_rate_controls_amount_of_perturbation() {
+        let light = DataAugmentationModule::new(DamConfig {
+            normalize: true,
+            dropout_rate: 0.02,
+            noise_std: 0.0,
+        });
+        let heavy = DataAugmentationModule::new(DamConfig {
+            normalize: true,
+            dropout_rate: 0.6,
+            noise_std: 0.0,
+        });
+        let count_changed = |dam: &DataAugmentationModule, seed: u64| {
+            let mut rng = SeededRng::new(seed);
+            let aug = dam.augment(&image(20), true, &mut rng).unwrap();
+            let clean = dam.augment(&image(20), false, &mut rng).unwrap();
+            aug.channels()[2]
+                .as_slice()
+                .iter()
+                .zip(clean.channels()[2].as_slice())
+                .filter(|(a, c)| a != c)
+                .count()
+        };
+        assert!(count_changed(&heavy, 3) > count_changed(&light, 3) * 3);
+    }
+
+    #[test]
+    fn augment_vector_matches_configuration() {
+        let dam = DataAugmentationModule::default();
+        let mut rng = SeededRng::new(4);
+        let input = vec![-90.0, -60.0, -40.0, -100.0, -70.0];
+        let eval = dam.augment_vector(&input, false, &mut rng);
+        // Eval mode: just the normalisation.
+        assert_eq!(eval, dam.normalize_channel(&input));
+        let train = dam.augment_vector(&input, true, &mut rng);
+        assert_eq!(train.len(), input.len());
+        assert_ne!(train, eval);
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use tensor::TensorError;
+
+/// Errors produced by the VITAL pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VitalError {
+    /// A numeric/tensor operation failed (usually a shape mismatch that
+    /// indicates inconsistent configuration).
+    Tensor(TensorError),
+    /// The model configuration is invalid (e.g. patch size larger than the
+    /// image, zero classes).
+    InvalidConfig(String),
+    /// A prediction or evaluation was requested before the model was trained.
+    NotFitted,
+    /// The supplied dataset is empty or inconsistent with the configuration.
+    InvalidDataset(String),
+}
+
+impl fmt::Display for VitalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VitalError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            VitalError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            VitalError::NotFitted => write!(f, "model has not been trained yet"),
+            VitalError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl Error for VitalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VitalError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for VitalError {
+    fn from(e: TensorError) -> Self {
+        VitalError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(VitalError::NotFitted.to_string().contains("not been trained"));
+        assert!(VitalError::InvalidConfig("x".into()).to_string().contains('x'));
+        assert!(VitalError::InvalidDataset("y".into()).to_string().contains('y'));
+    }
+
+    #[test]
+    fn tensor_error_is_wrapped_with_source() {
+        let e: VitalError = TensorError::Empty { op: "max" }.into();
+        assert!(e.to_string().contains("max"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VitalError>();
+    }
+}

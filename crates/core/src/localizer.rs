@@ -1,0 +1,163 @@
+//! The common interface every localization framework implements, plus the
+//! shared evaluation loop that converts RP misclassifications into metres.
+
+use fingerprint::{FingerprintDataset, FingerprintObservation};
+use sim_radio::Building;
+
+use crate::{LocalizationReport, Result, VitalError};
+
+/// A fingerprinting indoor-localization framework.
+///
+/// Implemented by [`crate::VitalModel`] and by every comparison framework in
+/// the `baselines` crate (ANVIL, SHERPA, CNNLoc, WiDeep, KNN/SSD/HLF), so the
+/// experiment harness can train and evaluate them uniformly.
+pub trait Localizer {
+    /// Human-readable framework name (used in result tables).
+    fn name(&self) -> &str;
+
+    /// Trains the framework on a labelled fingerprint dataset.
+    ///
+    /// # Errors
+    /// Returns an error if the dataset is empty or inconsistent with the
+    /// framework's configuration.
+    fn fit(&mut self, train: &FingerprintDataset) -> Result<()>;
+
+    /// Predicts the reference-point label of a single observation.
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] if called before [`Localizer::fit`].
+    fn predict(&self, observation: &FingerprintObservation) -> Result<usize>;
+}
+
+/// Evaluates a trained localizer on a test dataset, reporting localization
+/// errors in metres.
+///
+/// A prediction of RP `p` for a sample captured at RP `t` contributes the
+/// physical distance between the two reference points — the same conversion
+/// the paper uses to report mean/min/max errors in metres.
+///
+/// # Errors
+/// Returns an error if the test set is empty, a prediction fails, or a
+/// predicted label does not exist in the building.
+pub fn evaluate_localizer(
+    localizer: &dyn Localizer,
+    test: &FingerprintDataset,
+    building: &Building,
+) -> Result<LocalizationReport> {
+    if test.is_empty() {
+        return Err(VitalError::InvalidDataset(
+            "cannot evaluate on an empty test set".into(),
+        ));
+    }
+    let mut errors = Vec::with_capacity(test.len());
+    for observation in test.observations() {
+        let predicted = localizer.predict(observation)?;
+        let error = building
+            .rp_distance_m(predicted, observation.rp_label)
+            .ok_or_else(|| {
+                VitalError::InvalidDataset(format!(
+                    "predicted RP {predicted} or true RP {} not present in {}",
+                    observation.rp_label,
+                    building.name()
+                ))
+            })?;
+        errors.push(error);
+    }
+    Ok(LocalizationReport::new(errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fingerprint::{base_devices, DatasetConfig};
+    use sim_radio::building_1;
+
+    /// A trivial localizer that always predicts a fixed RP; used to test the
+    /// evaluation plumbing independent of any real model.
+    struct ConstantLocalizer {
+        label: usize,
+        fitted: bool,
+    }
+
+    impl Localizer for ConstantLocalizer {
+        fn name(&self) -> &str {
+            "Constant"
+        }
+        fn fit(&mut self, _train: &FingerprintDataset) -> Result<()> {
+            self.fitted = true;
+            Ok(())
+        }
+        fn predict(&self, _obs: &FingerprintObservation) -> Result<usize> {
+            if !self.fitted {
+                return Err(VitalError::NotFitted);
+            }
+            Ok(self.label)
+        }
+    }
+
+    fn tiny_dataset() -> (sim_radio::Building, FingerprintDataset) {
+        let building = building_1();
+        let dataset = FingerprintDataset::collect(
+            &building,
+            &base_devices()[..1],
+            &DatasetConfig {
+                captures_per_rp: 1,
+                samples_per_capture: 2,
+                seed: 0,
+            },
+        );
+        (building, dataset)
+    }
+
+    #[test]
+    fn evaluation_converts_labels_to_metres() {
+        let (building, dataset) = tiny_dataset();
+        let mut localizer = ConstantLocalizer {
+            label: 0,
+            fitted: false,
+        };
+        localizer.fit(&dataset).unwrap();
+        let report = evaluate_localizer(&localizer, &dataset, &building).unwrap();
+        assert_eq!(report.len(), dataset.len());
+        // Predicting RP 0 for a sample at RP k on a straight 1 m-spaced path
+        // gives ~k metres of error; the mean over 0..=62 is ~31 m.
+        assert!(report.mean_error_m() > 20.0 && report.mean_error_m() < 40.0);
+        assert_eq!(report.min_error_m(), 0.0);
+    }
+
+    #[test]
+    fn unfitted_localizer_propagates_error() {
+        let (building, dataset) = tiny_dataset();
+        let localizer = ConstantLocalizer {
+            label: 0,
+            fitted: false,
+        };
+        assert!(matches!(
+            evaluate_localizer(&localizer, &dataset, &building),
+            Err(VitalError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn empty_test_set_is_rejected() {
+        let (building, dataset) = tiny_dataset();
+        let empty = dataset.filter_devices(&["NONEXISTENT"]);
+        let mut localizer = ConstantLocalizer {
+            label: 0,
+            fitted: false,
+        };
+        localizer.fit(&dataset).unwrap();
+        assert!(evaluate_localizer(&localizer, &empty, &building).is_err());
+    }
+
+    #[test]
+    fn out_of_range_prediction_is_reported() {
+        let (building, dataset) = tiny_dataset();
+        let mut localizer = ConstantLocalizer {
+            label: 10_000,
+            fitted: false,
+        };
+        localizer.fit(&dataset).unwrap();
+        assert!(evaluate_localizer(&localizer, &dataset, &building).is_err());
+    }
+}

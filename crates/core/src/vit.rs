@@ -1,0 +1,393 @@
+//! The vision transformer adapted for indoor localization (paper §IV–V.B).
+
+use autograd::Var;
+use nn::{Activation, Dense, Init, Layer, LayerNorm, Mlp, MultiHeadSelfAttention, Param, Session};
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+
+use crate::{Result, VitalConfig, VitalError};
+
+/// How the MSA and MLP sub-block outputs are combined inside an encoder
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fusion {
+    /// Standard ViT residual addition (requires the MLP to map back to
+    /// `d_model`).
+    Residual,
+    /// Paper-style fusion: "concatenated the MSA sub-block output with the
+    /// MLP sub-block outputs to restore any lost features" (§V.B). The block
+    /// output width becomes `d_model + last_mlp_width`.
+    Concat,
+}
+
+/// One transformer encoder block: layer-norm → multi-head self-attention
+/// (+ residual) → layer-norm → GELU MLP, fused per [`Fusion`].
+#[derive(Debug, Clone)]
+pub struct EncoderBlock {
+    norm_attention: LayerNorm,
+    attention: MultiHeadSelfAttention,
+    norm_mlp: LayerNorm,
+    mlp: Mlp,
+    fusion: Fusion,
+    out_width: usize,
+}
+
+impl EncoderBlock {
+    fn new(
+        rng: &mut SeededRng,
+        d_model: usize,
+        heads: usize,
+        mlp_hidden: &[usize],
+        fusion: Fusion,
+    ) -> Result<Self> {
+        let attention = MultiHeadSelfAttention::new(rng, d_model, heads)?;
+        let (mlp_sizes, out_width) = match fusion {
+            Fusion::Concat => {
+                let mut sizes = vec![d_model];
+                sizes.extend_from_slice(mlp_hidden);
+                let last = *sizes.last().expect("sizes non-empty");
+                (sizes, d_model + last)
+            }
+            Fusion::Residual => {
+                let mut sizes = vec![d_model];
+                sizes.extend_from_slice(mlp_hidden);
+                sizes.push(d_model);
+                (sizes, d_model)
+            }
+        };
+        Ok(EncoderBlock {
+            norm_attention: LayerNorm::new(d_model),
+            attention,
+            norm_mlp: LayerNorm::new(d_model),
+            mlp: Mlp::new(rng, &mlp_sizes, Activation::Gelu),
+            fusion,
+            out_width,
+        })
+    }
+
+    /// Width of the block's output features.
+    pub fn out_width(&self) -> usize {
+        self.out_width
+    }
+
+    /// Applies the block to a `[num_patches, d_model]` sequence.
+    ///
+    /// # Errors
+    /// Returns an error if the input width differs from the block's
+    /// `d_model`.
+    pub fn forward<'t>(&self, session: &Session<'t>, x: Var<'t>) -> crate::Result<Var<'t>> {
+        let attended = self
+            .attention
+            .forward(session, self.norm_attention.forward(session, x)?)?
+            .add(x)?;
+        let mlp_out = self
+            .mlp
+            .forward(session, self.norm_mlp.forward(session, attended)?)?;
+        let fused = match self.fusion {
+            Fusion::Concat => Var::concat_cols(&[attended, mlp_out])?,
+            Fusion::Residual => attended.add(mlp_out)?,
+        };
+        Ok(fused)
+    }
+}
+
+impl Layer for EncoderBlock {
+    fn params(&self) -> Vec<Param> {
+        let mut params = self.norm_attention.params();
+        params.extend(self.attention.params());
+        params.extend(self.norm_mlp.params());
+        params.extend(self.mlp.params());
+        params
+    }
+}
+
+/// The VITAL vision transformer: patch embedding + positional embedding,
+/// `L` encoder blocks, mean pooling and a fine-tuning MLP head that outputs
+/// one logit per reference point.
+#[derive(Debug, Clone)]
+pub struct VisionTransformer {
+    patch_embed: Dense,
+    positional: Param,
+    blocks: Vec<EncoderBlock>,
+    head: Mlp,
+    num_patches: usize,
+    patch_dim: usize,
+    num_classes: usize,
+    dropout: f32,
+}
+
+impl VisionTransformer {
+    /// Builds a transformer for the given configuration.
+    ///
+    /// # Errors
+    /// Returns [`VitalError::InvalidConfig`] if the configuration fails
+    /// validation.
+    pub fn new(rng: &mut SeededRng, config: &VitalConfig) -> Result<Self> {
+        config.validate()?;
+        let num_patches = config.num_patches();
+        let patch_dim = config.patch_dim();
+        let patch_embed = Dense::new(rng, patch_dim, config.d_model, Init::Xavier);
+        let positional = Param::new(
+            "vit.positional",
+            Init::SmallNormal.weight(rng, num_patches, config.d_model),
+        );
+
+        let mut blocks = Vec::with_capacity(config.encoder_blocks);
+        for block_index in 0..config.encoder_blocks {
+            let is_last = block_index + 1 == config.encoder_blocks;
+            // Only the final block may widen its output via concatenation;
+            // earlier blocks must preserve d_model for the next block.
+            let fusion = if is_last { Fusion::Concat } else { Fusion::Residual };
+            blocks.push(EncoderBlock::new(
+                rng,
+                config.d_model,
+                config.msa_heads,
+                &config.encoder_mlp_hidden,
+                fusion,
+            )?);
+        }
+        let encoder_out = blocks
+            .last()
+            .map(EncoderBlock::out_width)
+            .ok_or_else(|| VitalError::InvalidConfig("no encoder blocks".into()))?;
+
+        let mut head_sizes = vec![encoder_out];
+        head_sizes.extend_from_slice(&config.head_hidden);
+        head_sizes.push(config.num_classes);
+        let head = Mlp::new(rng, &head_sizes, Activation::Gelu).with_dropout(config.train.dropout);
+
+        Ok(VisionTransformer {
+            patch_embed,
+            positional,
+            blocks,
+            head,
+            num_patches,
+            patch_dim,
+            num_classes: config.num_classes,
+            dropout: config.train.dropout,
+        })
+    }
+
+    /// Number of patches the model expects per image.
+    pub fn num_patches(&self) -> usize {
+        self.num_patches
+    }
+
+    /// Flattened patch width the model expects.
+    pub fn patch_dim(&self) -> usize {
+        self.patch_dim
+    }
+
+    /// Number of output classes (reference points).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Forward pass of a single image's patch matrix, producing
+    /// `[1, num_classes]` logits.
+    ///
+    /// # Errors
+    /// Returns an error if `patches` is not `[num_patches, patch_dim]`.
+    pub fn forward_sample<'t>(
+        &self,
+        session: &Session<'t>,
+        patches: &Tensor,
+    ) -> Result<Var<'t>> {
+        if patches.shape().dims() != [self.num_patches, self.patch_dim] {
+            return Err(VitalError::InvalidDataset(format!(
+                "patch matrix {:?} does not match model expectation [{}, {}]",
+                patches.shape().dims(),
+                self.num_patches,
+                self.patch_dim
+            )));
+        }
+        let x = session.constant(patches.clone());
+        // Linear trainable projection of flattened patches (paper §V.B)...
+        let embedded = self.patch_embed.forward(session, x)?;
+        // ...plus the positional embedding that keeps patch order information.
+        let positional = session.param(&self.positional);
+        let mut hidden = embedded.add(positional)?;
+        hidden = session.dropout(hidden, self.dropout)?;
+        for block in &self.blocks {
+            hidden = block.forward(session, hidden)?;
+        }
+        let pooled = hidden.mean_pool_rows()?;
+        Ok(self.head.forward(session, pooled)?)
+    }
+
+    /// Forward pass of a batch of patch matrices, producing
+    /// `[batch, num_classes]` logits.
+    ///
+    /// # Errors
+    /// Returns an error if the batch is empty or any patch matrix has the
+    /// wrong shape.
+    pub fn forward_batch<'t>(
+        &self,
+        session: &Session<'t>,
+        batch: &[Tensor],
+    ) -> Result<Var<'t>> {
+        if batch.is_empty() {
+            return Err(VitalError::InvalidDataset("empty batch".into()));
+        }
+        let mut logits = Vec::with_capacity(batch.len());
+        for patches in batch {
+            logits.push(self.forward_sample(session, patches)?);
+        }
+        Ok(Var::concat_rows(&logits)?)
+    }
+
+    /// Inference: the predicted class of one patch matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the patch matrix has the wrong shape.
+    pub fn predict(&self, patches: &Tensor) -> Result<usize> {
+        let tape = autograd::Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let logits = self.forward_sample(&session, patches)?.value();
+        Ok(logits.row(0)?.argmax()?)
+    }
+}
+
+impl Layer for VisionTransformer {
+    fn params(&self) -> Vec<Param> {
+        let mut params = self.patch_embed.params();
+        params.push(self.positional.clone());
+        for block in &self.blocks {
+            params.extend(block.params());
+        }
+        params.extend(self.head.params());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Tape;
+
+    fn tiny_config() -> VitalConfig {
+        let mut c = VitalConfig::fast(18, 8);
+        c.image_size = 12;
+        c.patch_size = 4;
+        c.d_model = 16;
+        c.msa_heads = 4;
+        c.encoder_mlp_hidden = vec![24, 12];
+        c.head_hidden = vec![16];
+        c
+    }
+
+    #[test]
+    fn builds_with_expected_dimensions() {
+        let config = tiny_config();
+        let mut rng = SeededRng::new(0);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        assert_eq!(vit.num_patches(), 9);
+        assert_eq!(vit.patch_dim(), 48);
+        assert_eq!(vit.num_classes(), 8);
+        assert!(vit.param_count() > 0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = tiny_config();
+        config.d_model = 15; // not divisible by 4 heads
+        let mut rng = SeededRng::new(0);
+        assert!(VisionTransformer::new(&mut rng, &config).is_err());
+    }
+
+    #[test]
+    fn forward_sample_produces_class_logits() {
+        let config = tiny_config();
+        let mut rng = SeededRng::new(1);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let patches = SeededRng::new(2).uniform_tensor(&[9, 48], -1.0, 1.0);
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let logits = vit.forward_sample(&session, &patches).unwrap().value();
+        assert_eq!(logits.shape().dims(), &[1, 8]);
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn forward_sample_rejects_wrong_shape() {
+        let config = tiny_config();
+        let mut rng = SeededRng::new(3);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let bad = Tensor::zeros(&[4, 48]);
+        assert!(vit.forward_sample(&session, &bad).is_err());
+    }
+
+    #[test]
+    fn forward_batch_stacks_logits() {
+        let config = tiny_config();
+        let mut rng = SeededRng::new(4);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let batch: Vec<Tensor> = (0..3)
+            .map(|i| SeededRng::new(10 + i).uniform_tensor(&[9, 48], -1.0, 1.0))
+            .collect();
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let logits = vit.forward_batch(&session, &batch).unwrap().value();
+        assert_eq!(logits.shape().dims(), &[3, 8]);
+        assert!(vit.forward_batch(&session, &[]).is_err());
+    }
+
+    #[test]
+    fn gradients_reach_every_parameter() {
+        let config = tiny_config();
+        let mut rng = SeededRng::new(5);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let batch: Vec<Tensor> = (0..2)
+            .map(|i| SeededRng::new(20 + i).uniform_tensor(&[9, 48], -1.0, 1.0))
+            .collect();
+        let tape = Tape::new();
+        let session = Session::new(&tape, true, 1);
+        let logits = vit.forward_batch(&session, &batch).unwrap();
+        let loss = logits.softmax_cross_entropy(&[0, 3]).unwrap();
+        session.backward(loss).unwrap();
+        let missing: Vec<String> = vit
+            .params()
+            .iter()
+            .filter(|p| p.grad().is_none())
+            .map(|p| p.name())
+            .collect();
+        assert!(missing.is_empty(), "params without grad: {missing:?}");
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let config = tiny_config();
+        let mut rng = SeededRng::new(6);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let patches = SeededRng::new(7).uniform_tensor(&[9, 48], -1.0, 1.0);
+        assert_eq!(vit.predict(&patches).unwrap(), vit.predict(&patches).unwrap());
+    }
+
+    #[test]
+    fn paper_scale_parameter_count_is_reported_magnitude() {
+        // §VI.B reports 234,706 trainable parameters for the 206/20/5-head
+        // configuration. Our reproduction of that configuration should land in
+        // the same order of magnitude (exact layer widths of the original
+        // Keras model are not fully specified).
+        let config = VitalConfig::paper(206, 82);
+        let mut rng = SeededRng::new(8);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let count = vit.param_count();
+        assert!(
+            (100_000..400_000).contains(&count),
+            "paper-scale param count {count} outside expected band"
+        );
+    }
+
+    #[test]
+    fn multi_block_configuration_works() {
+        let mut config = tiny_config();
+        config.encoder_blocks = 2;
+        let mut rng = SeededRng::new(9);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let patches = SeededRng::new(10).uniform_tensor(&[9, 48], -1.0, 1.0);
+        assert!(vit.predict(&patches).unwrap() < 8);
+    }
+}

@@ -1,0 +1,117 @@
+//! The nine smartphone profiles used in the paper's evaluation.
+//!
+//! Table I lists the six *base* devices used for group training; Table II
+//! lists the three *extended* devices held out entirely to test
+//! generalisation to unseen hardware. The RF parameters are synthetic (the
+//! paper does not publish transceiver characterisations) but are chosen to
+//! reproduce the qualitative structure reported in §III / Fig. 1:
+//!
+//! * clear per-device offsets of several dB,
+//! * two similar-behaving pairs (HTC ≈ S7, IPHONE ≈ PIXEL),
+//! * different sensitivity floors, so some APs are missing on some devices.
+
+use crate::DeviceProfile;
+
+/// The six base devices of Table I (used for group training).
+pub fn base_devices() -> Vec<DeviceProfile> {
+    vec![
+        DeviceProfile::new("BLU", "Vivo 8", "BLU", 2017, -4.5, 0.92, -88.0, 2.2)
+            .with_compression(0.30)
+            .with_band_offset(-5.0),
+        DeviceProfile::new("HTC", "U11", "HTC", 2017, 3.0, 1.05, -94.0, 1.6)
+            .with_compression(0.05)
+            .with_band_offset(2.0),
+        DeviceProfile::new("Samsung", "Galaxy S7", "S7", 2016, 2.2, 1.07, -93.0, 1.8)
+            .with_compression(0.08)
+            .with_band_offset(1.5),
+        DeviceProfile::new("LG", "V20", "LG", 2016, -2.0, 0.97, -90.0, 2.0)
+            .with_compression(0.20)
+            .with_band_offset(-2.5),
+        DeviceProfile::new("Motorola", "Z2", "MOTO", 2017, 5.5, 1.12, -86.0, 2.4)
+            .with_compression(0.40)
+            .with_band_offset(4.0),
+        DeviceProfile::new("Oneplus", "OnePlus 3", "OP3", 2016, -6.0, 0.88, -91.0, 2.1)
+            .with_compression(0.15)
+            .with_band_offset(-6.0),
+    ]
+}
+
+/// The three extended devices of Table II (never used for training).
+pub fn extended_devices() -> Vec<DeviceProfile> {
+    vec![
+        DeviceProfile::new("Nokia", "Nokia 7.1", "NOKIA", 2018, -3.2, 1.10, -89.0, 2.3)
+            .with_compression(0.35)
+            .with_band_offset(-4.0),
+        DeviceProfile::new("Google", "Pixel 4a", "PIXEL", 2020, 1.4, 0.94, -95.0, 1.4)
+            .with_compression(0.10)
+            .with_band_offset(2.5),
+        DeviceProfile::new("Apple", "iPhone 12", "IPHONE", 2021, 1.8, 0.95, -96.0, 1.3)
+            .with_compression(0.12)
+            .with_band_offset(3.0),
+    ]
+}
+
+/// All nine devices: base followed by extended.
+pub fn all_devices() -> Vec<DeviceProfile> {
+    let mut devices = base_devices();
+    devices.extend(extended_devices());
+    devices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sizes_match_paper() {
+        assert_eq!(base_devices().len(), 6);
+        assert_eq!(extended_devices().len(), 3);
+        assert_eq!(all_devices().len(), 9);
+    }
+
+    #[test]
+    fn acronyms_match_tables() {
+        let base: Vec<String> = base_devices().iter().map(|d| d.acronym.clone()).collect();
+        assert_eq!(base, vec!["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]);
+        let ext: Vec<String> = extended_devices()
+            .iter()
+            .map(|d| d.acronym.clone())
+            .collect();
+        assert_eq!(ext, vec!["NOKIA", "PIXEL", "IPHONE"]);
+    }
+
+    #[test]
+    fn similar_pairs_have_close_parameters() {
+        let devices = all_devices();
+        let get = |a: &str| devices.iter().find(|d| d.acronym == a).unwrap().clone();
+        let htc = get("HTC");
+        let s7 = get("S7");
+        let iphone = get("IPHONE");
+        let pixel = get("PIXEL");
+        assert!((htc.gain_offset_db - s7.gain_offset_db).abs() < 1.5);
+        assert!((iphone.gain_offset_db - pixel.gain_offset_db).abs() < 1.5);
+        // ...but the pairs differ from each other.
+        assert!((htc.gain_offset_db - pixel.gain_offset_db).abs() > 0.5);
+    }
+
+    #[test]
+    fn devices_are_heterogeneous() {
+        let devices = base_devices();
+        let offsets: Vec<f32> = devices.iter().map(|d| d.gain_offset_db).collect();
+        let max = offsets.iter().cloned().fold(f32::MIN, f32::max);
+        let min = offsets.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(max - min > 8.0, "offset spread {}", max - min);
+        let sens: Vec<f32> = devices.iter().map(|d| d.sensitivity_dbm).collect();
+        let spread = sens.iter().cloned().fold(f32::MIN, f32::max)
+            - sens.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(spread >= 5.0, "sensitivity spread {spread}");
+    }
+
+    #[test]
+    fn release_years_match_tables() {
+        let years: Vec<u16> = base_devices().iter().map(|d| d.release_year).collect();
+        assert_eq!(years, vec![2017, 2017, 2016, 2016, 2017, 2016]);
+        let ext_years: Vec<u16> = extended_devices().iter().map(|d| d.release_year).collect();
+        assert_eq!(ext_years, vec![2018, 2020, 2021]);
+    }
+}

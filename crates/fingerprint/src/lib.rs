@@ -1,0 +1,50 @@
+//! Wi-Fi RSSI fingerprint capture with smartphone heterogeneity.
+//!
+//! This crate layers *device heterogeneity* — the central challenge VITAL
+//! addresses — on top of the device-independent radio channel provided by
+//! [`sim_radio`]. Each smartphone model is described by a [`DeviceProfile`]
+//! whose parameters reproduce the effects catalogued in §III of the paper:
+//!
+//! * **per-device RSSI offsets and gain skews** (different transceivers report
+//!   different values at the same location),
+//! * **device-pair similarity** (e.g. the HTC-U11 / Galaxy-S7 and
+//!   iPhone-12 / Pixel-4 pairs show similar patterns),
+//! * **missing APs** (an AP visible to one phone may be below another phone's
+//!   sensitivity floor and be reported as −100 dB), and
+//! * **measurement noise** that varies between devices.
+//!
+//! Fingerprints are captured exactly as in the paper: five RSSI samples per
+//! reference point are reduced to their **min / max / mean**, forming the
+//! three channels of each AP "pixel" consumed by the VITAL image creator.
+//!
+//! # Example
+//!
+//! ```
+//! use fingerprint::{base_devices, DatasetConfig, FingerprintDataset};
+//! use sim_radio::building_1;
+//!
+//! let building = building_1();
+//! let dataset = FingerprintDataset::collect(
+//!     &building,
+//!     &base_devices(),
+//!     &DatasetConfig { captures_per_rp: 1, samples_per_capture: 5, seed: 7 },
+//! );
+//! assert_eq!(dataset.num_aps(), building.access_points().len());
+//! assert!(!dataset.observations().is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod capture;
+mod dataset;
+mod device;
+mod devices;
+
+pub use capture::{capture_observation, FingerprintObservation};
+pub use dataset::{DatasetConfig, FingerprintDataset, TrainTestSplit};
+pub use device::DeviceProfile;
+pub use devices::{all_devices, base_devices, extended_devices};
+
+/// RSSI value reported when an access point is not visible to the device.
+pub const MISSING_AP_DBM: f32 = -100.0;

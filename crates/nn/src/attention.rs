@@ -1,0 +1,167 @@
+use autograd::Var;
+use tensor::rng::SeededRng;
+use tensor::TensorError;
+
+use crate::{Dense, Init, Layer, Param, Result, Session};
+
+/// Multi-head self-attention (MSA) over a sequence of embedded patches.
+///
+/// This is the attention sub-block of the VITAL transformer encoder
+/// (paper §V.B, eqs. (1)–(4)): the input sequence `X ∈ ℝ^{N×D}` is projected
+/// into queries, keys and values per head, scaled dot-product attention is
+/// computed per head, the head outputs are concatenated and projected back to
+/// the model dimension with `W_o`.
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    query: Dense,
+    key: Dense,
+    value: Dense,
+    output: Dense,
+    heads: usize,
+    d_model: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Creates an MSA block with `heads` attention heads over a model
+    /// dimension of `d_model`.
+    ///
+    /// # Errors
+    /// Returns an error if `d_model` is not divisible by `heads` or either is
+    /// zero.
+    pub fn new(rng: &mut SeededRng, d_model: usize, heads: usize) -> Result<Self> {
+        if heads == 0 || d_model == 0 || d_model % heads != 0 {
+            return Err(TensorError::ShapeMismatch {
+                op: "msa.new",
+                lhs: vec![d_model],
+                rhs: vec![heads],
+            });
+        }
+        Ok(MultiHeadSelfAttention {
+            query: Dense::new(rng, d_model, d_model, Init::Xavier),
+            key: Dense::new(rng, d_model, d_model, Init::Xavier),
+            value: Dense::new(rng, d_model, d_model, Init::Xavier),
+            output: Dense::new(rng, d_model, d_model, Init::Xavier),
+            heads,
+            d_model,
+            head_dim: d_model / heads,
+        })
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Model (embedding) dimension.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Applies self-attention to a `[seq_len, d_model]` sequence.
+    ///
+    /// # Errors
+    /// Returns an error if the input feature width differs from `d_model`.
+    pub fn forward<'t>(&self, session: &Session<'t>, x: Var<'t>) -> Result<Var<'t>> {
+        let q = self.query.forward(session, x)?;
+        let k = self.key.forward(session, x)?;
+        let v = self.value.forward(session, x)?;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let start = h * self.head_dim;
+            let end = start + self.head_dim;
+            let qh = q.slice_cols(start, end)?;
+            let kh = k.slice_cols(start, end)?;
+            let vh = v.slice_cols(start, end)?;
+            // Dot-product similarity (eq. 2), softmax weighting (eq. 1).
+            let scores = qh.matmul(kh.transpose()?)?.scale(scale);
+            let attn = scores.softmax_rows()?;
+            head_outputs.push(attn.matmul(vh)?);
+        }
+        // Concat(h1..hn) W_o (eq. 4).
+        let concat = Var::concat_cols(&head_outputs)?;
+        self.output.forward(session, concat)
+    }
+}
+
+impl Layer for MultiHeadSelfAttention {
+    fn params(&self) -> Vec<Param> {
+        let mut params = self.query.params();
+        params.extend(self.key.params());
+        params.extend(self.value.params());
+        params.extend(self.output.params());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Tape;
+    use tensor::Tensor;
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        let mut rng = SeededRng::new(0);
+        assert!(MultiHeadSelfAttention::new(&mut rng, 10, 3).is_err());
+        assert!(MultiHeadSelfAttention::new(&mut rng, 0, 1).is_err());
+        assert!(MultiHeadSelfAttention::new(&mut rng, 8, 0).is_err());
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = SeededRng::new(1);
+        let msa = MultiHeadSelfAttention::new(&mut rng, 16, 4).unwrap();
+        assert_eq!(msa.heads(), 4);
+        assert_eq!(msa.d_model(), 16);
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let x = session.constant(SeededRng::new(2).uniform_tensor(&[6, 16], -1.0, 1.0));
+        let y = msa.forward(&session, x).unwrap();
+        assert_eq!(y.value().shape().dims(), &[6, 16]);
+        assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn param_count_is_four_projections() {
+        let mut rng = SeededRng::new(3);
+        let d = 12;
+        let msa = MultiHeadSelfAttention::new(&mut rng, d, 3).unwrap();
+        // 4 dense layers, each d*d weights + d biases.
+        assert_eq!(msa.param_count(), 4 * (d * d + d));
+    }
+
+    #[test]
+    fn gradients_reach_all_projections() {
+        let mut rng = SeededRng::new(4);
+        let msa = MultiHeadSelfAttention::new(&mut rng, 8, 2).unwrap();
+        let tape = Tape::new();
+        let session = Session::new(&tape, true, 0);
+        let x = session.constant(SeededRng::new(5).uniform_tensor(&[4, 8], -1.0, 1.0));
+        let out = msa.forward(&session, x).unwrap();
+        let loss = out.mean_pool_rows().unwrap().sum_all().unwrap();
+        session.backward(loss).unwrap();
+        let with_grad = msa.params().iter().filter(|p| p.grad().is_some()).count();
+        assert_eq!(with_grad, msa.params().len());
+    }
+
+    #[test]
+    fn attention_of_identical_tokens_is_uniform_mixture() {
+        // If every token is identical, attention output rows must be equal.
+        let mut rng = SeededRng::new(6);
+        let msa = MultiHeadSelfAttention::new(&mut rng, 8, 2).unwrap();
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let row = SeededRng::new(7).uniform_tensor(&[8], -1.0, 1.0);
+        let x = session.constant(row.tile_rows(5).unwrap());
+        let y = msa.forward(&session, x).unwrap().value();
+        let first = y.row(0).unwrap();
+        for i in 1..5 {
+            let other = y.row(i).unwrap();
+            assert!(first.distance(&other).unwrap() < 1e-4);
+        }
+        let _ = Tensor::zeros(&[1]);
+    }
+}

@@ -1,0 +1,134 @@
+use autograd::Var;
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+
+use crate::{Init, Layer, Param, Result, Session};
+
+/// A fully-connected affine layer: `y = x W + b`.
+///
+/// Input is a `[batch, in_features]` matrix; output is
+/// `[batch, out_features]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Creates a dense layer with the given initialisation for the weight
+    /// (the bias always starts at zero).
+    pub fn new(rng: &mut SeededRng, in_features: usize, out_features: usize, init: Init) -> Self {
+        Dense {
+            weight: Param::new(
+                format!("dense.w[{in_features}x{out_features}]"),
+                init.weight(rng, in_features, out_features),
+            ),
+            bias: Param::new(
+                format!("dense.b[{out_features}]"),
+                Tensor::zeros(&[out_features]),
+            ),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the affine map to a `[batch, in_features]` variable.
+    ///
+    /// # Errors
+    /// Returns an error if the input's column count differs from
+    /// `in_features`.
+    pub fn forward<'t>(&self, session: &Session<'t>, x: Var<'t>) -> Result<Var<'t>> {
+        let w = session.param(&self.weight);
+        let b = session.param(&self.bias);
+        x.matmul(w)?.add_row_broadcast(b)
+    }
+
+    /// Direct (inference-only) forward pass without recording on a tape.
+    ///
+    /// # Errors
+    /// Returns an error if the input's column count differs from
+    /// `in_features`.
+    pub fn forward_inference(&self, x: &Tensor) -> Result<Tensor> {
+        x.matmul(&self.weight.value())?
+            .add_row_broadcast(&self.bias.value())
+    }
+}
+
+impl Layer for Dense {
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Tape;
+
+    #[test]
+    fn forward_shape_and_param_count() {
+        let mut rng = SeededRng::new(0);
+        let layer = Dense::new(&mut rng, 4, 3, Init::Xavier);
+        assert_eq!(layer.param_count(), 4 * 3 + 3);
+        assert_eq!(layer.in_features(), 4);
+        assert_eq!(layer.out_features(), 3);
+
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let x = session.constant(Tensor::ones(&[2, 4]));
+        let y = layer.forward(&session, x).unwrap();
+        assert_eq!(y.value().shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn forward_inference_matches_tape_forward() {
+        let mut rng = SeededRng::new(1);
+        let layer = Dense::new(&mut rng, 5, 2, Init::He);
+        let x = SeededRng::new(2).uniform_tensor(&[3, 5], -1.0, 1.0);
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let y_tape = layer
+            .forward(&session, session.constant(x.clone()))
+            .unwrap()
+            .value();
+        let y_direct = layer.forward_inference(&x).unwrap();
+        assert_eq!(y_tape, y_direct);
+    }
+
+    #[test]
+    fn gradients_reach_weight_and_bias() {
+        let mut rng = SeededRng::new(3);
+        let layer = Dense::new(&mut rng, 2, 2, Init::Xavier);
+        let tape = Tape::new();
+        let session = Session::new(&tape, true, 0);
+        let x = session.constant(Tensor::ones(&[4, 2]));
+        let loss = layer
+            .forward(&session, x)
+            .unwrap()
+            .softmax_cross_entropy(&[0, 1, 0, 1])
+            .unwrap();
+        session.backward(loss).unwrap();
+        for p in layer.params() {
+            assert!(p.grad().is_some(), "missing grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn wrong_input_width_errors() {
+        let mut rng = SeededRng::new(4);
+        let layer = Dense::new(&mut rng, 3, 2, Init::Xavier);
+        assert!(layer.forward_inference(&Tensor::ones(&[1, 5])).is_err());
+    }
+}

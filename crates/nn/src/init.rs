@@ -1,0 +1,59 @@
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+
+/// Weight-initialisation schemes for dense / projection layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Init {
+    /// Xavier/Glorot uniform — the default for tanh / softmax / attention
+    /// projections.
+    #[default]
+    Xavier,
+    /// He (Kaiming) normal — preferred ahead of ReLU activations.
+    He,
+    /// Small-scale normal noise (σ = 0.02), as used for transformer
+    /// positional embeddings.
+    SmallNormal,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a weight matrix of shape `[fan_in, fan_out]`.
+    pub fn weight(self, rng: &mut SeededRng, fan_in: usize, fan_out: usize) -> Tensor {
+        match self {
+            Init::Xavier => rng.xavier_uniform(fan_in, fan_out),
+            Init::He => rng.he_normal(fan_in, fan_out),
+            Init::SmallNormal => rng.normal_tensor(&[fan_in, fan_out], 0.0, 0.02),
+            Init::Zeros => Tensor::zeros(&[fan_in, fan_out]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_respected() {
+        let mut rng = SeededRng::new(0);
+        for init in [Init::Xavier, Init::He, Init::SmallNormal, Init::Zeros] {
+            let w = init.weight(&mut rng, 5, 7);
+            assert_eq!(w.shape().dims(), &[5, 7]);
+        }
+    }
+
+    #[test]
+    fn zeros_is_zero_and_default_is_xavier() {
+        let mut rng = SeededRng::new(0);
+        assert_eq!(Init::Zeros.weight(&mut rng, 3, 3).sum(), 0.0);
+        assert_eq!(Init::default(), Init::Xavier);
+    }
+
+    #[test]
+    fn small_normal_is_small() {
+        let mut rng = SeededRng::new(1);
+        let w = Init::SmallNormal.weight(&mut rng, 50, 50);
+        assert!(w.std() < 0.05);
+        assert!(w.abs().max().unwrap() < 0.2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Neural-network building blocks for the VITAL reproduction.
+//!
+//! Built on top of the [`tensor`] and [`autograd`] crates, this crate
+//! provides the layers, optimizers and training session plumbing shared by
+//! the VITAL vision transformer ([`vital`]) and the comparison baselines
+//! ([`baselines`]): dense layers, layer normalisation, multi-head
+//! self-attention, feed-forward blocks, 1-D convolutions, stacked
+//! autoencoders, SGD/Adam optimizers and dropout.
+//!
+//! # Architecture
+//!
+//! * [`Param`] — a shared, mutable parameter tensor (value + accumulated
+//!   gradient).
+//! * [`Session`] — wraps an autograd [`autograd::Tape`] for one forward /
+//!   backward pass, registering every parameter used so gradients can be
+//!   copied back after [`Session::backward`].
+//! * [`Layer`] implementations — own their [`Param`]s and expose
+//!   `forward(&self, session, input)`.
+//! * [`optim`] — optimizers that update the values held by [`Param`]s using
+//!   their accumulated gradients.
+//!
+//! # Example: one gradient step on a dense layer
+//!
+//! ```
+//! use autograd::Tape;
+//! use nn::{Dense, Init, Layer, Session};
+//! use nn::optim::{Optimizer, Sgd};
+//! use tensor::rng::SeededRng;
+//! use tensor::Tensor;
+//!
+//! # fn main() -> Result<(), tensor::TensorError> {
+//! let mut rng = SeededRng::new(0);
+//! let dense = Dense::new(&mut rng, 4, 2, Init::Xavier);
+//! let mut sgd = Sgd::new(0.1);
+//!
+//! let tape = Tape::new();
+//! let session = Session::new(&tape, true, 42);
+//! let x = session.constant(Tensor::ones(&[3, 4]));
+//! let out = dense.forward(&session, x)?;
+//! let loss = out.softmax_cross_entropy(&[0, 1, 0])?;
+//! session.backward(loss)?;
+//! sgd.step(&dense.params());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`vital`]: https://docs.rs/vital
+//! [`baselines`]: https://docs.rs/baselines
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod attention;
+mod autoencoder;
+mod conv;
+mod dense;
+mod init;
+mod layer_norm;
+mod mlp;
+pub mod optim;
+mod param;
+mod session;
+
+pub use attention::MultiHeadSelfAttention;
+pub use autoencoder::StackedAutoencoder;
+pub use conv::Conv1d;
+pub use dense::Dense;
+pub use init::Init;
+pub use layer_norm::LayerNorm;
+pub use mlp::{Activation, Mlp};
+pub use param::Param;
+pub use session::Session;
+
+/// Convenience alias for results returned by layer operations.
+pub type Result<T> = std::result::Result<T, tensor::TensorError>;
+
+/// Common interface of every trainable layer: exposing its parameters so an
+/// optimizer (or a parameter counter) can reach them.
+pub trait Layer {
+    /// All trainable parameters owned by this layer, in a stable order.
+    fn params(&self) -> Vec<Param>;
+
+    /// Total number of trainable scalar parameters.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}

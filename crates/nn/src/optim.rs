@@ -1,0 +1,244 @@
+//! Gradient-descent optimizers operating on [`Param`]s.
+
+use std::collections::HashMap;
+
+use tensor::Tensor;
+
+use crate::Param;
+
+/// Common interface of optimizers: apply one update step using the gradients
+/// currently accumulated in the given parameters.
+///
+/// Optimizers do **not** clear gradients; call [`Param::zero_grad`] after the
+/// step (or use [`zero_grads`]).
+pub trait Optimizer {
+    /// Applies one update to every parameter that currently holds a gradient.
+    fn step(&mut self, params: &[Param]);
+}
+
+/// Clears the gradient of every parameter in the slice.
+pub fn zero_grads(params: &[Param]) {
+    for p in params {
+        p.zero_grad();
+    }
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(learning_rate: f32) -> Self {
+        Sgd {
+            learning_rate,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(learning_rate: f32, momentum: f32) -> Self {
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &[Param]) {
+        for p in params {
+            let Some(grad) = p.grad() else { continue };
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(p.key())
+                    .or_insert_with(|| grad.zeros_like());
+                *v = v
+                    .scale(self.momentum)
+                    .add(&grad)
+                    .expect("velocity and grad share the parameter shape");
+                v.clone()
+            } else {
+                grad
+            };
+            p.set_value(
+                p.value()
+                    .sub(&update.scale(self.learning_rate))
+                    .expect("update shares the parameter shape"),
+            );
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias-corrected moment estimates.
+#[derive(Debug)]
+pub struct Adam {
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step_count: u64,
+    moments: HashMap<usize, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(learning_rate: f32) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step_count: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// Adam with explicit betas.
+    pub fn with_betas(learning_rate: f32, beta1: f32, beta2: f32) -> Self {
+        Adam {
+            learning_rate,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            step_count: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &[Param]) {
+        self.step_count += 1;
+        let t = self.step_count as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for p in params {
+            let Some(grad) = p.grad() else { continue };
+            let (m, v) = self
+                .moments
+                .entry(p.key())
+                .or_insert_with(|| (grad.zeros_like(), grad.zeros_like()));
+            *m = m
+                .scale(self.beta1)
+                .add(&grad.scale(1.0 - self.beta1))
+                .expect("moment shares the parameter shape");
+            *v = v
+                .scale(self.beta2)
+                .add(&grad.mul(&grad).expect("same shape").scale(1.0 - self.beta2))
+                .expect("moment shares the parameter shape");
+            let m_hat = m.scale(1.0 / bias1);
+            let v_hat = v.scale(1.0 / bias2);
+            let eps = self.eps;
+            let denom = v_hat.map(|x| x.sqrt() + eps);
+            let update = m_hat
+                .div(&denom)
+                .expect("same shape")
+                .scale(self.learning_rate);
+            p.set_value(
+                p.value()
+                    .sub(&update)
+                    .expect("update shares the parameter shape"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &Param) {
+        // f(x) = 0.5 * ||x||^2, grad = x
+        p.zero_grad();
+        p.accumulate_grad(&p.value());
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let p = Param::new("x", Tensor::from_vec(vec![10.0, -6.0], &[2]).unwrap());
+        let mut sgd = Sgd::new(0.1);
+        assert_eq!(sgd.learning_rate(), 0.1);
+        for _ in 0..100 {
+            quadratic_grad(&p);
+            sgd.step(&[p.clone()]);
+        }
+        assert!(p.value().norm() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_with_momentum_descends_faster_than_plain() {
+        let run = |mut opt: Box<dyn Optimizer>| {
+            let p = Param::new("x", Tensor::from_vec(vec![5.0], &[1]).unwrap());
+            for _ in 0..20 {
+                quadratic_grad(&p);
+                opt.step(&[p.clone()]);
+            }
+            p.value().abs().max().unwrap()
+        };
+        let plain = run(Box::new(Sgd::new(0.05)));
+        let momentum = run(Box::new(Sgd::with_momentum(0.05, 0.9)));
+        assert!(momentum < plain);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let p = Param::new("x", Tensor::from_vec(vec![3.0, -2.0, 1.0], &[3]).unwrap());
+        let mut adam = Adam::new(0.1);
+        for _ in 0..300 {
+            quadratic_grad(&p);
+            adam.step(&[p.clone()]);
+        }
+        assert!(p.value().norm() < 1e-2);
+        assert_eq!(adam.steps(), 300);
+    }
+
+    #[test]
+    fn optimizers_skip_params_without_grad() {
+        let p = Param::new("x", Tensor::ones(&[2]));
+        let before = p.value();
+        Sgd::new(0.5).step(&[p.clone()]);
+        Adam::new(0.5).step(&[p.clone()]);
+        assert_eq!(p.value(), before);
+    }
+
+    #[test]
+    fn zero_grads_clears_all() {
+        let a = Param::new("a", Tensor::ones(&[1]));
+        let b = Param::new("b", Tensor::ones(&[1]));
+        a.accumulate_grad(&Tensor::ones(&[1]));
+        b.accumulate_grad(&Tensor::ones(&[1]));
+        zero_grads(&[a.clone(), b.clone()]);
+        assert!(a.grad().is_none());
+        assert!(b.grad().is_none());
+    }
+
+    #[test]
+    fn adam_with_betas_constructor() {
+        let adam = Adam::with_betas(0.01, 0.8, 0.95);
+        assert_eq!(adam.learning_rate(), 0.01);
+        assert_eq!(adam.steps(), 0);
+    }
+}

@@ -1,0 +1,151 @@
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use tensor::Tensor;
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Option<Tensor>,
+}
+
+/// A shared, mutable, named parameter tensor.
+///
+/// Layers own `Param`s; cloning a `Param` clones the *handle* (both clones
+/// refer to the same underlying value), which is how the optimizer and the
+/// layer see consistent state.
+#[derive(Clone)]
+pub struct Param(Rc<RefCell<ParamInner>>);
+
+impl Param {
+    /// Creates a parameter with a diagnostic name and an initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Param(Rc::new(RefCell::new(ParamInner {
+            name: name.into(),
+            value,
+            grad: None,
+        })))
+    }
+
+    /// The parameter's diagnostic name.
+    pub fn name(&self) -> String {
+        self.0.borrow().name.clone()
+    }
+
+    /// A copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.0.borrow().value.clone()
+    }
+
+    /// Replaces the current value.
+    pub fn set_value(&self, value: Tensor) {
+        self.0.borrow_mut().value = value;
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.0.borrow().value.len()
+    }
+
+    /// Returns `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The accumulated gradient, if any backward pass has deposited one.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.0.borrow().grad.clone()
+    }
+
+    /// Adds `grad` into the accumulated gradient.
+    ///
+    /// # Panics
+    /// Panics if the gradient shape does not match the value shape; this is a
+    /// programming error in layer code rather than a user input error.
+    pub fn accumulate_grad(&self, grad: &Tensor) {
+        let mut inner = self.0.borrow_mut();
+        assert!(
+            grad.shape().same_as(inner.value.shape()),
+            "gradient shape {:?} does not match parameter {} shape {:?}",
+            grad.shape().dims(),
+            inner.name,
+            inner.value.shape().dims()
+        );
+        inner.grad = Some(match inner.grad.take() {
+            Some(existing) => existing.add(grad).expect("shapes verified above"),
+            None => grad.clone(),
+        });
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.0.borrow_mut().grad = None;
+    }
+
+    /// Stable identity key for this parameter (used by optimizers to store
+    /// per-parameter state such as Adam moments).
+    pub fn key(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.0.borrow();
+        f.debug_struct("Param")
+            .field("name", &inner.name)
+            .field("shape", &inner.value.shape().dims().to_vec())
+            .field("has_grad", &inner.grad.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let p = Param::new("w", Tensor::ones(&[2, 2]));
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        p.set_value(Tensor::zeros(&[2, 2]));
+        assert_eq!(p.value().sum(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        let q = p.clone();
+        q.set_value(Tensor::ones(&[2]));
+        assert_eq!(p.value().sum(), 2.0);
+        assert_eq!(p.key(), q.key());
+    }
+
+    #[test]
+    fn gradient_accumulates_and_clears() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        assert!(p.grad().is_none());
+        p.accumulate_grad(&Tensor::ones(&[3]));
+        p.accumulate_grad(&Tensor::ones(&[3]));
+        assert_eq!(p.grad().unwrap().as_slice(), &[2.0, 2.0, 2.0]);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape")]
+    fn mismatched_gradient_panics() {
+        let p = Param::new("w", Tensor::zeros(&[3]));
+        p.accumulate_grad(&Tensor::ones(&[2]));
+    }
+
+    #[test]
+    fn distinct_params_have_distinct_keys() {
+        let a = Param::new("a", Tensor::zeros(&[1]));
+        let b = Param::new("b", Tensor::zeros(&[1]));
+        assert_ne!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,245 @@
+//! The four benchmark buildings of the paper's evaluation (Fig. 4).
+//!
+//! The real buildings are not publicly documented beyond their path lengths
+//! (62–88 m), their differing numbers of visible Wi-Fi access points and
+//! their differing material compositions (wood, metal, concrete). These
+//! presets reproduce those high-level characteristics with synthetic
+//! geometry: corridor-shaped survey paths at 1 m RP granularity, AP grids of
+//! different densities, and wall materials / propagation models that make
+//! each building a distinctly harder or easier RF environment.
+
+use crate::{AccessPoint, Building, Material, PathLossModel, Point};
+
+fn grid_access_points(
+    building_code: u8,
+    x_range: (f32, f32),
+    y_range: (f32, f32),
+    columns: usize,
+    rows: usize,
+    tx_power_dbm: f32,
+) -> Vec<AccessPoint> {
+    let mut aps = Vec::with_capacity(columns * rows);
+    for r in 0..rows {
+        for c in 0..columns {
+            let fx = if columns > 1 {
+                c as f32 / (columns - 1) as f32
+            } else {
+                0.5
+            };
+            let fy = if rows > 1 {
+                r as f32 / (rows - 1) as f32
+            } else {
+                0.5
+            };
+            let position = Point::new(
+                x_range.0 + fx * (x_range.1 - x_range.0),
+                y_range.0 + fy * (y_range.1 - y_range.0),
+            );
+            aps.push(AccessPoint::new(
+                building_code,
+                r * columns + c,
+                position,
+                tx_power_dbm,
+            ));
+        }
+    }
+    aps
+}
+
+fn cross_walls(
+    x_range: (f32, f32),
+    y_range: (f32, f32),
+    count: usize,
+    material: Material,
+) -> Vec<(Point, Point, Material)> {
+    let mut walls = Vec::with_capacity(count);
+    for i in 0..count {
+        let x = x_range.0 + (i as f32 + 0.5) / count as f32 * (x_range.1 - x_range.0);
+        walls.push((Point::new(x, y_range.0), Point::new(x, y_range.1), material));
+    }
+    walls
+}
+
+/// Building 1 — a drywall/wood office wing with a straight 62 m corridor and
+/// a modest AP deployment (18 APs).
+pub fn building_1() -> Building {
+    let mut builder = Building::builder("Building 1")
+        .path_loss(PathLossModel::office())
+        .survey_path(&[Point::new(0.0, 0.0), Point::new(62.0, 0.0)], 1.0);
+    for (a, b, m) in cross_walls((0.0, 62.0), (-6.0, 6.0), 8, Material::Drywall) {
+        builder = builder.wall(a, b, m);
+    }
+    for (a, b, m) in cross_walls((4.0, 58.0), (-4.0, 4.0), 4, Material::Wood) {
+        builder = builder.wall(a, b, m);
+    }
+    for ap in grid_access_points(1, (2.0, 60.0), (-5.0, 5.0), 9, 2, 18.0) {
+        builder = builder.access_point(ap);
+    }
+    builder.build()
+}
+
+/// Building 2 — an open glass-partitioned atrium with an L-shaped 70 m path
+/// and a denser deployment (24 APs).
+pub fn building_2() -> Building {
+    let mut builder = Building::builder("Building 2")
+        .path_loss(PathLossModel::open_hall())
+        .survey_path(
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(40.0, 0.0),
+                Point::new(40.0, 30.0),
+            ],
+            1.0,
+        );
+    for (a, b, m) in cross_walls((0.0, 40.0), (-5.0, 5.0), 5, Material::Glass) {
+        builder = builder.wall(a, b, m);
+    }
+    for i in 0..4 {
+        let y = 5.0 + i as f32 * 7.0;
+        builder = builder.wall(
+            Point::new(35.0, y),
+            Point::new(45.0, y),
+            Material::Drywall,
+        );
+    }
+    for ap in grid_access_points(2, (0.0, 45.0), (-4.0, 32.0), 6, 4, 17.0) {
+        builder = builder.access_point(ap);
+    }
+    builder.build()
+}
+
+/// Building 3 — a concrete/metal laboratory block with a U-shaped 80 m path,
+/// the harshest multipath environment, and 30 APs.
+pub fn building_3() -> Building {
+    let mut builder = Building::builder("Building 3")
+        .path_loss(PathLossModel::dense_lab())
+        .survey_path(
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(30.0, 0.0),
+                Point::new(30.0, 20.0),
+                Point::new(0.0, 20.0),
+            ],
+            1.0,
+        );
+    for (a, b, m) in cross_walls((0.0, 30.0), (-4.0, 24.0), 6, Material::Concrete) {
+        builder = builder.wall(a, b, m);
+    }
+    for i in 0..3 {
+        let y = 4.0 + i as f32 * 6.0;
+        builder = builder.wall(Point::new(5.0, y), Point::new(25.0, y), Material::Metal);
+    }
+    for ap in grid_access_points(3, (0.0, 30.0), (-2.0, 22.0), 6, 5, 19.0) {
+        builder = builder.access_point(ap);
+    }
+    builder.build()
+}
+
+/// Building 4 — a long, quiet wooden-partition wing with an 88 m path, the
+/// least noisy environment of the four, and the densest AP deployment
+/// (40 APs).
+pub fn building_4() -> Building {
+    let quiet = PathLossModel {
+        exponent: 2.6,
+        reference_loss_db: 40.0,
+        shadowing_std_db: 2.0,
+        fading_std_db: 0.8,
+    };
+    let mut builder = Building::builder("Building 4")
+        .path_loss(quiet)
+        .survey_path(
+            &[
+                Point::new(0.0, 0.0),
+                Point::new(44.0, 0.0),
+                Point::new(44.0, 22.0),
+                Point::new(22.0, 22.0),
+            ],
+            1.0,
+        );
+    for (a, b, m) in cross_walls((0.0, 44.0), (-4.0, 26.0), 6, Material::Wood) {
+        builder = builder.wall(a, b, m);
+    }
+    for ap in grid_access_points(4, (0.0, 46.0), (-3.0, 25.0), 8, 5, 18.0) {
+        builder = builder.access_point(ap);
+    }
+    builder.build()
+}
+
+/// All four benchmark buildings, in paper order.
+pub fn benchmark_buildings() -> Vec<Building> {
+    vec![building_1(), building_2(), building_3(), building_4()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_buildings_with_expected_names() {
+        let buildings = benchmark_buildings();
+        assert_eq!(buildings.len(), 4);
+        for (i, b) in buildings.iter().enumerate() {
+            assert_eq!(b.name(), format!("Building {}", i + 1));
+        }
+    }
+
+    #[test]
+    fn path_lengths_span_62_to_88_metres() {
+        let buildings = benchmark_buildings();
+        let lengths: Vec<f32> = buildings.iter().map(|b| b.path_length_m()).collect();
+        assert!((lengths[0] - 62.0).abs() < 2.0, "B1 {}", lengths[0]);
+        assert!((lengths[1] - 70.0).abs() < 2.0, "B2 {}", lengths[1]);
+        assert!((lengths[2] - 80.0).abs() < 2.0, "B3 {}", lengths[2]);
+        assert!((lengths[3] - 88.0).abs() < 2.0, "B4 {}", lengths[3]);
+    }
+
+    #[test]
+    fn reference_point_granularity_is_one_metre() {
+        for b in benchmark_buildings() {
+            let rps = b.reference_points();
+            assert!(rps.len() >= 60, "{} has only {} RPs", b.name(), rps.len());
+            // Consecutive RPs along a leg are ~1 m apart.
+            let d = rps[0].position.distance(&rps[1].position);
+            assert!((d - 1.0).abs() < 0.2, "spacing {d}");
+        }
+    }
+
+    #[test]
+    fn ap_counts_differ_per_building() {
+        let buildings = benchmark_buildings();
+        let counts: Vec<usize> = buildings.iter().map(|b| b.access_points().len()).collect();
+        assert_eq!(counts, vec![18, 24, 30, 40]);
+    }
+
+    #[test]
+    fn materials_differ_per_building() {
+        let b1 = building_1();
+        let b3 = building_3();
+        assert!(b1
+            .walls()
+            .iter()
+            .any(|w| w.material == Material::Drywall || w.material == Material::Wood));
+        assert!(b3
+            .walls()
+            .iter()
+            .any(|w| w.material == Material::Concrete || w.material == Material::Metal));
+    }
+
+    #[test]
+    fn every_rp_sees_at_least_one_ap() {
+        use crate::Channel;
+        for b in benchmark_buildings() {
+            let channel = Channel::new(&b, 0);
+            for rp in b.reference_points() {
+                let fp = channel.mean_fingerprint(rp.position);
+                let visible = fp.iter().filter(|v| **v > crate::RSSI_FLOOR_DBM).count();
+                assert!(
+                    visible >= 1,
+                    "{} RP {} sees no APs",
+                    b.name(),
+                    rp.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and arithmetic.
+///
+/// Every fallible operation in this crate reports one of these variants; the
+/// messages carry the offending shapes so mismatches can be diagnosed without
+/// a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements supplied does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements provided by the caller.
+        provided: usize,
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+    },
+    /// Two operands have shapes that are incompatible for the operation.
+    ShapeMismatch {
+        /// Name of the operation that failed (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank expected by the operation.
+        expected: usize,
+        /// Rank of the tensor that was provided.
+        actual: usize,
+    },
+    /// An index or axis was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound that was violated.
+        bound: usize,
+    },
+    /// The operation received an empty tensor or empty shape where data is required.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { provided, expected } => write!(
+                f,
+                "data length {provided} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "incompatible shapes for {op}: lhs {lhs:?} vs rhs {rhs:?}"
+            ),
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op} expects rank {expected} tensor, got rank {actual}"),
+            TensorError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "{op} index {index} out of bounds for size {bound}")
+            }
+            TensorError::Empty { op } => write!(f, "{op} requires a non-empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            provided: 3,
+            expected: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "data length 3 does not match shape volume 4"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn display_rank_mismatch() {
+        let e = TensorError::RankMismatch {
+            op: "transpose",
+            expected: 2,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("rank 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

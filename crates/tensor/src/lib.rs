@@ -1,0 +1,44 @@
+//! Dense `f32` tensors for the VITAL indoor-localization reproduction.
+//!
+//! This crate is the numeric substrate underneath the `autograd` and
+//! `nn` crates: a small, dependency-light, row-major dense tensor with the
+//! operations a compact vision transformer needs — blocked matrix
+//! multiplication, elementwise arithmetic with simple broadcasting,
+//! reductions, softmax/log-sum-exp helpers, and seeded random initialisers.
+//!
+//! The design goal is *predictability over generality*: every tensor owns a
+//! contiguous `Vec<f32>` and a shape; there are no lazily-evaluated views or
+//! stride tricks, so each operation is easy to audit and to differentiate in
+//! the autograd layer above.
+//!
+//! # Example
+//!
+//! ```
+//! use tensor::Tensor;
+//!
+//! # fn main() -> Result<(), tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod matmul;
+mod ops;
+mod reduce;
+pub mod rng;
+mod shape;
+mod tensor_impl;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor_impl::Tensor;
+
+/// Convenience alias for results returned by tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

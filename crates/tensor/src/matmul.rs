@@ -1,0 +1,231 @@
+//! Blocked matrix multiplication.
+//!
+//! The VITAL model is small (a few hundred thousand parameters), so a cache
+//! blocked, `f32` triple loop is more than adequate; no SIMD intrinsics or
+//! external BLAS are used, keeping the workspace dependency-free.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Cache block edge (elements). 64×64×4 B ≈ 16 KiB per operand block, which
+/// comfortably fits in L1/L2 on commodity CPUs.
+const BLOCK: usize = 64;
+
+impl Tensor {
+    /// Matrix product `self · other`.
+    ///
+    /// Rank-1 operands are interpreted as a single row on the left and are
+    /// not accepted on the right unless their length matches the inner
+    /// dimension as a `k × 1` column would require an explicit reshape.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ
+    /// or either operand is not rank 1/2.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.shape().as_matrix()?;
+        let (k2, n) = other.shape().as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape().dims().to_vec(),
+                rhs: other.shape().dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+
+        for ii in (0..m).step_by(BLOCK) {
+            let i_end = (ii + BLOCK).min(m);
+            for kk in (0..k).step_by(BLOCK) {
+                let k_end = (kk + BLOCK).min(k);
+                for jj in (0..n).step_by(BLOCK) {
+                    let j_end = (jj + BLOCK).min(n);
+                    for i in ii..i_end {
+                        for p in kk..k_end {
+                            let a_ip = a[i * k + p];
+                            if a_ip == 0.0 {
+                                continue;
+                            }
+                            let b_row = &b[p * n + jj..p * n + j_end];
+                            let o_row = &mut out[i * n + jj..i * n + j_end];
+                            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                                *o += a_ip * bv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the row counts differ.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        let (k, m) = self.shape().as_matrix()?;
+        let (k2, n) = other.shape().as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.shape().dims().to_vec(),
+                rhs: other.shape().dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            for i in 0..m {
+                let a_pi = a[p * m + i];
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += a_pi * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the column counts differ.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.shape().as_matrix()?;
+        let (n, k2) = other.shape().as_matrix()?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.shape().dims().to_vec(),
+                rhs: other.shape().dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Dot product of two rank-1 tensors.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if lengths differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.shape().dims().to_vec(),
+                rhs: other.shape().dims().to_vec(),
+            });
+        }
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(a, b)| a * b)
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn small_matmul() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn inner_dim_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn vector_times_matrix() {
+        let v = t(&[1.0, 2.0], &[2]);
+        let m = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let r = v.matmul(&m).unwrap();
+        assert_eq!(r.shape().dims(), &[1, 2]);
+        assert_eq!(r.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn transposed_variants_match_naive() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, -1.0, 0.5, 2.0, 3.0, -2.0], &[2, 3]);
+        // a^T (3x2) * b (2x3) = 3x3
+        let tn = a.matmul_tn(&b).unwrap();
+        let naive = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(tn, naive);
+        // a (2x3) * b^T (3x2) = 2x2
+        let nt = a.matmul_nt(&b).unwrap();
+        let naive2 = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(nt, naive2);
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_larger_sizes() {
+        // Exercise the blocking path (> BLOCK on one dim).
+        let m = 70;
+        let k = 65;
+        let n = 33;
+        let a_data: Vec<f32> = (0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let b_data: Vec<f32> = (0..k * n).map(|i| ((i % 7) as f32) * 0.5 - 1.5).collect();
+        let a = t(&a_data, &[m, k]);
+        let b = t(&b_data, &[k, n]);
+        let c = a.matmul(&b).unwrap();
+        // Naive reference for a few spot positions.
+        for &(i, j) in &[(0usize, 0usize), (69, 32), (35, 16), (10, 31)] {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a_data[i * k + p] * b_data[p * n + j];
+            }
+            let got = c.at(i, j).unwrap();
+            assert!((got - acc).abs() < 1e-3, "({i},{j}): {got} vs {acc}");
+        }
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&Tensor::zeros(&[2])).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Reductions, statistics and normalisation helpers.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (`0.0` for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Population variance of all elements (`0.0` for an empty tensor).
+    pub fn variance(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.as_slice().iter().map(|v| (v - m) * (v - m)).sum::<f32>() / self.len() as f32
+    }
+
+    /// Population standard deviation of all elements.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .ok_or(TensorError::Empty { op: "max" })
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn min(&self) -> Result<f32> {
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .ok_or(TensorError::Empty { op: "min" })
+    }
+
+    /// Index of the maximum element (first occurrence).
+    ///
+    /// # Errors
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "argmax" });
+        }
+        let mut best = 0;
+        for (i, v) in self.as_slice().iter().enumerate() {
+            if *v > self.as_slice()[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax of a matrix, one index per row.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not a matrix or has zero columns.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let (r, c) = self.shape().as_matrix()?;
+        if c == 0 {
+            return Err(TensorError::Empty { op: "argmax_rows" });
+        }
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &self.as_slice()[i * c..(i + 1) * c];
+            let mut best = 0;
+            for (j, v) in row.iter().enumerate() {
+                if *v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Sum along rows of a matrix, returning a rank-1 tensor of length `cols`.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not a matrix.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        let (r, c) = self.shape().as_matrix()?;
+        let mut out = vec![0.0; c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j] += self.as_slice()[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    /// Mean along rows of a matrix, returning a rank-1 tensor of length `cols`.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not a matrix or has zero rows.
+    pub fn mean_rows(&self) -> Result<Tensor> {
+        let (r, _) = self.shape().as_matrix()?;
+        if r == 0 {
+            return Err(TensorError::Empty { op: "mean_rows" });
+        }
+        Ok(self.sum_rows()?.scale(1.0 / r as f32))
+    }
+
+    /// Numerically stable softmax along the last axis of a matrix (per row).
+    ///
+    /// Rank-1 tensors are treated as a single row.
+    ///
+    /// # Errors
+    /// Returns an error for rank-0 or rank>2 tensors.
+    pub fn softmax_rows(&self) -> Result<Tensor> {
+        let (r, c) = self.shape().as_matrix()?;
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            let row = &self.as_slice()[i * c..(i + 1) * c];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - max).exp();
+                out[i * c + j] = e;
+                denom += e;
+            }
+            for j in 0..c {
+                out[i * c + j] /= denom;
+            }
+        }
+        Tensor::from_vec(out, self.shape().dims())
+    }
+
+    /// Numerically stable log-sum-exp per row of a matrix.
+    ///
+    /// # Errors
+    /// Returns an error for rank-0 or rank>2 tensors.
+    pub fn log_sum_exp_rows(&self) -> Result<Tensor> {
+        let (r, c) = self.shape().as_matrix()?;
+        let mut out = vec![0.0; r];
+        for i in 0..r {
+            let row = &self.as_slice()[i * c..(i + 1) * c];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let s: f32 = row.iter().map(|v| (v - max).exp()).sum();
+            out[i] = max + s.ln();
+        }
+        Tensor::from_vec(out, &[r])
+    }
+
+    /// Standardises all elements to zero mean and unit variance.
+    ///
+    /// If the standard deviation is (near) zero the tensor is only centred.
+    pub fn standardize(&self) -> Tensor {
+        let m = self.mean();
+        let s = self.std();
+        if s < 1e-8 {
+            self.map(|v| v - m)
+        } else {
+            self.map(|v| (v - m) / s)
+        }
+    }
+
+    /// Rescales all elements linearly into `[0, 1]`.
+    ///
+    /// A constant tensor maps to all zeros.
+    pub fn min_max_normalize(&self) -> Tensor {
+        let lo = self.min().unwrap_or(0.0);
+        let hi = self.max().unwrap_or(0.0);
+        let range = hi - lo;
+        if range.abs() < 1e-12 {
+            self.map(|_| 0.0)
+        } else {
+            self.map(|v| (v - lo) / range)
+        }
+    }
+
+    /// Frobenius / L2 norm of the tensor.
+    pub fn norm(&self) -> f32 {
+        self.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[4]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert!((a.variance() - 1.25).abs() < 1e-6);
+        assert!((a.std() - 1.118034).abs() < 1e-5);
+        assert_eq!(a.max().unwrap(), 4.0);
+        assert_eq!(a.min().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_tensor_statistics() {
+        let e = Tensor::zeros(&[0]);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+        assert!(e.max().is_err());
+        assert!(e.argmax().is_err());
+    }
+
+    #[test]
+    fn argmax_variants() {
+        let a = t(&[0.1, 0.7, 0.2], &[3]);
+        assert_eq!(a.argmax().unwrap(), 1);
+        let m = t(&[0.1, 0.9, 0.8, 0.2], &[2, 2]);
+        assert_eq!(m.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn row_reductions() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(m.sum_rows().unwrap().as_slice(), &[4.0, 6.0]);
+        assert_eq!(m.mean_rows().unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let m = t(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = m.softmax_rows().unwrap();
+        for i in 0..2 {
+            let row_sum: f32 = s.row(i).unwrap().sum();
+            assert!((row_sum - 1.0).abs() < 1e-6);
+        }
+        // Larger logit -> larger probability
+        assert!(s.at(0, 2).unwrap() > s.at(0, 0).unwrap());
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = t(&[1000.0, 1001.0, 1002.0], &[3]);
+        let s = a.softmax_rows().unwrap();
+        assert!(s.all_finite());
+        let b = t(&[0.0, 1.0, 2.0], &[3]).softmax_rows().unwrap();
+        for (x, y) in s.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_matches_direct() {
+        let m = t(&[0.5, -0.5, 2.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let lse = m.log_sum_exp_rows().unwrap();
+        let direct0 = (0.5f32.exp() + (-0.5f32).exp() + 2.0f32.exp()).ln();
+        assert!((lse.as_slice()[0] - direct0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn standardize_and_minmax() {
+        let a = t(&[-90.0, -70.0, -50.0], &[3]);
+        let s = a.standardize();
+        assert!(s.mean().abs() < 1e-6);
+        assert!((s.std() - 1.0).abs() < 1e-5);
+        let n = a.min_max_normalize();
+        assert_eq!(n.min().unwrap(), 0.0);
+        assert_eq!(n.max().unwrap(), 1.0);
+        // Constant tensor maps to zeros.
+        let c = Tensor::full(&[3], 4.0);
+        assert_eq!(c.min_max_normalize().as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_vector() {
+        let a = t(&[3.0, 4.0], &[2]);
+        assert_eq!(a.norm(), 5.0);
+    }
+}

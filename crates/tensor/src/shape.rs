@@ -1,0 +1,173 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TensorError;
+
+/// The dimensions of a [`crate::Tensor`].
+///
+/// A shape is an ordered list of axis sizes. Rank-0 (scalar), rank-1
+/// (vector), rank-2 (matrix) and rank-3 tensors are all used by the VITAL
+/// pipeline; higher ranks are supported but untested.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from axis sizes.
+    ///
+    /// ```
+    /// use tensor::Shape;
+    /// let s = Shape::new(&[3, 4]);
+    /// assert_eq!(s.volume(), 12);
+    /// ```
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The axis sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of the axis sizes, `1` for scalars).
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of axis `axis`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize, TensorError> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds {
+                op: "shape.dim",
+                index: axis,
+                bound: self.0.len(),
+            })
+    }
+
+    /// Row-major strides for this shape (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Returns `true` when both shapes have identical dims.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+
+    /// Interprets the shape as a matrix, returning `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are viewed as a single row; rank-2 as-is.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] for rank-0 or rank>2 shapes.
+    pub fn as_matrix(&self) -> Result<(usize, usize), TensorError> {
+        match self.0.as_slice() {
+            [n] => Ok((1, *n)),
+            [r, c] => Ok((*r, *c)),
+            other => Err(TensorError::RankMismatch {
+                op: "as_matrix",
+                expected: 2,
+                actual: other.len(),
+            }),
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.volume(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let v = Shape::new(&[5]);
+        assert_eq!(v.strides(), vec![1]);
+    }
+
+    #[test]
+    fn dim_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.dim(1).unwrap(), 3);
+        assert!(s.dim(2).is_err());
+    }
+
+    #[test]
+    fn as_matrix_views() {
+        assert_eq!(Shape::new(&[7]).as_matrix().unwrap(), (1, 7));
+        assert_eq!(Shape::new(&[3, 5]).as_matrix().unwrap(), (3, 5));
+        assert!(Shape::new(&[2, 2, 2]).as_matrix().is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2×3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn from_conversions() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = (&[1usize, 2][..]).into();
+        assert!(a.same_as(&b));
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the VITAL reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency. Library users should depend on the individual crates
+//! ([`vital`], [`fingerprint`], [`sim_radio`], [`baselines`]) directly.
+
+pub use autograd;
+pub use baselines;
+pub use fingerprint;
+pub use nn;
+pub use sim_radio;
+pub use tensor;
+pub use vital;

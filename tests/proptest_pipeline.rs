@@ -1,0 +1,124 @@
+//! Cross-crate property-based tests on the data pipeline's invariants.
+
+use fingerprint::{all_devices, capture_observation, DatasetConfig, FingerprintDataset, MISSING_AP_DBM};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_radio::{benchmark_buildings, Channel};
+use tensor::rng::SeededRng;
+use vital::{DamConfig, DataAugmentationModule, LocalizationReport, RssiImageCreator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every captured fingerprint respects the paper's RSSI conventions:
+    /// values in [−100, 0] dB and min ≤ mean ≤ max per AP.
+    #[test]
+    fn captured_observations_are_well_formed(
+        building_index in 0usize..4,
+        rp_fraction in 0.0f32..1.0,
+        device_index in 0usize..9,
+        seed in 0u64..500,
+    ) {
+        let buildings = benchmark_buildings();
+        let building = &buildings[building_index];
+        let channel = Channel::new(building, seed);
+        let rps = building.reference_points();
+        let rp = &rps[((rps.len() - 1) as f32 * rp_fraction) as usize];
+        let device = &all_devices()[device_index];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let observation = capture_observation(&channel, device, rp, 5, &mut rng);
+        prop_assert_eq!(observation.num_aps(), building.access_points().len());
+        for ap in 0..observation.num_aps() {
+            prop_assert!(observation.min[ap] >= MISSING_AP_DBM);
+            prop_assert!(observation.max[ap] <= 0.0);
+            prop_assert!(observation.min[ap] <= observation.mean[ap] + 1e-4);
+            prop_assert!(observation.mean[ap] <= observation.max[ap] + 1e-4);
+        }
+    }
+
+    /// The RSSI image pipeline produces the patch-count the configuration
+    /// promises, for any compatible (image, patch) pair.
+    #[test]
+    fn image_pipeline_patch_count_matches_formula(
+        image_size in 8usize..40,
+        patch_divisor in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        let patch_size = (image_size / (patch_divisor + 1)).max(2);
+        prop_assume!(patch_size <= image_size);
+        let buildings = benchmark_buildings();
+        let building = &buildings[0];
+        let channel = Channel::new(building, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let observation = capture_observation(
+            &channel,
+            &all_devices()[0],
+            &building.reference_points()[0],
+            3,
+            &mut rng,
+        );
+        let creator = RssiImageCreator::new(image_size);
+        let dam = DataAugmentationModule::new(DamConfig::default());
+        let mut dam_rng = SeededRng::new(seed);
+        let image = dam
+            .augment(&creator.create(&observation).unwrap(), true, &mut dam_rng)
+            .unwrap();
+        let patches = image.to_patches(patch_size).unwrap();
+        let per_side = image_size / patch_size;
+        prop_assert_eq!(patches.shape().dims(), &[per_side * per_side, 3 * patch_size * patch_size]);
+        prop_assert!(patches.all_finite());
+    }
+
+    /// DAM inference-mode output is deterministic and identical across RNG
+    /// seeds — the online phase must not be stochastic.
+    #[test]
+    fn dam_inference_is_seed_independent(seed_a in 0u64..1000, seed_b in 0u64..1000) {
+        let buildings = benchmark_buildings();
+        let building = &buildings[1];
+        let channel = Channel::new(building, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let observation = capture_observation(
+            &channel,
+            &all_devices()[2],
+            &building.reference_points()[5],
+            5,
+            &mut rng,
+        );
+        let creator = RssiImageCreator::new(16);
+        let dam = DataAugmentationModule::new(DamConfig::default());
+        let image = creator.create(&observation).unwrap();
+        let a = dam.augment(&image, false, &mut SeededRng::new(seed_a)).unwrap();
+        let b = dam.augment(&image, false, &mut SeededRng::new(seed_b)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Dataset train/test splits partition the data for any fraction.
+    #[test]
+    fn dataset_split_partitions(train_fraction in 0.0f32..1.0, seed in 0u64..500) {
+        let buildings = benchmark_buildings();
+        let dataset = FingerprintDataset::collect(
+            &buildings[0],
+            &fingerprint::base_devices()[..1],
+            &DatasetConfig { captures_per_rp: 1, samples_per_capture: 2, seed },
+        );
+        let split = dataset.split(train_fraction, seed);
+        prop_assert_eq!(split.train.len() + split.test.len(), dataset.len());
+        let expected = (dataset.len() as f32 * train_fraction).round() as usize;
+        prop_assert_eq!(split.train.len(), expected.min(dataset.len()));
+    }
+
+    /// Localization-report statistics are internally consistent.
+    #[test]
+    fn localization_report_invariants(errors in proptest::collection::vec(0.0f32..50.0, 1..64)) {
+        let report = LocalizationReport::new(errors.clone());
+        prop_assert!(report.min_error_m() <= report.mean_error_m() + 1e-4);
+        prop_assert!(report.mean_error_m() <= report.max_error_m() + 1e-4);
+        prop_assert!(report.median_error_m() >= report.min_error_m());
+        prop_assert!(report.median_error_m() <= report.max_error_m());
+        prop_assert!((0.0..=1.0).contains(&report.exact_hit_rate()));
+        // Merging a report with itself preserves the mean.
+        let merged = LocalizationReport::merged([&report, &report]);
+        prop_assert!((merged.mean_error_m() - report.mean_error_m()).abs() < 1e-3);
+    }
+}

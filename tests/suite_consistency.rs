@@ -1,0 +1,125 @@
+//! Consistency checks across the whole workspace: device tables, benchmark
+//! buildings, framework construction and the Localizer contract.
+
+use baselines::{comparison_suite, FeatureMode, KnnLocalizer};
+use fingerprint::{all_devices, base_devices, extended_devices, DatasetConfig, FingerprintDataset};
+use sim_radio::{benchmark_buildings, RSSI_CEILING_DBM, RSSI_FLOOR_DBM};
+use vital::{Localizer, VitalConfig, VitalError, VitalModel};
+
+#[test]
+fn device_tables_match_the_paper() {
+    let base = base_devices();
+    let extended = extended_devices();
+    assert_eq!(base.len(), 6, "Table I lists six base devices");
+    assert_eq!(extended.len(), 3, "Table II lists three extended devices");
+    assert_eq!(all_devices().len(), 9);
+    // No duplicate acronyms across the full pool.
+    let mut acronyms: Vec<_> = all_devices().iter().map(|d| d.acronym.clone()).collect();
+    acronyms.sort();
+    acronyms.dedup();
+    assert_eq!(acronyms.len(), 9);
+}
+
+#[test]
+fn benchmark_buildings_match_the_paper_scale() {
+    let buildings = benchmark_buildings();
+    assert_eq!(buildings.len(), 4);
+    for building in &buildings {
+        let length = building.path_length_m();
+        assert!(
+            (60.0..=90.0).contains(&length),
+            "{} path length {length} m outside the paper's 62–88 m range",
+            building.name()
+        );
+        assert!(building.access_points().len() >= 10);
+        assert!(building.reference_points().len() >= 60);
+    }
+    // AP counts differ per building (different AP densities in the paper).
+    let mut ap_counts: Vec<_> = buildings.iter().map(|b| b.access_points().len()).collect();
+    ap_counts.dedup();
+    assert_eq!(ap_counts.len(), 4);
+    assert!(RSSI_FLOOR_DBM < RSSI_CEILING_DBM);
+}
+
+#[test]
+fn comparison_suite_builds_all_four_prior_frameworks() {
+    for with_dam in [false, true] {
+        let suite = comparison_suite(with_dam, 1);
+        let names: Vec<&str> = suite.iter().map(|l| l.name()).collect();
+        assert_eq!(names, vec!["ANVIL", "SHERPA", "CNNLoc", "WiDeep"]);
+    }
+}
+
+#[test]
+fn every_localizer_rejects_prediction_before_training() {
+    let building = benchmark_buildings().remove(0);
+    let dataset = FingerprintDataset::collect(
+        &building,
+        &base_devices()[..1],
+        &DatasetConfig {
+            captures_per_rp: 1,
+            samples_per_capture: 2,
+            seed: 0,
+        },
+    );
+    let observation = &dataset.observations()[0];
+
+    let vital_model = VitalModel::new(VitalConfig::fast(
+        building.access_points().len(),
+        building.reference_points().len(),
+    ))
+    .expect("config");
+    assert!(matches!(
+        vital_model.predict(observation),
+        Err(VitalError::NotFitted)
+    ));
+
+    for localizer in comparison_suite(false, 0) {
+        assert!(
+            localizer.predict(observation).is_err(),
+            "{} should refuse to predict before fit()",
+            localizer.name()
+        );
+    }
+    let knn = KnnLocalizer::new(3, FeatureMode::MeanChannel);
+    assert!(knn.predict(observation).is_err());
+}
+
+#[test]
+fn vital_paper_configuration_is_constructible_for_every_building() {
+    for building in benchmark_buildings() {
+        let config = VitalConfig::paper(
+            building.access_points().len(),
+            building.reference_points().len(),
+        );
+        assert!(config.validate().is_ok(), "{}", building.name());
+        let model = VitalModel::new(config).expect("paper-scale model builds");
+        // §VI.B reports 234,706 parameters; the reproduction should be within
+        // the same order of magnitude for every building's class count.
+        let params = model.param_count();
+        assert!(
+            (100_000..500_000).contains(&params),
+            "{}: {params} parameters",
+            building.name()
+        );
+    }
+}
+
+#[test]
+fn datasets_are_reproducible_from_their_seed() {
+    let building = benchmark_buildings().remove(2);
+    let config = DatasetConfig {
+        captures_per_rp: 1,
+        samples_per_capture: 3,
+        seed: 77,
+    };
+    let a = FingerprintDataset::collect(&building, &base_devices()[..2], &config);
+    let b = FingerprintDataset::collect(&building, &base_devices()[..2], &config);
+    assert_eq!(a, b, "same seed must reproduce the same campaign");
+    let c = FingerprintDataset::collect(
+        &building,
+        &base_devices()[..2],
+        &DatasetConfig { seed: 78, ..config },
+    );
+    assert_ne!(a, c, "different seeds must differ");
+}
