@@ -153,10 +153,7 @@ mod tests {
         assert!((loss.value().item().unwrap() - 4.25).abs() < 1e-6);
         tape.backward(loss).unwrap();
         // grad = 2*(pred-target)/4
-        assert_eq!(
-            tape.grad(pred).unwrap().as_slice(),
-            &[0.5, 0.0, 0.0, -2.0]
-        );
+        assert_eq!(tape.grad(pred).unwrap().as_slice(), &[0.5, 0.0, 0.0, -2.0]);
         assert!(pred.mse_loss(&Tensor::zeros(&[3])).is_err());
     }
 

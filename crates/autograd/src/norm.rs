@@ -57,24 +57,24 @@ impl<'t> Var<'t> {
                 let mut dx = vec![0.0f32; rows * cols];
                 let mut dgamma = vec![0.0f32; cols];
                 let mut dbeta = vec![0.0f32; cols];
-                for i in 0..rows {
+                for (i, &inv_std_i) in inv_std.iter().enumerate() {
                     // dxhat = grad ⊙ gamma
                     let mut sum_dxhat = 0.0f32;
                     let mut sum_dxhat_xhat = 0.0f32;
-                    for j in 0..cols {
+                    for (j, &gm_j) in gm.iter().enumerate() {
                         let idx = i * cols + j;
-                        let dxhat = gs[idx] * gm[j];
+                        let dxhat = gs[idx] * gm_j;
                         sum_dxhat += dxhat;
                         sum_dxhat_xhat += dxhat * xh[idx];
                         dgamma[j] += gs[idx] * xh[idx];
                         dbeta[j] += gs[idx];
                     }
                     let n = cols as f32;
-                    for j in 0..cols {
+                    for (j, &gm_j) in gm.iter().enumerate() {
                         let idx = i * cols + j;
-                        let dxhat = gs[idx] * gm[j];
-                        dx[idx] = inv_std[i]
-                            * (dxhat - sum_dxhat / n - xh[idx] * sum_dxhat_xhat / n);
+                        let dxhat = gs[idx] * gm_j;
+                        dx[idx] =
+                            inv_std_i * (dxhat - sum_dxhat / n - xh[idx] * sum_dxhat_xhat / n);
                     }
                 }
                 vec![
@@ -102,11 +102,10 @@ mod tests {
         for i in 0..rows {
             let row = &x.as_slice()[i * cols..(i + 1) * cols];
             let mean: f32 = row.iter().sum::<f32>() / cols as f32;
-            let var: f32 =
-                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
             for j in 0..cols {
-                out[i * cols + j] = gamma.as_slice()[j] * (row[j] - mean) / (var + eps).sqrt()
-                    + beta.as_slice()[j];
+                out[i * cols + j] =
+                    gamma.as_slice()[j] * (row[j] - mean) / (var + eps).sqrt() + beta.as_slice()[j];
             }
         }
         Tensor::from_vec(out, &[rows, cols]).unwrap()

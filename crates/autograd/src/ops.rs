@@ -4,6 +4,11 @@ use tensor::Tensor;
 
 use crate::{Result, Var};
 
+// `add`/`sub`/`mul` deliberately shadow the `std::ops` names: recording onto
+// the tape is fallible (shape mismatches), so the operator traits' infallible
+// signatures cannot express them, and the whole workspace already reads
+// `a.add(b)?`. The clippy lint is suppressed rather than renaming the API.
+#[allow(clippy::should_implement_trait)]
 impl<'t> Var<'t> {
     /// Elementwise addition. Gradient flows unchanged to both operands.
     ///
@@ -275,10 +280,7 @@ mod tests {
         let loss = x.mul_row_broadcast(s).unwrap().sum_all().unwrap();
         tape.backward(loss).unwrap();
         // dX[i][j] = s[j]; dS[j] = sum_i x[i][j]
-        assert_eq!(
-            tape.grad(x).unwrap().as_slice(),
-            &[2.0, 0.5, 2.0, 0.5]
-        );
+        assert_eq!(tape.grad(x).unwrap().as_slice(), &[2.0, 0.5, 2.0, 0.5]);
         assert_eq!(tape.grad(s).unwrap().as_slice(), &[4.0, 6.0]);
     }
 

@@ -118,10 +118,7 @@ impl Tape {
             });
         }
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
-        grads[output.id] = Some(Tensor::full(
-            nodes[output.id].value.shape().dims(),
-            1.0,
-        ));
+        grads[output.id] = Some(Tensor::full(nodes[output.id].value.shape().dims(), 1.0));
 
         for id in (0..=output.id).rev() {
             let Some(grad_out) = grads[id].clone() else {
@@ -155,9 +152,7 @@ impl Tape {
 
 impl fmt::Debug for Tape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Tape")
-            .field("nodes", &self.len())
-            .finish()
+        f.debug_struct("Tape").field("nodes", &self.len()).finish()
     }
 }
 

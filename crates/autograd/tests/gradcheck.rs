@@ -13,11 +13,7 @@ fn weighted_sum(t: &Tensor, weights: &Tensor) -> f32 {
     t.mul(weights).unwrap().sum()
 }
 
-fn finite_diff(
-    x: &Tensor,
-    f: impl Fn(&Tensor) -> f32,
-    eps: f32,
-) -> Tensor {
+fn finite_diff(x: &Tensor, f: impl Fn(&Tensor) -> f32, eps: f32) -> Tensor {
     let mut grad = x.zeros_like();
     for i in 0..x.len() {
         let mut plus = x.clone();

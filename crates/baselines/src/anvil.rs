@@ -140,9 +140,7 @@ impl Localizer for AnvilLocalizer {
         self.num_classes = train.num_rps();
         let mut rng = SeededRng::new(self.seed);
         let mut init_rng = SeededRng::new(self.seed.wrapping_add(1));
-        let feature_width = self
-            .extractor
-            .feature_width(train.num_aps());
+        let feature_width = self.extractor.feature_width(train.num_aps());
         let network = AnvilNetwork::new(&mut init_rng, feature_width, self.num_classes)?;
         let params = network.params();
         let mut optimizer = Adam::new(2e-3);
@@ -214,7 +212,7 @@ impl Localizer for AnvilLocalizer {
                 .zip(&embedding)
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum();
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((label, d));
             }
         }

@@ -146,7 +146,12 @@ impl Localizer for CnnLocLocalizer {
                     .as_ref()
                     .expect("set above")
                     .encode(&session, x)?;
-                let conv_out = self.conv.as_ref().expect("set above").forward(&session, code)?.relu();
+                let conv_out = self
+                    .conv
+                    .as_ref()
+                    .expect("set above")
+                    .forward(&session, code)?
+                    .relu();
                 let logits = self
                     .classifier
                     .as_ref()

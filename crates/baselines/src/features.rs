@@ -214,10 +214,22 @@ mod tests {
 
     #[test]
     fn feature_widths_per_mode() {
-        assert_eq!(FeatureExtractor::new(FeatureMode::MeanChannel).feature_width(18), 18);
-        assert_eq!(FeatureExtractor::new(FeatureMode::ThreeChannel).feature_width(18), 54);
-        assert_eq!(FeatureExtractor::new(FeatureMode::Ssd).feature_width(18), 18);
-        assert_eq!(FeatureExtractor::new(FeatureMode::Hlf).feature_width(18), 18);
+        assert_eq!(
+            FeatureExtractor::new(FeatureMode::MeanChannel).feature_width(18),
+            18
+        );
+        assert_eq!(
+            FeatureExtractor::new(FeatureMode::ThreeChannel).feature_width(18),
+            54
+        );
+        assert_eq!(
+            FeatureExtractor::new(FeatureMode::Ssd).feature_width(18),
+            18
+        );
+        assert_eq!(
+            FeatureExtractor::new(FeatureMode::Hlf).feature_width(18),
+            18
+        );
     }
 
     #[test]
@@ -229,8 +241,8 @@ mod tests {
         assert_eq!(features.len(), 4);
         assert!(!plain.has_dam());
 
-        let with_dam = FeatureExtractor::new(FeatureMode::MeanChannel)
-            .with_dam(Some(DamConfig::default()));
+        let with_dam =
+            FeatureExtractor::new(FeatureMode::MeanChannel).with_dam(Some(DamConfig::default()));
         assert!(with_dam.has_dam());
         // Training extraction is stochastic; eval extraction is deterministic.
         let e1 = with_dam.extract(&o, false, &mut rng);
@@ -258,8 +270,8 @@ mod tests {
         assert_eq!(m.rows().unwrap(), dataset.len());
         assert_eq!(labels.len(), dataset.len());
 
-        let dammed = FeatureExtractor::new(FeatureMode::MeanChannel)
-            .with_dam(Some(DamConfig::default()));
+        let dammed =
+            FeatureExtractor::new(FeatureMode::MeanChannel).with_dam(Some(DamConfig::default()));
         let (m2, labels2) = dammed.extract_matrix(&dataset, true, 2, &mut rng);
         assert_eq!(m2.rows().unwrap(), dataset.len() * 3);
         assert_eq!(labels2.len(), dataset.len() * 3);

@@ -188,7 +188,10 @@ mod tests {
     fn names_reflect_mode() {
         assert_eq!(KnnLocalizer::new(3, FeatureMode::Ssd).name(), "KNN-SSD");
         assert_eq!(KnnLocalizer::new(3, FeatureMode::Hlf).name(), "KNN-HLF");
-        assert_eq!(KnnLocalizer::new(3, FeatureMode::ThreeChannel).name(), "KNN-3ch");
+        assert_eq!(
+            KnnLocalizer::new(3, FeatureMode::ThreeChannel).name(),
+            "KNN-3ch"
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ fn bench_inference(c: &mut Criterion) {
     let mut rng = SeededRng::new(3);
     let fast_patches = fast.prepare_patches(&observation, false, &mut rng).unwrap();
     c.bench_function("vit_inference_fast_config", |b| {
-        b.iter(|| fast.transformer().predict(black_box(&fast_patches)).unwrap())
+        b.iter(|| {
+            fast.transformer()
+                .predict(black_box(&fast_patches))
+                .unwrap()
+        })
     });
 
     // Paper-scale configuration (206×206 image, 20×20 patches, 5 heads);
@@ -80,7 +84,12 @@ fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper_scale");
     group.sample_size(10);
     group.bench_function("vit_inference_paper_config", |b| {
-        b.iter(|| paper.transformer().predict(black_box(&paper_patches)).unwrap())
+        b.iter(|| {
+            paper
+                .transformer()
+                .predict(black_box(&paper_patches))
+                .unwrap()
+        })
     });
     group.bench_function("full_online_pipeline_paper_config", |b| {
         b.iter_batched(

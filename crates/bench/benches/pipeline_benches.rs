@@ -89,5 +89,10 @@ fn bench_knn(c: &mut Criterion) {
     });
 }
 
-criterion_group!(pipeline_benches, bench_radio, bench_dataset_and_features, bench_knn);
+criterion_group!(
+    pipeline_benches,
+    bench_radio,
+    bench_dataset_and_features,
+    bench_knn
+);
 criterion_main!(pipeline_benches);

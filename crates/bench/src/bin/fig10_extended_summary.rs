@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --release -p bench --bin fig10_extended_summary`.
 
-use bench::runner::{build_framework, collect_base_dataset, collect_extended_dataset, evaluate_on_devices};
+use bench::runner::{
+    build_framework, collect_base_dataset, collect_extended_dataset, evaluate_on_devices,
+};
 use bench::{print_table, write_csv, Framework, Scale, TableRow};
 use sim_radio::benchmark_buildings;
 use vital::LocalizationReport;
@@ -23,8 +25,8 @@ fn main() {
         let train = collect_base_dataset(&building, scale, 41);
         let test = collect_extended_dataset(&building, scale, 41);
         for &framework in &frameworks {
-            let result = build_framework(framework, &building, scale, true, 41)
-                .and_then(|mut localizer| {
+            let result =
+                build_framework(framework, &building, scale, true, 41).and_then(|mut localizer| {
                     localizer.fit(&train)?;
                     evaluate_on_devices(localizer.as_ref(), &building, &test)
                 });
@@ -41,9 +43,7 @@ fn main() {
                             .collect::<Vec<_>>()
                             .join(", ")
                     );
-                    if let Some(slot) =
-                        pooled.iter_mut().find(|(n, _)| *n == result.framework)
-                    {
+                    if let Some(slot) = pooled.iter_mut().find(|(n, _)| *n == result.framework) {
                         slot.1.push(result.overall);
                     }
                 }

@@ -35,9 +35,7 @@ fn main() {
         per_device_means.push((device.acronym.clone(), means));
     }
 
-    let columns: Vec<String> = (0..num_aps)
-        .map(|i| format!("AP{i}"))
-        .collect();
+    let columns: Vec<String> = (0..num_aps).map(|i| format!("AP{i}")).collect();
     let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     print_table(
         "Fig. 1 — mean RSSI (dBm) of 10 APs at one RP, four smartphones",

@@ -14,8 +14,8 @@ fn main() {
 
     let without = run_building_experiment(&building, &frameworks, scale, false, 31)
         .expect("baseline (no DAM) experiment");
-    let with = run_building_experiment(&building, &frameworks, scale, true, 31)
-        .expect("DAM experiment");
+    let with =
+        run_building_experiment(&building, &frameworks, scale, true, 31).expect("DAM experiment");
 
     let mut rows = Vec::new();
     for framework in frameworks {

@@ -19,8 +19,14 @@ fn main() {
     let num_classes = building.reference_points().len();
 
     for (label, config) in [
-        ("paper scale (206×206, 20×20, 5 heads)", VitalConfig::paper(num_aps, num_classes)),
-        ("fast scale (24×24, 6×6, 4 heads)", VitalConfig::fast(num_aps, num_classes)),
+        (
+            "paper scale (206×206, 20×20, 5 heads)",
+            VitalConfig::paper(num_aps, num_classes),
+        ),
+        (
+            "fast scale (24×24, 6×6, 4 heads)",
+            VitalConfig::fast(num_aps, num_classes),
+        ),
     ] {
         let patch_size = config.patch_size;
         let model = match VitalModel::new(config) {

@@ -262,9 +262,10 @@ mod tests {
         let building = building_1();
         let dataset = collect_base_dataset(&building, Scale::Quick, 1);
         let split = dataset.split(0.8, 1);
-        let mut localizer = Box::new(
-            baselines::KnnLocalizer::new(3, baselines::FeatureMode::MeanChannel),
-        );
+        let mut localizer = Box::new(baselines::KnnLocalizer::new(
+            3,
+            baselines::FeatureMode::MeanChannel,
+        ));
         localizer.fit(&split.train).unwrap();
         let result = evaluate_on_devices(localizer.as_ref(), &building, &split.test).unwrap();
         assert_eq!(result.building, "Building 1");

@@ -1,10 +1,11 @@
 //! Experiment scaling (quick vs full runs).
 
 /// How much compute the experiment binaries spend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Reduced epochs and sweep grids; the default. Suitable for CI and for
     /// verifying the qualitative shape of every figure in minutes.
+    #[default]
     Quick,
     /// Full training budgets (closer to the paper's setup, much slower).
     Full,
@@ -14,7 +15,11 @@ impl Scale {
     /// Reads the scale from the `VITAL_SCALE` environment variable
     /// (`quick`/`full`, default `quick`).
     pub fn from_env() -> Self {
-        match std::env::var("VITAL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("VITAL_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "full" => Scale::Full,
             _ => Scale::Quick,
         }
@@ -68,12 +73,6 @@ impl Scale {
             Scale::Quick => 3,
             Scale::Full => 5,
         }
-    }
-}
-
-impl Default for Scale {
-    fn default() -> Self {
-        Scale::Quick
     }
 }
 

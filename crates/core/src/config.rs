@@ -187,7 +187,8 @@ impl VitalConfig {
                 self.patch_size, self.image_size
             )));
         }
-        if self.d_model == 0 || self.msa_heads == 0 || self.d_model % self.msa_heads != 0 {
+        if self.d_model == 0 || self.msa_heads == 0 || !self.d_model.is_multiple_of(self.msa_heads)
+        {
             return Err(VitalError::InvalidConfig(format!(
                 "d_model {} must be divisible by msa_heads {}",
                 self.d_model, self.msa_heads

@@ -60,7 +60,12 @@ impl DataAugmentationModule {
     ///
     /// # Errors
     /// Returns an error if the 1-D image is empty.
-    pub fn augment(&self, image: &Rssi1d, training: bool, rng: &mut SeededRng) -> Result<RssiImage> {
+    pub fn augment(
+        &self,
+        image: &Rssi1d,
+        training: bool,
+        rng: &mut SeededRng,
+    ) -> Result<RssiImage> {
         let size = image.width();
         let mut channels = Vec::with_capacity(3);
         for channel in image.channels() {

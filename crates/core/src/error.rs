@@ -50,9 +50,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(VitalError::NotFitted.to_string().contains("not been trained"));
-        assert!(VitalError::InvalidConfig("x".into()).to_string().contains('x'));
-        assert!(VitalError::InvalidDataset("y".into()).to_string().contains('y'));
+        assert!(VitalError::NotFitted
+            .to_string()
+            .contains("not been trained"));
+        assert!(VitalError::InvalidConfig("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(VitalError::InvalidDataset("y".into())
+            .to_string()
+            .contains('y'));
     }
 
     #[test]

@@ -99,7 +99,9 @@ impl RssiImage {
                     for row in 0..patch_size {
                         let y = py * patch_size + row;
                         let x0 = px * patch_size;
-                        data.extend_from_slice(&c[y * self.size + x0..y * self.size + x0 + patch_size]);
+                        data.extend_from_slice(
+                            &c[y * self.size + x0..y * self.size + x0 + patch_size],
+                        );
                     }
                 }
             }

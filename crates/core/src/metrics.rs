@@ -41,7 +41,7 @@ impl LocalizationReport {
 
     /// Minimum localization error in metres.
     pub fn min_error_m(&self) -> f32 {
-        self.errors_m.iter().cloned().fold(f32::INFINITY, f32::min).min(f32::INFINITY)
+        self.errors_m.iter().cloned().fold(f32::INFINITY, f32::min)
     }
 
     /// Maximum localization error in metres.

@@ -345,7 +345,10 @@ mod tests {
             ]
         );
         let again = model.prepare_patches(obs, false, &mut rng).unwrap();
-        assert_eq!(patches, again, "inference preprocessing must be deterministic");
+        assert_eq!(
+            patches, again,
+            "inference preprocessing must be deterministic"
+        );
         assert!(model.param_count() > 1000);
         assert_eq!(Localizer::name(&model), "VITAL");
     }

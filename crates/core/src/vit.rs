@@ -137,7 +137,11 @@ impl VisionTransformer {
             let is_last = block_index + 1 == config.encoder_blocks;
             // Only the final block may widen its output via concatenation;
             // earlier blocks must preserve d_model for the next block.
-            let fusion = if is_last { Fusion::Concat } else { Fusion::Residual };
+            let fusion = if is_last {
+                Fusion::Concat
+            } else {
+                Fusion::Residual
+            };
             blocks.push(EncoderBlock::new(
                 rng,
                 config.d_model,
@@ -188,11 +192,7 @@ impl VisionTransformer {
     ///
     /// # Errors
     /// Returns an error if `patches` is not `[num_patches, patch_dim]`.
-    pub fn forward_sample<'t>(
-        &self,
-        session: &Session<'t>,
-        patches: &Tensor,
-    ) -> Result<Var<'t>> {
+    pub fn forward_sample<'t>(&self, session: &Session<'t>, patches: &Tensor) -> Result<Var<'t>> {
         if patches.shape().dims() != [self.num_patches, self.patch_dim] {
             return Err(VitalError::InvalidDataset(format!(
                 "patch matrix {:?} does not match model expectation [{}, {}]",
@@ -221,11 +221,7 @@ impl VisionTransformer {
     /// # Errors
     /// Returns an error if the batch is empty or any patch matrix has the
     /// wrong shape.
-    pub fn forward_batch<'t>(
-        &self,
-        session: &Session<'t>,
-        batch: &[Tensor],
-    ) -> Result<Var<'t>> {
+    pub fn forward_batch<'t>(&self, session: &Session<'t>, batch: &[Tensor]) -> Result<Var<'t>> {
         if batch.is_empty() {
             return Err(VitalError::InvalidDataset("empty batch".into()));
         }
@@ -362,7 +358,10 @@ mod tests {
         let mut rng = SeededRng::new(6);
         let vit = VisionTransformer::new(&mut rng, &config).unwrap();
         let patches = SeededRng::new(7).uniform_tensor(&[9, 48], -1.0, 1.0);
-        assert_eq!(vit.predict(&patches).unwrap(), vit.predict(&patches).unwrap());
+        assert_eq!(
+            vit.predict(&patches).unwrap(),
+            vit.predict(&patches).unwrap()
+        );
     }
 
     #[test]

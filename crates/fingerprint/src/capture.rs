@@ -151,6 +151,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = capture_observation(&channel, &devices[1], rp, 5, &mut rng); // HTC
         let b = capture_observation(&channel, &devices[5], rp, 5, &mut rng); // OP3
+
         // Mean absolute difference across APs should be clearly non-zero
         // (device heterogeneity), driven by the ~9 dB offset gap.
         let diff: f32 = a

@@ -49,11 +49,7 @@ pub struct TrainTestSplit {
 impl FingerprintDataset {
     /// Runs a full collection campaign: every device captures
     /// `captures_per_rp` observations at every reference point of `building`.
-    pub fn collect(
-        building: &Building,
-        devices: &[DeviceProfile],
-        config: &DatasetConfig,
-    ) -> Self {
+    pub fn collect(building: &Building, devices: &[DeviceProfile], config: &DatasetConfig) -> Self {
         let channel = Channel::new(building, config.seed);
         let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5151));
         let mut observations = Vec::new();

@@ -150,7 +150,16 @@ mod tests {
     use rand::SeedableRng;
 
     fn profile(offset: f32, slope: f32, sensitivity: f32, noise: f32) -> DeviceProfile {
-        DeviceProfile::new("Acme", "Phone", "ACME", 2020, offset, slope, sensitivity, noise)
+        DeviceProfile::new(
+            "Acme",
+            "Phone",
+            "ACME",
+            2020,
+            offset,
+            slope,
+            sensitivity,
+            noise,
+        )
     }
 
     #[test]
@@ -177,9 +186,11 @@ mod tests {
         let steep = profile(0.0, 1.2, -99.0, 0.0);
         let mut rng = StdRng::seed_from_u64(2);
         // At the pivot, slope has no effect.
-        assert!((steep.observe(DeviceProfile::PIVOT_DBM, false, &mut rng) - DeviceProfile::PIVOT_DBM)
-            .abs()
-            < 1e-5);
+        assert!(
+            (steep.observe(DeviceProfile::PIVOT_DBM, false, &mut rng) - DeviceProfile::PIVOT_DBM)
+                .abs()
+                < 1e-5
+        );
         // Far below the pivot the reported value is pushed further down.
         let far = steep.observe(-85.0, false, &mut rng);
         assert!(far < -85.0);
@@ -198,8 +209,13 @@ mod tests {
         let p = profile(0.0, 1.0, -90.0, 0.0);
         let mut rng = StdRng::seed_from_u64(4);
         // Truth a couple of dB above the floor: sometimes seen, sometimes not.
-        let observations: Vec<f32> = (0..200).map(|_| p.observe(-86.0, false, &mut rng)).collect();
-        let missing = observations.iter().filter(|v| **v == MISSING_AP_DBM).count();
+        let observations: Vec<f32> = (0..200)
+            .map(|_| p.observe(-86.0, false, &mut rng))
+            .collect();
+        let missing = observations
+            .iter()
+            .filter(|v| **v == MISSING_AP_DBM)
+            .count();
         assert!(missing > 20 && missing < 180, "missing = {missing}");
     }
 
@@ -207,7 +223,9 @@ mod tests {
     fn noise_produces_spread_measurements() {
         let p = profile(0.0, 1.0, -99.0, 2.0);
         let mut rng = StdRng::seed_from_u64(5);
-        let obs: Vec<f32> = (0..100).map(|_| p.observe(-60.0, false, &mut rng)).collect();
+        let obs: Vec<f32> = (0..100)
+            .map(|_| p.observe(-60.0, false, &mut rng))
+            .collect();
         let mean = obs.iter().sum::<f32>() / obs.len() as f32;
         let var = obs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / obs.len() as f32;
         assert!(var > 0.5, "variance {var}");

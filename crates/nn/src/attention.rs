@@ -30,7 +30,7 @@ impl MultiHeadSelfAttention {
     /// Returns an error if `d_model` is not divisible by `heads` or either is
     /// zero.
     pub fn new(rng: &mut SeededRng, d_model: usize, heads: usize) -> Result<Self> {
-        if heads == 0 || d_model == 0 || d_model % heads != 0 {
+        if heads == 0 || d_model == 0 || !d_model.is_multiple_of(heads) {
             return Err(TensorError::ShapeMismatch {
                 op: "msa.new",
                 lhs: vec![d_model],

@@ -71,7 +71,10 @@ impl StackedAutoencoder {
     pub fn encode_inference(&self, x: &Tensor) -> Result<Tensor> {
         let tape = Tape::new();
         let session = Session::new(&tape, false, 0);
-        Ok(self.encoder.forward(&session, session.constant(x.clone()))?.value())
+        Ok(self
+            .encoder
+            .forward(&session, session.constant(x.clone()))?
+            .value())
     }
 
     /// Full reconstruction (encode then decode).

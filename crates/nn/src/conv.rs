@@ -163,11 +163,7 @@ mod tests {
         let tape = Tape::new();
         let session = Session::new(&tape, true, 0);
         let x = session.constant(Tensor::ones(&[1, 8]));
-        let loss = conv
-            .forward(&session, x)
-            .unwrap()
-            .sum_all()
-            .unwrap();
+        let loss = conv.forward(&session, x).unwrap().sum_all().unwrap();
         session.backward(loss).unwrap();
         for p in conv.params() {
             assert!(p.grad().is_some());

@@ -167,7 +167,10 @@ mod tests {
 
         let tape_eval = Tape::new();
         let s_eval = Session::new(&tape_eval, false, 9);
-        let y_eval_a = mlp.forward(&s_eval, s_eval.constant(x.clone())).unwrap().value();
+        let y_eval_a = mlp
+            .forward(&s_eval, s_eval.constant(x.clone()))
+            .unwrap()
+            .value();
         let tape_eval2 = Tape::new();
         let s_eval2 = Session::new(&tape_eval2, false, 10);
         let y_eval_b = mlp
@@ -179,10 +182,7 @@ mod tests {
 
         let tape_train = Tape::new();
         let s_train = Session::new(&tape_train, true, 11);
-        let y_train = mlp
-            .forward(&s_train, s_train.constant(x))
-            .unwrap()
-            .value();
+        let y_train = mlp.forward(&s_train, s_train.constant(x)).unwrap().value();
         // Training output will almost surely differ due to dropout.
         assert_ne!(y_eval_a, y_train);
     }
@@ -194,7 +194,8 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let mlp = Mlp::new(&mut rng, &[2, 16, 2], Activation::Tanh);
         let mut adam = Adam::new(0.02);
-        let inputs = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]).unwrap();
+        let inputs =
+            Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]).unwrap();
         let targets = [0usize, 1, 1, 0];
         let mut last_loss = f32::MAX;
         for step in 0..300 {

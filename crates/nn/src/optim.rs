@@ -183,7 +183,7 @@ mod tests {
         assert_eq!(sgd.learning_rate(), 0.1);
         for _ in 0..100 {
             quadratic_grad(&p);
-            sgd.step(&[p.clone()]);
+            sgd.step(std::slice::from_ref(&p));
         }
         assert!(p.value().norm() < 1e-3);
     }
@@ -194,7 +194,7 @@ mod tests {
             let p = Param::new("x", Tensor::from_vec(vec![5.0], &[1]).unwrap());
             for _ in 0..20 {
                 quadratic_grad(&p);
-                opt.step(&[p.clone()]);
+                opt.step(std::slice::from_ref(&p));
             }
             p.value().abs().max().unwrap()
         };
@@ -209,7 +209,7 @@ mod tests {
         let mut adam = Adam::new(0.1);
         for _ in 0..300 {
             quadratic_grad(&p);
-            adam.step(&[p.clone()]);
+            adam.step(std::slice::from_ref(&p));
         }
         assert!(p.value().norm() < 1e-2);
         assert_eq!(adam.steps(), 300);
@@ -219,8 +219,8 @@ mod tests {
     fn optimizers_skip_params_without_grad() {
         let p = Param::new("x", Tensor::ones(&[2]));
         let before = p.value();
-        Sgd::new(0.5).step(&[p.clone()]);
-        Adam::new(0.5).step(&[p.clone()]);
+        Sgd::new(0.5).step(std::slice::from_ref(&p));
+        Adam::new(0.5).step(std::slice::from_ref(&p));
         assert_eq!(p.value(), before);
     }
 

@@ -31,7 +31,7 @@ impl AccessPoint {
             ),
             position,
             tx_power_dbm,
-            frequency_mhz: if id % 3 == 0 { 5180.0 } else { 2437.0 },
+            frequency_mhz: if id.is_multiple_of(3) { 5180.0 } else { 2437.0 },
         }
     }
 

@@ -188,7 +188,11 @@ mod tests {
 
     fn simple_building() -> Building {
         Building::builder("test")
-            .wall(Point::new(5.0, -1.0), Point::new(5.0, 1.0), Material::Concrete)
+            .wall(
+                Point::new(5.0, -1.0),
+                Point::new(5.0, 1.0),
+                Material::Concrete,
+            )
             .access_point(AccessPoint::new(1, 0, Point::new(0.0, 0.0), 18.0))
             .access_point(AccessPoint::new(1, 1, Point::new(10.0, 0.0), 18.0))
             .survey_path(&[Point::new(0.0, 0.0), Point::new(10.0, 0.0)], 1.0)

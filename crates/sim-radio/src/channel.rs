@@ -174,7 +174,9 @@ mod tests {
         let p = Point::new(3.0, 0.0);
         let mean = channel.mean_rssi(0, p);
         let mut rng = StdRng::seed_from_u64(9);
-        let samples: Vec<f32> = (0..64).map(|_| channel.sample_rssi(0, p, &mut rng)).collect();
+        let samples: Vec<f32> = (0..64)
+            .map(|_| channel.sample_rssi(0, p, &mut rng))
+            .collect();
         let sample_mean = samples.iter().sum::<f32>() / samples.len() as f32;
         assert!((sample_mean - mean).abs() < 1.5);
         let distinct = samples.windows(2).any(|w| w[0] != w[1]);

@@ -96,11 +96,7 @@ pub fn building_2() -> Building {
     }
     for i in 0..4 {
         let y = 5.0 + i as f32 * 7.0;
-        builder = builder.wall(
-            Point::new(35.0, y),
-            Point::new(45.0, y),
-            Material::Drywall,
-        );
+        builder = builder.wall(Point::new(35.0, y), Point::new(45.0, y), Material::Drywall);
     }
     for ap in grid_access_points(2, (0.0, 45.0), (-4.0, 32.0), 6, 4, 17.0) {
         builder = builder.access_point(ap);
@@ -233,12 +229,7 @@ mod tests {
             for rp in b.reference_points() {
                 let fp = channel.mean_fingerprint(rp.position);
                 let visible = fp.iter().filter(|v| **v > crate::RSSI_FLOOR_DBM).count();
-                assert!(
-                    visible >= 1,
-                    "{} RP {} sees no APs",
-                    b.name(),
-                    rp.id
-                );
+                assert!(visible >= 1, "{} RP {} sees no APs", b.name(), rp.id);
             }
         }
     }

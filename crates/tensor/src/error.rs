@@ -85,10 +85,7 @@ mod tests {
             provided: 3,
             expected: 4,
         };
-        assert_eq!(
-            e.to_string(),
-            "data length 3 does not match shape volume 4"
-        );
+        assert_eq!(e.to_string(), "data length 3 does not match shape volume 4");
     }
 
     #[test]

@@ -96,9 +96,11 @@ impl Tensor {
         }
         let rv = row.as_slice();
         let mut data = Vec::with_capacity(r * c);
-        for i in 0..r {
-            for j in 0..c {
-                data.push(self.as_slice()[i * c + j] + rv[j]);
+        if c > 0 {
+            for chunk in self.as_slice().chunks_exact(c) {
+                for (&x, &rj) in chunk.iter().zip(rv) {
+                    data.push(x + rj);
+                }
             }
         }
         Tensor::from_vec(data, &[r, c])
@@ -120,9 +122,11 @@ impl Tensor {
         }
         let rv = row.as_slice();
         let mut data = Vec::with_capacity(r * c);
-        for i in 0..r {
-            for j in 0..c {
-                data.push(self.as_slice()[i * c + j] * rv[j]);
+        if c > 0 {
+            for chunk in self.as_slice().chunks_exact(c) {
+                for (&x, &rj) in chunk.iter().zip(rv) {
+                    data.push(x * rj);
+                }
             }
         }
         Tensor::from_vec(data, &[r, c])
@@ -340,5 +344,19 @@ mod tests {
         assert_eq!(m.flatten().shape().dims(), &[4]);
         let v = t(&[1.0, 2.0], &[2]);
         assert_eq!(v.as_row_matrix().shape().dims(), &[1, 2]);
+    }
+
+    #[test]
+    fn row_broadcasts_accept_zero_column_matrices() {
+        let empty = Tensor::from_vec(vec![], &[2, 0]).unwrap();
+        let row = Tensor::from_vec(vec![], &[0]).unwrap();
+        assert_eq!(
+            empty.add_row_broadcast(&row).unwrap().shape().dims(),
+            &[2, 0]
+        );
+        assert_eq!(
+            empty.mul_row_broadcast(&row).unwrap().shape().dims(),
+            &[2, 0]
+        );
     }
 }

@@ -23,7 +23,11 @@ impl Tensor {
             return 0.0;
         }
         let m = self.mean();
-        self.as_slice().iter().map(|v| (v - m) * (v - m)).sum::<f32>() / self.len() as f32
+        self.as_slice()
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f32>()
+            / self.len() as f32
     }
 
     /// Population standard deviation of all elements.
@@ -104,11 +108,13 @@ impl Tensor {
     /// # Errors
     /// Returns an error if the tensor is not a matrix.
     pub fn sum_rows(&self) -> Result<Tensor> {
-        let (r, c) = self.shape().as_matrix()?;
+        let (_, c) = self.shape().as_matrix()?;
         let mut out = vec![0.0; c];
-        for i in 0..r {
-            for j in 0..c {
-                out[j] += self.as_slice()[i * c + j];
+        if c > 0 {
+            for chunk in self.as_slice().chunks_exact(c) {
+                for (acc, &v) in out.iter_mut().zip(chunk) {
+                    *acc += v;
+                }
             }
         }
         Tensor::from_vec(out, &[c])
@@ -158,11 +164,15 @@ impl Tensor {
     pub fn log_sum_exp_rows(&self) -> Result<Tensor> {
         let (r, c) = self.shape().as_matrix()?;
         let mut out = vec![0.0; r];
-        for i in 0..r {
-            let row = &self.as_slice()[i * c..(i + 1) * c];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let s: f32 = row.iter().map(|v| (v - max).exp()).sum();
-            out[i] = max + s.ln();
+        if c > 0 {
+            for (out_i, row) in out.iter_mut().zip(self.as_slice().chunks_exact(c)) {
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let s: f32 = row.iter().map(|v| (v - max).exp()).sum();
+                *out_i = max + s.ln();
+            }
+        } else {
+            // log-sum-exp over an empty row is log(0) = -inf.
+            out.fill(f32::NEG_INFINITY);
         }
         Tensor::from_vec(out, &[r])
     }
@@ -292,5 +302,14 @@ mod tests {
     fn norm_of_pythagorean_vector() {
         let a = t(&[3.0, 4.0], &[2]);
         assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn row_reductions_accept_zero_column_matrices() {
+        let empty = Tensor::from_vec(vec![], &[2, 0]).unwrap();
+        assert_eq!(empty.sum_rows().unwrap().shape().dims(), &[0]);
+        let lse = empty.log_sum_exp_rows().unwrap();
+        assert_eq!(lse.shape().dims(), &[2]);
+        assert!(lse.as_slice().iter().all(|v| *v == f32::NEG_INFINITY));
     }
 }

@@ -42,13 +42,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     with_dam.fit(&split.train)?;
     let dam_report = evaluate_localizer(&with_dam, &split.test, &building)?;
 
-    println!("\nSHERPA without DAM: mean {:.2} m", plain_report.mean_error_m());
-    println!("SHERPA with DAM:    mean {:.2} m", dam_report.mean_error_m());
+    println!(
+        "\nSHERPA without DAM: mean {:.2} m",
+        plain_report.mean_error_m()
+    );
+    println!(
+        "SHERPA with DAM:    mean {:.2} m",
+        dam_report.mean_error_m()
+    );
     let delta = plain_report.mean_error_m() - dam_report.mean_error_m();
     println!(
         "DAM changed the mean error by {:+.2} m ({}).",
         -delta,
-        if delta > 0.0 { "improvement" } else { "regression" }
+        if delta > 0.0 {
+            "improvement"
+        } else {
+            "regression"
+        }
     );
     println!(
         "\nThe paper's Fig. 9 shows DAM improving ANVIL, SHERPA and CNNLoc while slightly \

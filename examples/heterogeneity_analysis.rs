@@ -29,7 +29,12 @@ fn main() {
 
     let observations: Vec<_> = devices
         .iter()
-        .map(|device| (device, capture_observation(&channel, device, rp, 10, &mut rng)))
+        .map(|device| {
+            (
+                device,
+                capture_observation(&channel, device, rp, 10, &mut rng),
+            )
+        })
         .collect();
 
     // Per-device view of the first 8 APs.

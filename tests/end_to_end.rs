@@ -100,8 +100,7 @@ fn device_heterogeneity_hurts_single_device_knn() {
     let mut knn = KnnLocalizer::new(5, FeatureMode::MeanChannel);
     knn.fit(&train).expect("fit");
     let same = evaluate_localizer(&knn, &same_device_test, &building).expect("same-device eval");
-    let other =
-        evaluate_localizer(&knn, &other_device_test, &building).expect("other-device eval");
+    let other = evaluate_localizer(&knn, &other_device_test, &building).expect("other-device eval");
     assert!(
         other.mean_error_m() > same.mean_error_m(),
         "a very different device ({:.2} m) should be harder than the training device ({:.2} m)",

@@ -1,6 +1,8 @@
 //! Cross-crate property-based tests on the data pipeline's invariants.
 
-use fingerprint::{all_devices, capture_observation, DatasetConfig, FingerprintDataset, MISSING_AP_DBM};
+use fingerprint::{
+    all_devices, capture_observation, DatasetConfig, FingerprintDataset, MISSING_AP_DBM,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -6,6 +6,9 @@ use fingerprint::{all_devices, base_devices, extended_devices, DatasetConfig, Fi
 use sim_radio::{benchmark_buildings, RSSI_CEILING_DBM, RSSI_FLOOR_DBM};
 use vital::{Localizer, VitalConfig, VitalError, VitalModel};
 
+// Compile-time invariant: the RSSI convention constants must stay ordered.
+const _: () = assert!(RSSI_FLOOR_DBM < RSSI_CEILING_DBM);
+
 #[test]
 fn device_tables_match_the_paper() {
     let base = base_devices();
@@ -38,7 +41,6 @@ fn benchmark_buildings_match_the_paper_scale() {
     let mut ap_counts: Vec<_> = buildings.iter().map(|b| b.access_points().len()).collect();
     ap_counts.dedup();
     assert_eq!(ap_counts.len(), 4);
-    assert!(RSSI_FLOOR_DBM < RSSI_CEILING_DBM);
 }
 
 #[test]

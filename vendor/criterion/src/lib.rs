@@ -1,0 +1,201 @@
+//! Minimal, API-compatible stand-in for the parts of `criterion` this
+//! workspace uses (see `vendor/README.md` for why it is vendored).
+//!
+//! Behaviour depends on how the binary is invoked:
+//!
+//! * `cargo bench` passes `--bench`, selecting **measure** mode: each
+//!   benchmark is warmed up and timed over enough iterations to fill a small
+//!   time budget, and the mean wall-clock time is printed.
+//! * any other invocation (notably `cargo test`, which runs benchmark
+//!   targets with `--test`) selects **quick** mode: every benchmark body is
+//!   executed exactly once as a smoke test, without timing.
+//!
+//! No statistics, plots or saved baselines are produced.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget per benchmark in measure mode.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// How a benchmark body consumes its per-iteration setup output; all
+/// variants behave identically in this stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output; upstream batches many iterations together.
+    SmallInput,
+    /// Large setup output; upstream uses fewer iterations per batch.
+    LargeInput,
+    /// Setup re-runs for every single iteration.
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Quick,
+    Measure,
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Quick },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs (and in measure mode, times) a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: self.mode,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count; accepted for API compatibility (the stand-in
+    /// sizes its iteration count from a fixed time budget instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full_id, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Times the benchmark body it is handed.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly (once in quick mode) and records timing.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.run(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Like [`iter`](Self::iter), but re-creates the routine's input with
+    /// `setup` outside the timed section on every iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    fn run(&mut self, mut timed_iteration: impl FnMut() -> Duration) {
+        match self.mode {
+            Mode::Quick => {
+                self.total += timed_iteration();
+                self.iterations += 1;
+            }
+            Mode::Measure => {
+                // Warm-up iteration also sizes the measurement loop.
+                let first = timed_iteration().max(Duration::from_nanos(1));
+                let planned = (MEASURE_BUDGET.as_nanos() / first.as_nanos()).clamp(1, 10_000);
+                let mut total = Duration::ZERO;
+                for _ in 0..planned {
+                    total += timed_iteration();
+                }
+                self.total = total;
+                self.iterations = planned as u64;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        match self.mode {
+            Mode::Quick => println!("{id}: ok (quick mode, {} iteration)", self.iterations),
+            Mode::Measure => {
+                let mean = if self.iterations > 0 {
+                    self.total / self.iterations as u32
+                } else {
+                    Duration::ZERO
+                };
+                println!("{id}: mean {mean:?} over {} iterations", self.iterations);
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function invoking each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,146 @@
+//! The deterministic test runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SampleRange, SeedableRng};
+use std::fmt;
+
+/// Fixed base seed: every test binary generates the same inputs on every
+/// run, which keeps the tier-1 verify reproducible.
+const BASE_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// Maximum number of consecutive [`TestCaseError::Reject`]s tolerated before
+/// the runner gives up (mirrors upstream's global rejection cap).
+const MAX_REJECTS: u32 = 4096;
+
+/// Runner configuration; only the case count is configurable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Returns a configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; these tests exercise small tensors so
+        // the same budget stays well under a second per test.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// An assumption (`prop_assume!`) did not hold; the case is retried.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(message) => write!(f, "{message}"),
+            TestCaseError::Reject(message) => write!(f, "rejected: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type returned by a single test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Random source handed to strategies while generating inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples a value uniformly from `range`.
+    pub fn sample<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Samples a `usize` from a half-open range.
+    pub fn usize_in(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+}
+
+/// Drives a strategy and a test body through the configured number of cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner for the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` against `cases` generated inputs. Returns a human-readable
+    /// failure description if any case fails (inputs are not shrunk).
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+        S::Value: fmt::Debug + Clone,
+    {
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        let mut draw = 0u64;
+        while case < self.config.cases {
+            // Each draw gets its own RNG stream so rejection retries explore
+            // fresh inputs while staying reproducible run-to-run.
+            let mut rng = TestRng::new(BASE_SEED ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            draw += 1;
+            let value = strategy.generate(&mut rng);
+            match test(value.clone()) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > MAX_REJECTS {
+                        return Err(format!(
+                            "too many input rejections ({MAX_REJECTS}); \
+                             strategy rarely satisfies prop_assume!"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "proptest case #{case} failed: {message}\ninput: {value:#?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,102 @@
+//! Meta-tests proving the stand-in runner actually exercises test bodies:
+//! failing properties must fail, rejections must retry, and generation must
+//! be deterministic across runs.
+
+use proptest::prelude::*;
+use std::cell::Cell;
+
+#[test]
+fn failing_property_is_reported() {
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+    let result = runner.run(&(0usize..100,), |(n,)| {
+        prop_assert!(n < 10, "saw {}", n);
+        Ok(())
+    });
+    let message = result.expect_err("a property false for 90% of inputs must fail");
+    assert!(message.contains("saw"), "unexpected message: {message}");
+}
+
+#[test]
+fn passing_property_runs_every_case() {
+    let count = Cell::new(0u32);
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(57));
+    runner
+        .run(&(0usize..100,), |(_n,)| {
+            count.set(count.get() + 1);
+            Ok(())
+        })
+        .expect("trivially true property");
+    assert_eq!(count.get(), 57);
+}
+
+#[test]
+fn rejection_retries_until_budget() {
+    let accepted = Cell::new(0u32);
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+    runner
+        .run(&(0usize..100,), |(n,)| {
+            prop_assume!(n >= 50);
+            accepted.set(accepted.get() + 1);
+            prop_assert!(n >= 50);
+            Ok(())
+        })
+        .expect("half the inputs satisfy the assumption");
+    assert_eq!(accepted.get(), 16);
+}
+
+#[test]
+fn impossible_assumption_errors_out() {
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(4));
+    let result = runner.run(&(0usize..100,), |(_n,)| {
+        prop_assume!(false);
+        Ok(())
+    });
+    let message = result.expect_err("an unsatisfiable assumption must not pass");
+    assert!(
+        message.contains("rejections"),
+        "unexpected message: {message}"
+    );
+}
+
+#[test]
+fn generation_is_deterministic_across_runs() {
+    let collect = || {
+        let mut values = Vec::new();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        runner
+            .run(&(0u64..1_000_000, -1.0f32..1.0), |pair| {
+                values.push(pair);
+                Ok(())
+            })
+            .expect("recording property");
+        values
+    };
+    assert_eq!(collect(), collect());
+}
+
+#[test]
+fn flat_map_and_collection_strategies_compose() {
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+    runner
+        .run(
+            &((1usize..8)
+                .prop_flat_map(|len| (proptest::collection::vec(0.0f32..1.0, len), Just(len))),),
+            |((values, len),)| {
+                prop_assert_eq!(values.len(), len);
+                for v in values {
+                    prop_assert!((0.0..1.0).contains(&v));
+                }
+                Ok(())
+            },
+        )
+        .expect("vector length must always match its generating length");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn macro_form_compiles_and_runs(a in 0usize..50, b in 0usize..50) {
+        prop_assert!(a + b < 100);
+    }
+}

@@ -1,0 +1,41 @@
+//! Minimal stand-in for the parts of `serde` this workspace uses (see
+//! `vendor/README.md` for why it is vendored).
+//!
+//! The workspace only ever derives `Serialize`/`Deserialize` to declare
+//! serialization intent; nothing serializes at runtime. The traits here are
+//! satisfied by blanket impls so that generic `T: Serialize` bounds compile,
+//! and the re-exported derives (behind the `derive` feature, always enabled
+//! by the workspace) expand to nothing.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types. The lifetime parameter mirrors upstream so bounds written against
+/// the real crate keep compiling.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use super::Serialize;
+}

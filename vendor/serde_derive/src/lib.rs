@@ -1,0 +1,23 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and data
+//! types to declare serialization intent, but nothing actually serializes
+//! (there is no reachable registry to pull `serde_json` from — see
+//! `vendor/README.md`). The vendored `serde` crate provides blanket trait
+//! impls, so these derives only need to accept the input and emit nothing.
+
+#![deny(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
