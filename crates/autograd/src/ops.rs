@@ -104,15 +104,31 @@ impl<'t> Var<'t> {
         let b = other.value();
         let value = a.matmul(&b)?;
         let a_shape_is_vec = a.shape().rank() == 1;
+        let b_shape_is_vec = b.shape().rank() == 1;
+        // The forward pass promotes rank-1 operands to matrices (row on the
+        // left, k×1 column on the right — see `Tensor::matmul`). The backward
+        // pass works on those matrix views and flattens the gradients back to
+        // the recorded parents' rank-1 shapes at the end.
+        let am = if a_shape_is_vec { a.as_row_matrix() } else { a };
+        let k = am.cols().expect("matmul lhs is a matrix view");
+        let bm = if b_shape_is_vec {
+            if k == 1 {
+                b.as_row_matrix()
+            } else {
+                b.reshape(&[k, 1])
+                    .expect("length checked by forward matmul")
+            }
+        } else {
+            b
+        };
         Ok(self.tape.push(
             value,
             vec![self.id, other.id],
             Some(Box::new(move |g: &Tensor| {
-                let da = g.matmul_nt(&b).expect("shapes fixed at record time");
-                let db = a.matmul_tn(g).expect("shapes fixed at record time");
-                // If the left operand was rank-1 it was treated as [1, k]; the
-                // gradient must match the recorded parent's rank-1 shape.
+                let da = g.matmul_nt(&bm).expect("shapes fixed at record time");
+                let db = am.matmul_tn(g).expect("shapes fixed at record time");
                 let da = if a_shape_is_vec { da.flatten() } else { da };
+                let db = if b_shape_is_vec { db.flatten() } else { db };
                 vec![da, db]
             })),
         ))

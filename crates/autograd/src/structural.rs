@@ -111,6 +111,65 @@ impl<'t> Var<'t> {
         ))
     }
 
+    /// Adds `tile` (a `[block_rows, cols]` matrix) to every consecutive
+    /// `block_rows`-row block of `self` (a `[reps * block_rows, cols]`
+    /// matrix).
+    ///
+    /// This is the batched form of a per-sample addition: stacking `reps`
+    /// samples row-wise and tiling the shared operand (e.g. a positional
+    /// embedding) over the stack. Gradients: `dX = g`,
+    /// `dtile = Σ_blocks g` (the block sum over the batch).
+    ///
+    /// # Errors
+    /// Returns an error if the shapes are incompatible.
+    pub fn add_tile_rows(self, tile: Var<'t>, reps: usize) -> Result<Var<'t>> {
+        let t = tile.value();
+        let block_rows = t.rows()?;
+        let tiled = if reps == 1 { t } else { t.repeat_rows(reps)? };
+        let value = self.value().add(&tiled)?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id, tile.id],
+            Some(Box::new(move |g: &Tensor| {
+                let dtile = g
+                    .sum_row_blocks(block_rows)
+                    .expect("shapes fixed at record time");
+                vec![g.clone(), dtile]
+            })),
+        ))
+    }
+
+    /// Mean-pools every consecutive `block_rows`-row block of a
+    /// `[blocks * block_rows, cols]` matrix down to one row, producing a
+    /// `[blocks, cols]` matrix.
+    ///
+    /// With one block per sample this is the batched counterpart of
+    /// [`Var::mean_pool_rows`]: it collapses a whole stacked batch of patch
+    /// sequences to per-sample pooled features in one op.
+    ///
+    /// # Errors
+    /// Returns an error if the row count is not a multiple of `block_rows`.
+    pub fn mean_pool_row_blocks(self, block_rows: usize) -> Result<Var<'t>> {
+        let x = self.value();
+        let value = x.mean_row_blocks(block_rows)?;
+        let (rows, cols) = x.shape().as_matrix()?;
+        Ok(self.tape.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                // Each input row receives its block's pooled gradient / P.
+                let scale = 1.0 / block_rows as f32;
+                let mut full = Vec::with_capacity(rows * cols);
+                for block_grad in g.as_slice().chunks_exact(cols) {
+                    for _ in 0..block_rows {
+                        full.extend(block_grad.iter().map(|v| v * scale));
+                    }
+                }
+                vec![Tensor::from_vec(full, &[rows, cols]).expect("tile volume")]
+            })),
+        ))
+    }
+
     /// Vertically concatenates matrices with equal column counts.
     ///
     /// # Errors
@@ -283,6 +342,64 @@ mod tests {
         tape.backward(loss).unwrap();
         assert_eq!(tape.grad(a).unwrap().as_slice(), &[5.0, 7.0]);
         assert_eq!(tape.grad(b).unwrap().as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn add_tile_rows_matches_per_block_add_and_sums_gradient() {
+        let tape = Tape::new();
+        // Two stacked "samples" of 2×2 each.
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[4, 2]));
+        let pos = tape.var(t(&[10.0, 20.0, 30.0, 40.0], &[2, 2]));
+        let y = x.add_tile_rows(pos, 2).unwrap();
+        assert_eq!(
+            y.value().as_slice(),
+            &[11.0, 22.0, 33.0, 44.0, 15.0, 26.0, 37.0, 48.0]
+        );
+        let mask = t(&[1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[4, 2]);
+        let loss = y.mul_mask(&mask).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(x).unwrap(), mask);
+        // dtile sums the two blocks of the mask.
+        assert_eq!(tape.grad(pos).unwrap().as_slice(), &[3.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn add_tile_rows_with_one_rep_is_plain_add() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0], &[1, 2]));
+        let b = tape.var(t(&[3.0, 4.0], &[1, 2]));
+        let y = x.add_tile_rows(b, 1).unwrap();
+        assert_eq!(y.value().as_slice(), &[4.0, 6.0]);
+        let loss = y.sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_pool_row_blocks_pools_per_block() {
+        let tape = Tape::new();
+        let x = tape.var(t(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[4, 2]));
+        let pooled = x.mean_pool_row_blocks(2).unwrap();
+        assert_eq!(pooled.value().shape().dims(), &[2, 2]);
+        assert_eq!(pooled.value().as_slice(), &[2.0, 3.0, 20.0, 30.0]);
+        let mask = t(&[1.0, 1.0, 3.0, 3.0], &[2, 2]);
+        let loss = pooled.mul_mask(&mask).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+        assert_eq!(
+            tape.grad(x).unwrap().as_slice(),
+            &[0.5, 0.5, 0.5, 0.5, 1.5, 1.5, 1.5, 1.5]
+        );
+    }
+
+    #[test]
+    fn mean_pool_row_blocks_of_whole_matrix_matches_mean_pool_rows() {
+        let tape = Tape::new();
+        let data = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let a = tape.var(data.clone());
+        let b = tape.var(data);
+        let via_blocks = a.mean_pool_row_blocks(3).unwrap();
+        let via_rows = b.mean_pool_rows().unwrap();
+        assert_eq!(via_blocks.value(), via_rows.value());
     }
 
     #[test]

@@ -104,6 +104,101 @@ proptest! {
     }
 
     #[test]
+    fn packed_gemm_gradcheck_across_panel_boundaries(
+        seed in 0u64..300,
+        m in 1usize..11,
+        inner in 1usize..19,
+        cols in 1usize..11,
+    ) {
+        // Sizes straddle the kernel's MR/NR tile edges on the small-product
+        // fast path; `packed_path_gradcheck` below covers the packed kernel.
+        let mut rng = SeededRng::new(seed.wrapping_add(7_000));
+        let x = rng.uniform_tensor(&[m, inner], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[inner, cols], -1.0, 1.0);
+        let weights = rng.uniform_tensor(&[m, cols], -1.0, 1.0);
+
+        let tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let wv = tape.var(w.clone());
+        let out = xv.matmul(wv).unwrap();
+        let loss = out.mul_mask(&weights).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+
+        let wc = weights.clone();
+        let xc = x.clone();
+        let numeric_w = finite_diff(&w, |w_| weighted_sum(&xc.matmul(w_).unwrap(), &wc), 1e-3);
+        assert_close(&tape.grad(wv).unwrap(), &numeric_w, 2e-2)?;
+        let wc2 = weights.clone();
+        let w2 = w.clone();
+        let numeric_x = finite_diff(&x, |x_| weighted_sum(&x_.matmul(&w2).unwrap(), &wc2), 1e-3);
+        assert_close(&tape.grad(xv).unwrap(), &numeric_x, 2e-2)?;
+    }
+
+    #[test]
+    fn rank1_rhs_matmul_gradcheck(seed in 0u64..300, m in 1usize..6, inner in 2usize..9) {
+        // The k×1-column interpretation of a rank-1 RHS must backprop a
+        // rank-1 gradient of the same length.
+        let mut rng = SeededRng::new(seed.wrapping_add(8_000));
+        let a = rng.uniform_tensor(&[m, inner], -1.0, 1.0);
+        let v = rng.uniform_tensor(&[inner], -1.0, 1.0);
+        let weights = rng.uniform_tensor(&[m, 1], -1.0, 1.0);
+
+        let tape = Tape::new();
+        let av = tape.var(a.clone());
+        let vv = tape.var(v.clone());
+        let out = av.matmul(vv).unwrap();
+        prop_assert!(out.value().shape().dims() == [m, 1]);
+        let loss = out.mul_mask(&weights).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+
+        let grad_v = tape.grad(vv).unwrap();
+        prop_assert!(grad_v.shape().dims() == [inner]);
+        let ac = a.clone();
+        let wc = weights.clone();
+        let numeric_v = finite_diff(&v, |v_| {
+            weighted_sum(&ac.matmul(&v_.reshape(&[v_.len(), 1]).unwrap()).unwrap(), &wc)
+        }, 1e-3);
+        assert_close(&grad_v, &numeric_v, 2e-2)?;
+    }
+
+    #[test]
+    fn batched_stack_ops_gradcheck(
+        seed in 0u64..300,
+        samples in 1usize..4,
+        block in 1usize..4,
+        cols in 1usize..5,
+    ) {
+        // add_tile_rows → mean_pool_row_blocks: the batched ViT spine.
+        let mut rng = SeededRng::new(seed.wrapping_add(9_000));
+        let x = rng.uniform_tensor(&[samples * block, cols], -1.0, 1.0);
+        let tile = rng.uniform_tensor(&[block, cols], -1.0, 1.0);
+        let weights = rng.uniform_tensor(&[samples, cols], -1.0, 1.0);
+
+        let tape = Tape::new();
+        let xv = tape.var(x.clone());
+        let tv = tape.var(tile.clone());
+        let pooled = xv
+            .add_tile_rows(tv, samples)
+            .unwrap()
+            .mean_pool_row_blocks(block)
+            .unwrap();
+        let loss = pooled.mul_mask(&weights).unwrap().sum_all().unwrap();
+        tape.backward(loss).unwrap();
+
+        let reference = |x_: &Tensor, tile_: &Tensor| {
+            let tiled = tile_.repeat_rows(samples).unwrap();
+            let summed = x_.add(&tiled).unwrap();
+            weighted_sum(&summed.mean_row_blocks(block).unwrap(), &weights)
+        };
+        let tc = tile.clone();
+        let numeric_x = finite_diff(&x, |x_| reference(x_, &tc), 1e-3);
+        assert_close(&tape.grad(xv).unwrap(), &numeric_x, 2e-2)?;
+        let xc = x.clone();
+        let numeric_t = finite_diff(&tile, |t_| reference(&xc, t_), 1e-3);
+        assert_close(&tape.grad(tv).unwrap(), &numeric_t, 2e-2)?;
+    }
+
+    #[test]
     fn cross_entropy_gradcheck(seed in 0u64..500, batch in 1usize..4, classes in 2usize..6) {
         let mut rng = SeededRng::new(seed);
         let logits = rng.uniform_tensor(&[batch, classes], -2.0, 2.0);
@@ -159,5 +254,42 @@ proptest! {
             weighted_sum(&s.matmul(&v).unwrap(), &weights)
         }, 1e-3);
         assert_close(&tape.grad(qv).unwrap(), &numeric, 3e-2)?;
+    }
+}
+
+/// Deterministic gradcheck at a size whose forward and backward GEMMs all
+/// exceed the small-product cutoff (`k·n > 4096`), so the packed parallel
+/// kernel — padded edge panels included — is what gets differentiated.
+#[test]
+fn packed_path_gradcheck() {
+    let (m, inner, cols) = (9, 70, 67);
+    let mut rng = SeededRng::new(1234);
+    let x = rng.uniform_tensor(&[m, inner], -1.0, 1.0);
+    let w = rng.uniform_tensor(&[inner, cols], -1.0, 1.0);
+    let weights = rng.uniform_tensor(&[m, cols], -1.0, 1.0);
+
+    let tape = Tape::new();
+    let xv = tape.constant(x.clone());
+    let wv = tape.var(w.clone());
+    let loss = xv
+        .matmul(wv)
+        .unwrap()
+        .mul_mask(&weights)
+        .unwrap()
+        .sum_all()
+        .unwrap();
+    tape.backward(loss).unwrap();
+
+    let numeric = finite_diff(
+        &w,
+        |w_| weighted_sum(&x.matmul(w_).unwrap(), &weights),
+        1e-3,
+    );
+    let analytic = tape.grad(wv).unwrap();
+    for (a, n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+        assert!(
+            (a - n).abs() < 0.02f32.max(0.02 * n.abs()),
+            "analytic {a} vs numeric {n}"
+        );
     }
 }

@@ -126,6 +126,31 @@ impl AnvilLocalizer {
         let (embedding, logits) = network.forward_sample(&session, features)?;
         Ok((embedding.value().into_vec(), logits.value().into_vec()))
     }
+
+    /// Euclidean matching of one query embedding against the per-RP
+    /// centroids, falling back to the classifier argmax when no centroids
+    /// exist (degenerate training set).
+    fn match_embedding(&self, embedding: &[f32], logits: &[f32]) -> Result<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (label, centroid) in self.centroids.iter().enumerate() {
+            let Some(centroid) = centroid else { continue };
+            let d: f32 = centroid
+                .iter()
+                .zip(embedding)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((label, d));
+            }
+        }
+        match best {
+            Some((label, _)) => Ok(label),
+            None => {
+                let logits = Tensor::from_vec(logits.to_vec(), &[logits.len()])?;
+                Ok(logits.argmax()?)
+            }
+        }
+    }
 }
 
 impl Localizer for AnvilLocalizer {
@@ -203,27 +228,30 @@ impl Localizer for AnvilLocalizer {
         let mut rng = SeededRng::new(0);
         let features = self.extractor.extract(observation, false, &mut rng);
         let (embedding, logits) = self.embed(&features)?;
-        // Euclidean matching against per-RP centroids.
-        let mut best: Option<(usize, f32)> = None;
-        for (label, centroid) in self.centroids.iter().enumerate() {
-            let Some(centroid) = centroid else { continue };
-            let d: f32 = centroid
-                .iter()
-                .zip(&embedding)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
-            if best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((label, d));
+        self.match_embedding(&embedding, &logits)
+    }
+
+    fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
+        let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
+        // The attention block couples each sample's tokens, so the network
+        // runs per sample (like the VITAL transformer's attention stage),
+        // but a whole chunk shares one tape/session instead of building a
+        // fresh graph per query.
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
+            let tape = Tape::new();
+            let session = Session::new(&tape, false, 0);
+            for features in self.extractor.extract_clean_batch(chunk) {
+                let (embedding, logits) = network.forward_sample(&session, &features)?;
+                predictions.push(
+                    self.match_embedding(
+                        &embedding.value().into_vec(),
+                        &logits.value().into_vec(),
+                    )?,
+                );
             }
         }
-        match best {
-            Some((label, _)) => Ok(label),
-            None => {
-                // No centroids (degenerate training set): classifier argmax.
-                let logits = Tensor::from_vec(logits.clone(), &[logits.len()])?;
-                Ok(logits.argmax()?)
-            }
-        }
+        Ok(predictions)
     }
 }
 

@@ -173,6 +173,18 @@ impl Localizer for CnnLocLocalizer {
         let logits = self.forward_logits(&x)?;
         Ok(logits.row(0)?.argmax()?)
     }
+
+    fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
+        // The SAE encoder, 1-D conv and classifier are all row-wise, so a
+        // whole chunk of queries shares one stacked forward pass.
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
+            let queries = self.extractor.extract_clean_batch(chunk);
+            let logits = self.forward_logits(&crate::features::stack_rows(&queries)?)?;
+            predictions.extend(logits.argmax_rows()?);
+        }
+        Ok(predictions)
+    }
 }
 
 #[cfg(test)]

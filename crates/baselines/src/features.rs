@@ -5,6 +5,24 @@ use tensor::rng::SeededRng;
 use tensor::Tensor;
 use vital::{DamConfig, DataAugmentationModule};
 
+/// Observations per stacked forward pass in the baselines'
+/// [`vital::Localizer::localize_batch`] overrides; bounds per-chunk graph and
+/// activation memory on arbitrarily long query streams.
+pub(crate) const INFERENCE_CHUNK: usize = 64;
+
+/// Stacks per-observation feature vectors into one `[batch, width]` matrix.
+///
+/// # Errors
+/// Returns an error if the rows are empty or have inconsistent widths.
+pub(crate) fn stack_rows(rows: &[Vec<f32>]) -> tensor::Result<Tensor> {
+    let width = rows.first().map(Vec::len).unwrap_or(0);
+    let mut data = Vec::with_capacity(rows.len() * width);
+    for row in rows {
+        data.extend_from_slice(row);
+    }
+    Tensor::from_vec(data, &[rows.len(), width])
+}
+
 /// How a fingerprint observation is turned into a flat feature vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FeatureMode {
@@ -90,6 +108,19 @@ impl FeatureExtractor {
             Some(dam) => dam.augment_vector(&features, training, rng),
             None => features,
         }
+    }
+
+    /// Extracts clean (inference-mode, fixed-seed) feature vectors for a
+    /// batch of observations — the shared front half of every baseline's
+    /// `localize_batch` override.
+    pub fn extract_clean_batch(&self, observations: &[FingerprintObservation]) -> Vec<Vec<f32>> {
+        observations
+            .iter()
+            .map(|o| {
+                let mut rng = SeededRng::new(0);
+                self.extract(o, false, &mut rng)
+            })
+            .collect()
     }
 
     /// Extracts features for a whole dataset as a `[samples, width]` matrix

@@ -104,6 +104,19 @@ impl Localizer for KnnLocalizer {
         let query = self.extractor.extract(observation, false, &mut rng);
         self.vote(&query)
     }
+
+    fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
+        // Each query scans the whole fingerprint memory independently, so
+        // the batch fans out across threads (the localizer is immutable
+        // during inference and every query uses its own fixed-seed RNG).
+        parallel::parallel_map(observations, |observation| {
+            let mut rng = SeededRng::new(0);
+            let query = self.extractor.extract(observation, false, &mut rng);
+            self.vote(&query)
+        })
+        .into_iter()
+        .collect()
+    }
 }
 
 #[cfg(test)]

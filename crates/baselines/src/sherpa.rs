@@ -57,13 +57,58 @@ impl SherpaLocalizer {
         self
     }
 
-    fn posterior(&self, features: &[f32]) -> Result<Tensor> {
+    /// DNN posterior for a stack of queries: `[batch, width]` features in,
+    /// `[batch, num_classes]` softmax rows out (one forward pass).
+    fn posterior_matrix(&self, features: &Tensor) -> Result<Tensor> {
         let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
         let tape = Tape::new();
         let session = Session::new(&tape, false, 0);
-        let x = session.constant(Tensor::from_vec(features.to_vec(), &[1, features.len()])?);
-        let logits = network.forward(&session, x)?;
+        let logits = network.forward(&session, session.constant(features.clone()))?;
         Ok(logits.value().softmax_rows()?)
+    }
+
+    /// The KNN refinement stage: restricts a distance-weighted vote to the
+    /// DNN's top candidate classes for one query.
+    fn refine(&self, query: &[f32], posterior_row: &[f32]) -> Result<usize> {
+        let mut ranked: Vec<(usize, f32)> = posterior_row.iter().cloned().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let candidates: Vec<usize> = ranked
+            .iter()
+            .take(self.top_candidates)
+            .map(|(c, _)| *c)
+            .collect();
+
+        // Distance-weighted KNN vote restricted to the candidate classes.
+        let mut scored: Vec<(f32, usize)> = self
+            .train_features
+            .iter()
+            .zip(&self.train_labels)
+            .filter(|(_, label)| candidates.contains(label))
+            .map(|(f, &label)| {
+                let d: f32 = f
+                    .iter()
+                    .zip(query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    .sqrt();
+                (d, label)
+            })
+            .collect();
+        if scored.is_empty() {
+            // Fall back to the DNN's argmax when no memory matches.
+            return Ok(candidates.first().copied().unwrap_or(0));
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        scored.truncate(self.neighbours);
+        let mut votes: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+        for (d, label) in scored {
+            *votes.entry(label).or_insert(0.0) += 1.0 / (d + 1e-3);
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(label, _)| label)
+            .ok_or(VitalError::NotFitted)
     }
 }
 
@@ -128,53 +173,24 @@ impl Localizer for SherpaLocalizer {
     fn predict(&self, observation: &FingerprintObservation) -> Result<usize> {
         let mut rng = SeededRng::new(0);
         let query = self.extractor.extract(observation, false, &mut rng);
-        let posterior = self.posterior(&query)?;
-        // Top candidate classes from the DNN.
-        let mut ranked: Vec<(usize, f32)> = posterior
-            .row(0)?
-            .as_slice()
-            .iter()
-            .cloned()
-            .enumerate()
-            .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let candidates: Vec<usize> = ranked
-            .iter()
-            .take(self.top_candidates)
-            .map(|(c, _)| *c)
-            .collect();
+        let x = Tensor::from_vec(query.clone(), &[1, query.len()])?;
+        let posterior = self.posterior_matrix(&x)?;
+        self.refine(&query, posterior.row(0)?.as_slice())
+    }
 
-        // Distance-weighted KNN vote restricted to the candidate classes.
-        let mut scored: Vec<(f32, usize)> = self
-            .train_features
-            .iter()
-            .zip(&self.train_labels)
-            .filter(|(_, label)| candidates.contains(label))
-            .map(|(f, &label)| {
-                let d: f32 = f
-                    .iter()
-                    .zip(&query)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f32>()
-                    .sqrt();
-                (d, label)
-            })
-            .collect();
-        if scored.is_empty() {
-            // Fall back to the DNN's argmax when no memory matches.
-            return Ok(candidates.first().copied().unwrap_or(0));
+    fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
+        // Stage 1 batched: all queries in a chunk share one DNN forward
+        // pass. Stage 2 (per-query KNN refinement) stays sequential over
+        // the posterior rows.
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
+            let queries = self.extractor.extract_clean_batch(chunk);
+            let posterior = self.posterior_matrix(&crate::features::stack_rows(&queries)?)?;
+            for (i, query) in queries.iter().enumerate() {
+                predictions.push(self.refine(query, posterior.row(i)?.as_slice())?);
+            }
         }
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-        scored.truncate(self.neighbours);
-        let mut votes: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
-        for (d, label) in scored {
-            *votes.entry(label).or_insert(0.0) += 1.0 / (d + 1e-3);
-        }
-        votes
-            .into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(label, _)| label)
-            .ok_or(VitalError::NotFitted)
+        Ok(predictions)
     }
 }
 

@@ -71,6 +71,17 @@ impl WiDeepLocalizer {
         let x = Tensor::from_vec(features.to_vec(), &[1, features.len()])?;
         Ok(ae.encode_inference(&x)?.into_vec())
     }
+
+    /// Gaussian-kernel posterior argmax for one encoded query.
+    fn classify_code(&self, query: &[f32]) -> Result<usize> {
+        let gamma = 1.0 / (2.0 * self.length_scale * self.length_scale);
+        let mut posterior = vec![0.0f32; self.num_classes];
+        for (code, &label) in self.codes.iter().zip(&self.labels) {
+            let d2: f32 = code.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
+            posterior[label] += (-gamma * d2).exp();
+        }
+        Ok(Tensor::from_vec(posterior, &[self.num_classes])?.argmax()?)
+    }
 }
 
 impl Localizer for WiDeepLocalizer {
@@ -130,19 +141,44 @@ impl Localizer for WiDeepLocalizer {
         let mut rng = SeededRng::new(0);
         let features = self.extractor.extract(observation, false, &mut rng);
         let query = self.encode(&features)?;
-        // Gaussian-kernel posterior over classes.
-        let gamma = 1.0 / (2.0 * self.length_scale * self.length_scale);
-        let mut posterior = vec![0.0f32; self.num_classes];
-        for (code, &label) in self.codes.iter().zip(&self.labels) {
-            let d2: f32 = code
-                .iter()
-                .zip(&query)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
-            posterior[label] += (-gamma * d2).exp();
+        self.classify_code(&query)
+    }
+
+    fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
+        if self.codes.is_empty() {
+            return Err(VitalError::NotFitted);
         }
-        let best = Tensor::from_vec(posterior, &[self.num_classes])?.argmax()?;
-        Ok(best)
+        let ae = self.autoencoder.as_ref().ok_or(VitalError::NotFitted)?;
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
+            // Encode the whole chunk through the SAE in one stacked forward.
+            let features = self.extractor.extract_clean_batch(chunk);
+            let codes = ae.encode_inference(&crate::features::stack_rows(&features)?)?;
+            let code_width = codes.cols()?;
+            // The kernel scoring only touches Sync state (the stored codes
+            // and labels), so queries fan out across threads.
+            let queries: Vec<Vec<f32>> = codes
+                .as_slice()
+                .chunks_exact(code_width)
+                .map(<[f32]>::to_vec)
+                .collect();
+            let memory_codes = &self.codes;
+            let memory_labels = &self.labels;
+            let gamma = 1.0 / (2.0 * self.length_scale * self.length_scale);
+            let num_classes = self.num_classes;
+            let scored = parallel::parallel_map(&queries, |query| {
+                let mut posterior = vec![0.0f32; num_classes];
+                for (code, &label) in memory_codes.iter().zip(memory_labels) {
+                    let d2: f32 = code.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
+                    posterior[label] += (-gamma * d2).exp();
+                }
+                Tensor::from_vec(posterior, &[num_classes]).and_then(|t| t.argmax())
+            });
+            for s in scored {
+                predictions.push(s?);
+            }
+        }
+        Ok(predictions)
     }
 }
 

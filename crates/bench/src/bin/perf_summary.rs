@@ -1,0 +1,231 @@
+//! Performance summary: times the packed GEMM against the pre-PR reference
+//! kernel and single vs. batched ViT inference, writing a machine-readable
+//! `BENCH_perf.json` at the repo root.
+//!
+//! This seeds the performance trajectory of the workspace: every future
+//! optimisation PR reruns this binary and compares the JSON against the
+//! committed history.
+//!
+//! Scale is controlled by `VITAL_SCALE` (`quick` default / `full`) or the
+//! `--quick` / `--full` CLI flags; thread count by `VITAL_THREADS`.
+
+use std::time::Instant;
+
+use bench::Scale;
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+use vital::{VisionTransformer, VitalConfig};
+
+/// The pre-PR matmul (cache-blocked triple loop with the `a_ip == 0.0`
+/// shortcut), kept verbatim as the speedup baseline.
+fn reference_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    const BLOCK: usize = 64;
+    let (m, k) = (a.rows().unwrap(), a.cols().unwrap());
+    let n = b.cols().unwrap();
+    let a = a.as_slice();
+    let b = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for ii in (0..m).step_by(BLOCK) {
+        let i_end = (ii + BLOCK).min(m);
+        for kk in (0..k).step_by(BLOCK) {
+            let k_end = (kk + BLOCK).min(k);
+            for jj in (0..n).step_by(BLOCK) {
+                let j_end = (jj + BLOCK).min(n);
+                for i in ii..i_end {
+                    for p in kk..k_end {
+                        let a_ip = a[i * k + p];
+                        if a_ip == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b[p * n + jj..p * n + j_end];
+                        let o_row = &mut out[i * n + jj..i * n + j_end];
+                        for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                            *o += a_ip * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
+
+/// Median wall-clock milliseconds of `reps` runs of `f` (one warmup run).
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct GemmRow {
+    size: usize,
+    packed_ms: f64,
+    reference_ms: f64,
+}
+
+fn bench_gemm(sizes: &[usize], reps: usize) -> Vec<GemmRow> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let a = SeededRng::new(1).uniform_tensor(&[size, size], -1.0, 1.0);
+            let b = SeededRng::new(2).uniform_tensor(&[size, size], -1.0, 1.0);
+            let packed_ms = time_ms(reps, || {
+                std::hint::black_box(a.matmul(&b).unwrap());
+            });
+            let reference_ms = time_ms(reps, || {
+                std::hint::black_box(reference_matmul(&a, &b));
+            });
+            // Guard against the two kernels drifting apart.
+            let packed = a.matmul(&b).unwrap();
+            let reference = reference_matmul(&a, &b);
+            let max_abs = packed
+                .sub(&reference)
+                .unwrap()
+                .abs()
+                .max()
+                .unwrap_or(f32::INFINITY);
+            assert!(
+                max_abs < 1e-2,
+                "packed and reference GEMM disagree at {size}: {max_abs}"
+            );
+            eprintln!(
+                "gemm {size:>4}³  packed {packed_ms:>8.2} ms  reference {reference_ms:>8.2} ms  \
+                 speedup {:>5.2}×",
+                reference_ms / packed_ms
+            );
+            GemmRow {
+                size,
+                packed_ms,
+                reference_ms,
+            }
+        })
+        .collect()
+}
+
+struct VitResult {
+    batch: usize,
+    single_ms_per_sample: f64,
+    batch_ms_per_sample: f64,
+    predictions_agree: bool,
+}
+
+fn bench_vit(scale: Scale, reps: usize) -> VitResult {
+    // Paper-scale geometry (§VI.B: 206×206 image, 20×20 patches) at full
+    // scale; a reduced image in quick mode so CI stays fast.
+    let config = match scale {
+        Scale::Full => VitalConfig::paper(206, 82),
+        Scale::Quick => {
+            let mut c = VitalConfig::paper(206, 82);
+            c.image_size = 60;
+            c.patch_size = 12;
+            c
+        }
+    };
+    let mut rng = SeededRng::new(3);
+    let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+    let batch_size = 32;
+    let batch: Vec<Tensor> = (0..batch_size)
+        .map(|i| {
+            SeededRng::new(100 + i as u64).uniform_tensor(
+                &[vit.num_patches(), vit.patch_dim()],
+                -1.0,
+                1.0,
+            )
+        })
+        .collect();
+
+    let single_ms = time_ms(reps, || {
+        for patches in &batch {
+            std::hint::black_box(vit.predict(patches).unwrap());
+        }
+    });
+    let batch_ms = time_ms(reps, || {
+        std::hint::black_box(vit.predict_batch(&batch).unwrap());
+    });
+    let singles: Vec<usize> = batch.iter().map(|p| vit.predict(p).unwrap()).collect();
+    let batched = vit.predict_batch(&batch).unwrap();
+    let result = VitResult {
+        batch: batch_size,
+        single_ms_per_sample: single_ms / batch_size as f64,
+        batch_ms_per_sample: batch_ms / batch_size as f64,
+        predictions_agree: singles == batched,
+    };
+    eprintln!(
+        "vit batch-{batch_size}  single {:.3} ms/sample  batched {:.3} ms/sample  speedup {:.2}×  \
+         agree {}",
+        result.single_ms_per_sample,
+        result.batch_ms_per_sample,
+        result.single_ms_per_sample / result.batch_ms_per_sample,
+        result.predictions_agree,
+    );
+    result
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::from_env()
+    };
+    let (sizes, gemm_reps, vit_reps): (&[usize], usize, usize) = match scale {
+        Scale::Quick => (&[64, 128, 256], 3, 3),
+        Scale::Full => (&[64, 128, 256, 384, 512], 7, 5),
+    };
+    let threads = parallel::num_threads();
+    eprintln!(
+        "perf_summary: scale={scale:?} threads={threads} (override with VITAL_THREADS/--full)"
+    );
+
+    let gemm = bench_gemm(sizes, gemm_reps);
+    let vit = bench_vit(scale, vit_reps);
+
+    let gemm_json: Vec<String> = gemm
+        .iter()
+        .map(|r| {
+            let gflops = 2.0 * (r.size as f64).powi(3) / (r.packed_ms * 1e6);
+            format!(
+                "    {{\"m\": {size}, \"k\": {size}, \"n\": {size}, \
+                 \"packed_ms\": {packed:.4}, \"reference_ms\": {reference:.4}, \
+                 \"speedup\": {speedup:.3}, \"packed_gflops\": {gflops:.2}}}",
+                size = r.size,
+                packed = r.packed_ms,
+                reference = r.reference_ms,
+                speedup = r.reference_ms / r.packed_ms,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"scale\": \"{scale}\",\n  \"threads\": {threads},\n  \"gemm\": [\n{gemm}\n  ],\n  \
+         \"vit\": {{\n    \"batch\": {batch},\n    \"single_ms_per_sample\": {single:.4},\n    \
+         \"batch_ms_per_sample\": {batched:.4},\n    \"batch_speedup\": {speedup:.3},\n    \
+         \"predictions_agree\": {agree}\n  }}\n}}\n",
+        scale = match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+        gemm = gemm_json.join(",\n"),
+        batch = vit.batch,
+        single = vit.single_ms_per_sample,
+        batched = vit.batch_ms_per_sample,
+        speedup = vit.single_ms_per_sample / vit.batch_ms_per_sample,
+        agree = vit.predictions_agree,
+    );
+
+    // The bench crate lives at <repo>/crates/bench, so the repo root is two
+    // levels up from the compile-time manifest dir.
+    let out_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_perf.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
+    println!("{json}");
+    eprintln!("wrote {}", out_path.display());
+}

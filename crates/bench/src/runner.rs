@@ -168,6 +168,11 @@ pub fn train_and_evaluate(
 /// Evaluates an already-trained localizer on `test`, reporting the pooled and
 /// per-device errors.
 ///
+/// The whole test set goes through one [`Localizer::localize_batch`] call
+/// (amortizing per-query overhead — the VITAL transformer stacks it into
+/// batched forward passes); the per-device reports are then sliced out of
+/// the same predictions instead of re-predicting each device subset.
+///
 /// # Errors
 /// Returns an error if evaluation fails.
 pub fn evaluate_on_devices(
@@ -176,13 +181,21 @@ pub fn evaluate_on_devices(
     test: &FingerprintDataset,
 ) -> Result<FrameworkResult> {
     let overall = evaluate_localizer(localizer, test, building)?;
+    // `overall.errors_m()` is in observation order, so the per-device
+    // reports are sliced from the same single prediction pass.
     let mut per_device = Vec::new();
     for device in test.devices() {
-        let subset = test.filter_devices(&[device.as_str()]);
-        if subset.is_empty() {
+        let device_errors: Vec<f32> = test
+            .observations()
+            .iter()
+            .zip(overall.errors_m())
+            .filter(|(o, _)| o.device == device)
+            .map(|(_, &e)| e)
+            .collect();
+        if device_errors.is_empty() {
             continue;
         }
-        per_device.push((device, evaluate_localizer(localizer, &subset, building)?));
+        per_device.push((device, LocalizationReport::new(device_errors)));
     }
     Ok(FrameworkResult {
         framework: localizer.name().to_string(),

@@ -27,6 +27,21 @@ pub trait Localizer {
     /// # Errors
     /// Returns [`VitalError::NotFitted`] if called before [`Localizer::fit`].
     fn predict(&self, observation: &FingerprintObservation) -> Result<usize>;
+
+    /// Predicts reference-point labels for a batch of observations, in input
+    /// order.
+    ///
+    /// The default implementation loops over [`Localizer::predict`];
+    /// frameworks override it when they can amortize per-query overhead —
+    /// the VITAL transformer stacks the whole batch into one forward pass,
+    /// and feature-space matchers fan queries out across threads. The
+    /// evaluation harness always goes through this entry point.
+    ///
+    /// # Errors
+    /// Returns the first per-observation prediction error encountered.
+    fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
+        observations.iter().map(|o| self.predict(o)).collect()
+    }
 }
 
 /// Evaluates a trained localizer on a test dataset, reporting localization
@@ -49,9 +64,16 @@ pub fn evaluate_localizer(
             "cannot evaluate on an empty test set".into(),
         ));
     }
+    let predictions = localizer.localize_batch(test.observations())?;
+    if predictions.len() != test.len() {
+        return Err(VitalError::InvalidDataset(format!(
+            "localize_batch returned {} predictions for {} observations",
+            predictions.len(),
+            test.len()
+        )));
+    }
     let mut errors = Vec::with_capacity(test.len());
-    for observation in test.observations() {
-        let predicted = localizer.predict(observation)?;
+    for (observation, predicted) in test.observations().iter().zip(predictions) {
         let error = building
             .rp_distance_m(predicted, observation.rp_label)
             .ok_or_else(|| {

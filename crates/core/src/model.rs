@@ -213,6 +213,35 @@ impl VitalModel {
         let patches = self.prepare_patches(observation, false, &mut rng)?;
         self.transformer.predict(&patches)
     }
+
+    /// Batched online inference: predicts every observation through stacked
+    /// transformer forward passes, amortizing tape construction and turning
+    /// the per-sample dense layers into batch-wide GEMMs.
+    ///
+    /// Chunks of `train.batch_size` observations share one forward pass, so
+    /// memory stays bounded on arbitrarily large query streams. Results are
+    /// identical to per-observation [`VitalModel::predict_observation`]
+    /// calls (the stacked path is bit-exact; preprocessing uses the same
+    /// fixed inference seed).
+    ///
+    /// # Errors
+    /// Returns an error if any observation is empty or mismatched.
+    pub fn predict_observations(
+        &self,
+        observations: &[FingerprintObservation],
+    ) -> Result<Vec<usize>> {
+        let chunk_size = self.config.train.batch_size.max(1);
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(chunk_size) {
+            let mut batch = Vec::with_capacity(chunk.len());
+            for observation in chunk {
+                let mut rng = SeededRng::new(0);
+                batch.push(self.prepare_patches(observation, false, &mut rng)?);
+            }
+            predictions.extend(self.transformer.predict_batch(&batch)?);
+        }
+        Ok(predictions)
+    }
 }
 
 impl Localizer for VitalModel {
@@ -230,6 +259,13 @@ impl Localizer for VitalModel {
             return Err(VitalError::NotFitted);
         }
         self.predict_observation(observation)
+    }
+
+    fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
+        if !self.fitted {
+            return Err(VitalError::NotFitted);
+        }
+        self.predict_observations(observations)
     }
 }
 
@@ -328,6 +364,24 @@ mod tests {
             "mean error {} m on training data",
             eval.mean_error_m()
         );
+    }
+
+    #[test]
+    fn batched_localization_matches_per_observation_predictions() {
+        let (_, dataset, mut config) = tiny_training_setup();
+        config.train.epochs = 2;
+        let mut model = VitalModel::new(config).unwrap();
+        model.fit(&dataset).unwrap();
+        let observations = dataset.observations();
+        let batched = model.localize_batch(observations).unwrap();
+        assert_eq!(batched.len(), observations.len());
+        for (observation, &batch_pred) in observations.iter().zip(&batched) {
+            assert_eq!(
+                batch_pred,
+                Localizer::predict(&model, observation).unwrap(),
+                "batched and per-observation inference diverged"
+            );
+        }
     }
 
     #[test]

@@ -76,10 +76,45 @@ impl EncoderBlock {
     /// Returns an error if the input width differs from the block's
     /// `d_model`.
     pub fn forward<'t>(&self, session: &Session<'t>, x: Var<'t>) -> crate::Result<Var<'t>> {
-        let attended = self
-            .attention
-            .forward(session, self.norm_attention.forward(session, x)?)?
-            .add(x)?;
+        self.forward_stacked(session, x, 1)
+    }
+
+    /// Applies the block to a stack of `samples` sequences laid out as a
+    /// `[samples * num_patches, d_model]` matrix.
+    ///
+    /// Layer-norm and the MLP are row-wise, so they run directly on the
+    /// stack (one big GEMM per dense layer instead of `samples` small ones);
+    /// only the attention sub-block — whose softmax couples the rows of a
+    /// sample — is applied per sample and re-concatenated.
+    ///
+    /// # Errors
+    /// Returns an error if the row count is not a multiple of `samples` or
+    /// the width differs from the block's `d_model`.
+    pub fn forward_stacked<'t>(
+        &self,
+        session: &Session<'t>,
+        x: Var<'t>,
+        samples: usize,
+    ) -> crate::Result<Var<'t>> {
+        let rows = x.value().rows()?;
+        if samples == 0 || !rows.is_multiple_of(samples) {
+            return Err(VitalError::InvalidDataset(format!(
+                "stacked sequence of {rows} rows does not divide into {samples} samples"
+            )));
+        }
+        let seq_len = rows / samples;
+        let normed = self.norm_attention.forward(session, x)?;
+        let attended = if samples == 1 {
+            self.attention.forward(session, normed)?
+        } else {
+            let mut per_sample = Vec::with_capacity(samples);
+            for s in 0..samples {
+                let sample = normed.slice_rows(s * seq_len, (s + 1) * seq_len)?;
+                per_sample.push(self.attention.forward(session, sample)?);
+            }
+            Var::concat_rows(&per_sample)?
+        }
+        .add(x)?;
         let mlp_out = self
             .mlp
             .forward(session, self.norm_mlp.forward(session, attended)?)?;
@@ -193,30 +228,18 @@ impl VisionTransformer {
     /// # Errors
     /// Returns an error if `patches` is not `[num_patches, patch_dim]`.
     pub fn forward_sample<'t>(&self, session: &Session<'t>, patches: &Tensor) -> Result<Var<'t>> {
-        if patches.shape().dims() != [self.num_patches, self.patch_dim] {
-            return Err(VitalError::InvalidDataset(format!(
-                "patch matrix {:?} does not match model expectation [{}, {}]",
-                patches.shape().dims(),
-                self.num_patches,
-                self.patch_dim
-            )));
-        }
-        let x = session.constant(patches.clone());
-        // Linear trainable projection of flattened patches (paper §V.B)...
-        let embedded = self.patch_embed.forward(session, x)?;
-        // ...plus the positional embedding that keeps patch order information.
-        let positional = session.param(&self.positional);
-        let mut hidden = embedded.add(positional)?;
-        hidden = session.dropout(hidden, self.dropout)?;
-        for block in &self.blocks {
-            hidden = block.forward(session, hidden)?;
-        }
-        let pooled = hidden.mean_pool_rows()?;
-        Ok(self.head.forward(session, pooled)?)
+        self.forward_batch(session, std::slice::from_ref(patches))
     }
 
     /// Forward pass of a batch of patch matrices, producing
     /// `[batch, num_classes]` logits.
+    ///
+    /// The batch is executed *stacked*: every sample's patch rows are
+    /// concatenated into one `[batch * num_patches, patch_dim]` matrix, so
+    /// the patch embedding, every layer-norm, every encoder MLP and the
+    /// classification head each run as a single large GEMM over the whole
+    /// batch (which the packed kernel then splits across threads). Only the
+    /// per-sample attention softmax runs sample-by-sample.
     ///
     /// # Errors
     /// Returns an error if the batch is empty or any patch matrix has the
@@ -225,11 +248,37 @@ impl VisionTransformer {
         if batch.is_empty() {
             return Err(VitalError::InvalidDataset("empty batch".into()));
         }
-        let mut logits = Vec::with_capacity(batch.len());
         for patches in batch {
-            logits.push(self.forward_sample(session, patches)?);
+            if patches.shape().dims() != [self.num_patches, self.patch_dim] {
+                return Err(VitalError::InvalidDataset(format!(
+                    "patch matrix {:?} does not match model expectation [{}, {}]",
+                    patches.shape().dims(),
+                    self.num_patches,
+                    self.patch_dim
+                )));
+            }
         }
-        Ok(Var::concat_rows(&logits)?)
+        let samples = batch.len();
+        let stacked = if samples == 1 {
+            batch[0].clone()
+        } else {
+            let refs: Vec<&Tensor> = batch.iter().collect();
+            Tensor::concat_rows(&refs)?
+        };
+        let x = session.constant(stacked);
+        // Linear trainable projection of flattened patches (paper §V.B)...
+        let embedded = self.patch_embed.forward(session, x)?;
+        // ...plus the positional embedding (tiled across the batch) that
+        // keeps patch order information.
+        let positional = session.param(&self.positional);
+        let mut hidden = embedded.add_tile_rows(positional, samples)?;
+        hidden = session.dropout(hidden, self.dropout)?;
+        for block in &self.blocks {
+            hidden = block.forward_stacked(session, hidden, samples)?;
+        }
+        // Collapse each sample's patch rows to its pooled feature row.
+        let pooled = hidden.mean_pool_row_blocks(self.num_patches)?;
+        Ok(self.head.forward(session, pooled)?)
     }
 
     /// Inference: the predicted class of one patch matrix.
@@ -237,10 +286,20 @@ impl VisionTransformer {
     /// # Errors
     /// Returns an error if the patch matrix has the wrong shape.
     pub fn predict(&self, patches: &Tensor) -> Result<usize> {
+        Ok(self.predict_batch(std::slice::from_ref(patches))?[0])
+    }
+
+    /// Batched inference: predicted classes for a batch of patch matrices,
+    /// sharing one tape and one stacked forward pass.
+    ///
+    /// # Errors
+    /// Returns an error if the batch is empty or any patch matrix has the
+    /// wrong shape.
+    pub fn predict_batch(&self, batch: &[Tensor]) -> Result<Vec<usize>> {
         let tape = autograd::Tape::new();
         let session = Session::new(&tape, false, 0);
-        let logits = self.forward_sample(&session, patches)?.value();
-        Ok(logits.row(0)?.argmax()?)
+        let logits = self.forward_batch(&session, batch)?.value();
+        Ok(logits.argmax_rows()?)
     }
 }
 
@@ -328,6 +387,38 @@ mod tests {
         let logits = vit.forward_batch(&session, &batch).unwrap().value();
         assert_eq!(logits.shape().dims(), &[3, 8]);
         assert!(vit.forward_batch(&session, &[]).is_err());
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample_forward() {
+        // The stacked batch path must be bit-identical to running each
+        // sample alone (eval mode; every op is row-wise or per-sample).
+        let mut config = tiny_config();
+        config.encoder_blocks = 2;
+        let mut rng = SeededRng::new(11);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let batch: Vec<Tensor> = (0..4)
+            .map(|i| SeededRng::new(30 + i).uniform_tensor(&[9, 48], -1.0, 1.0))
+            .collect();
+        let tape = Tape::new();
+        let session = Session::new(&tape, false, 0);
+        let batched = vit.forward_batch(&session, &batch).unwrap().value();
+        assert_eq!(batched.shape().dims(), &[4, 8]);
+        for (i, patches) in batch.iter().enumerate() {
+            let tape_s = Tape::new();
+            let session_s = Session::new(&tape_s, false, 0);
+            let single = vit.forward_sample(&session_s, patches).unwrap().value();
+            assert_eq!(
+                batched.row(i).unwrap(),
+                single.row(0).unwrap(),
+                "sample {i} diverged between batched and single forward"
+            );
+        }
+        // predict_batch agrees with per-sample predict.
+        let preds = vit.predict_batch(&batch).unwrap();
+        for (i, patches) in batch.iter().enumerate() {
+            assert_eq!(preds[i], vit.predict(patches).unwrap());
+        }
     }
 
     #[test]

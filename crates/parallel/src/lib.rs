@@ -1,0 +1,288 @@
+//! Dependency-free data-parallel dispatch for the VITAL workspace.
+//!
+//! This crate is the threading substrate underneath the packed GEMM in the
+//! `tensor` crate and the batched inference paths above it. It deliberately
+//! avoids external dependencies (no rayon, no crossbeam): everything is built
+//! on [`std::thread::scope`], which lets worker threads borrow the caller's
+//! stack data without `'static` bounds or reference counting.
+//!
+//! # Determinism contract
+//!
+//! Every helper in this crate guarantees **byte-identical results regardless
+//! of the thread count**, including the single-threaded fallback:
+//!
+//! * Work is split into *chunks* whose boundaries depend only on the input
+//!   length and the requested chunk size — never on the number of workers.
+//! * Each chunk is processed start-to-finish by exactly one worker with the
+//!   same sequential code the single-threaded path runs, so floating-point
+//!   accumulation order inside a chunk never changes.
+//! * Chunks write disjoint outputs (`parallel_chunks_mut` hands each worker a
+//!   non-overlapping `&mut` sub-slice; [`parallel_map`] writes each result
+//!   into its input's slot), so no reduction order is introduced across
+//!   chunks.
+//!
+//! Consequently `VITAL_THREADS=1` and `VITAL_THREADS=16` produce the same
+//! bits, and CI runs the test suite under both to enforce it.
+//!
+//! # Thread-count resolution
+//!
+//! The worker count for a call is resolved in order from:
+//!
+//! 1. a scoped [`with_threads`] override (used by tests and benchmarks),
+//! 2. the `VITAL_THREADS` environment variable (`0` or unparsable values are
+//!    ignored),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of 1 short-circuits to an inline loop on the calling
+//! thread — no threads are spawned, so single-core machines and
+//! `VITAL_THREADS=1` runs pay zero synchronisation overhead.
+//!
+//! # Example
+//!
+//! ```
+//! let mut data = vec![0u64; 1000];
+//! parallel::parallel_chunks_mut(&mut data, 128, |chunk_index, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (chunk_index * 128 + i) as u64;
+//!     }
+//! });
+//! assert_eq!(data[999], 999);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Scoped thread-count override installed by [`with_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `VITAL_THREADS` is read once per process; the scoped override exists for
+/// callers (tests, benchmarks) that need to vary the count afterwards.
+fn env_threads() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("VITAL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The number of worker threads data-parallel helpers will use, resolved from
+/// the [`with_threads`] override, then `VITAL_THREADS`, then the machine's
+/// available parallelism (falling back to 1).
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the thread count pinned to `threads` on the current thread
+/// (nested calls shadow outer ones; the previous value is restored on exit,
+/// including on panic).
+///
+/// This is how the GEMM property tests compare 1-, 2- and N-thread runs
+/// without mutating process-global state.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the last
+/// chunk may be shorter) and calls `f(chunk_index, chunk)` on every chunk,
+/// distributing chunks across worker threads.
+///
+/// Chunk boundaries depend only on `data.len()` and `chunk_len`, and each
+/// chunk is processed sequentially by one worker, so results are identical
+/// for every thread count (see the crate-level determinism contract).
+///
+/// A `chunk_len` of 0 is treated as `data.len()` (one chunk).
+pub fn parallel_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    let chunk_len = if chunk_len == 0 {
+        data.len()
+    } else {
+        chunk_len
+    };
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = num_threads().min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    // Deal chunks round-robin onto workers *before* spawning: assignment is
+    // static, so there is no queue contention on the hot path and the borrow
+    // checker can see the `&mut` sub-slices are disjoint.
+    let mut lanes: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        lanes[i % workers].push((i, chunk));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for lane in lanes {
+            scope.spawn(move || {
+                for (i, chunk) in lane {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Applies `f` to every element of `items` across worker threads, returning
+/// the results in input order.
+///
+/// Each result is written into its own pre-allocated slot, so ordering (and
+/// therefore determinism) does not depend on worker scheduling.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    // Chunk the index space so neighbouring items stay on one worker (better
+    // locality than a per-item round-robin for the short feature vectors the
+    // localizers map over).
+    let chunk = items.len().div_ceil(num_threads().max(1)).max(1);
+    parallel_chunks_mut(&mut out, chunk, |chunk_index, slots| {
+        let base = chunk_index * chunk;
+        for (offset, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(&items[base + offset]));
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled by its chunk"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outside = num_threads();
+        with_threads(3, || {
+            assert_eq!(num_threads(), 3);
+            with_threads(1, || assert_eq!(num_threads(), 1));
+            assert_eq!(num_threads(), 3);
+        });
+        assert_eq!(num_threads(), outside);
+    }
+
+    #[test]
+    fn with_threads_clamps_zero_to_one() {
+        with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+
+    #[test]
+    fn chunks_cover_every_element_exactly_once() {
+        for threads in [1, 2, 5] {
+            with_threads(threads, || {
+                let mut data = vec![0u32; 103];
+                parallel_chunks_mut(&mut data, 10, |_, chunk| {
+                    for v in chunk {
+                        *v += 1;
+                    }
+                });
+                assert!(data.iter().all(|&v| v == 1), "threads={threads}");
+            });
+        }
+    }
+
+    #[test]
+    fn chunk_indices_match_offsets() {
+        let mut data = vec![0usize; 57];
+        parallel_chunks_mut(&mut data, 8, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = i * 8 + j;
+            }
+        });
+        let expect: Vec<usize> = (0..57).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn zero_chunk_len_means_single_chunk() {
+        let mut data = vec![1u8; 9];
+        parallel_chunks_mut(&mut data, 0, |i, chunk| {
+            assert_eq!(i, 0);
+            assert_eq!(chunk.len(), 9);
+            for v in chunk {
+                *v = 2;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let mut data: Vec<u8> = Vec::new();
+        parallel_chunks_mut(&mut data, 4, |_, _| panic!("must not be called"));
+        assert!(parallel_map(&data, |_: &u8| 1u8).is_empty());
+    }
+
+    #[test]
+    fn map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|v| v * v).collect();
+        for threads in [1, 2, 4, 9] {
+            let got = with_threads(threads, || parallel_map(&items, |v| v * v));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        // A float accumulation whose per-chunk order must not change.
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut data = vec![0.0f32; 1024];
+                parallel_chunks_mut(&mut data, 100, |i, chunk| {
+                    let mut acc = 0.1f32 * (i as f32 + 1.0);
+                    for v in chunk.iter_mut() {
+                        acc = acc * 1.000_1 + 0.000_3;
+                        *v = acc;
+                    }
+                });
+                data
+            })
+        };
+        let single = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(single, run(threads), "threads={threads}");
+        }
+    }
+}

@@ -241,6 +241,26 @@ impl Tensor {
         }
         Ok(Tensor::from_vec(data, &[rows, cols]).expect("tile volume"))
     }
+
+    /// Vertically repeats a `[rows, cols]` matrix `times` times, producing a
+    /// `[times * rows, cols]` matrix.
+    ///
+    /// The inverse reduction is [`Tensor::sum_row_blocks`]; together they
+    /// implement broadcasting a per-sample tensor across a stacked batch.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not a matrix or is empty.
+    pub fn repeat_rows(&self, times: usize) -> Result<Tensor> {
+        let (r, c) = self.shape().as_matrix()?;
+        if self.is_empty() {
+            return Err(TensorError::Empty { op: "repeat_rows" });
+        }
+        let mut data = Vec::with_capacity(times * r * c);
+        for _ in 0..times {
+            data.extend_from_slice(self.as_slice());
+        }
+        Tensor::from_vec(data, &[times * r, c])
+    }
 }
 
 impl Default for Tensor {
@@ -255,6 +275,18 @@ mod tests {
 
     fn t(v: &[f32], dims: &[usize]) -> Tensor {
         Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn repeat_rows_tiles_matrix_blocks() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let r = a.repeat_rows(3).unwrap();
+        assert_eq!(r.shape().dims(), &[6, 2]);
+        assert_eq!(&r.as_slice()[..4], a.as_slice());
+        assert_eq!(&r.as_slice()[8..], a.as_slice());
+        // Round trip with the block-sum reduction.
+        assert_eq!(r.sum_row_blocks(2).unwrap(), a.scale(3.0));
+        assert!(Tensor::zeros(&[0, 2]).repeat_rows(2).is_err());
     }
 
     #[test]

@@ -132,6 +132,72 @@ impl Tensor {
         Ok(self.sum_rows()?.scale(1.0 / r as f32))
     }
 
+    /// Sums consecutive blocks of `block_rows` rows of a
+    /// `[blocks * block_rows, cols]` matrix elementwise, returning a
+    /// `[block_rows, cols]` matrix.
+    ///
+    /// This is the reduction behind batched (stacked-sample) execution: the
+    /// gradient of a per-sample tensor tiled across a batch is the block sum
+    /// of the stacked gradient.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not a matrix, `block_rows` is zero,
+    /// or the row count is not a multiple of `block_rows`.
+    pub fn sum_row_blocks(&self, block_rows: usize) -> Result<Tensor> {
+        let (r, c) = self.shape().as_matrix()?;
+        if block_rows == 0 || !r.is_multiple_of(block_rows) {
+            return Err(TensorError::ShapeMismatch {
+                op: "sum_row_blocks (rows must be a multiple of block_rows)",
+                lhs: self.shape().dims().to_vec(),
+                rhs: vec![block_rows],
+            });
+        }
+        let mut out = vec![0.0f32; block_rows * c];
+        for block in self.as_slice().chunks_exact(block_rows * c) {
+            for (acc, &v) in out.iter_mut().zip(block) {
+                *acc += v;
+            }
+        }
+        Tensor::from_vec(out, &[block_rows, c])
+    }
+
+    /// Means each consecutive block of `block_rows` rows down to a single
+    /// row: a `[blocks * block_rows, cols]` matrix becomes `[blocks, cols]`.
+    ///
+    /// Batched mean pooling: with one block per sample this collapses every
+    /// sample's patch rows to its pooled feature row in a single pass.
+    ///
+    /// # Errors
+    /// Returns an error if the tensor is not a matrix, `block_rows` is zero,
+    /// or the row count is not a multiple of `block_rows`.
+    pub fn mean_row_blocks(&self, block_rows: usize) -> Result<Tensor> {
+        let (r, c) = self.shape().as_matrix()?;
+        if block_rows == 0 || !r.is_multiple_of(block_rows) {
+            return Err(TensorError::ShapeMismatch {
+                op: "mean_row_blocks (rows must be a multiple of block_rows)",
+                lhs: self.shape().dims().to_vec(),
+                rhs: vec![block_rows],
+            });
+        }
+        let blocks = r / block_rows;
+        let scale = 1.0 / block_rows as f32;
+        let mut out = vec![0.0f32; blocks * c];
+        for (dst, block) in out
+            .chunks_exact_mut(c)
+            .zip(self.as_slice().chunks_exact(block_rows * c))
+        {
+            for row in block.chunks_exact(c) {
+                for (acc, &v) in dst.iter_mut().zip(row) {
+                    *acc += v;
+                }
+            }
+            for acc in dst.iter_mut() {
+                *acc *= scale;
+            }
+        }
+        Tensor::from_vec(out, &[blocks, c])
+    }
+
     /// Numerically stable softmax along the last axis of a matrix (per row).
     ///
     /// Rank-1 tensors are treated as a single row.
@@ -216,6 +282,30 @@ mod tests {
 
     fn t(v: &[f32], dims: &[usize]) -> Tensor {
         Tensor::from_vec(v.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn sum_row_blocks_adds_blocks_elementwise() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[4, 2]);
+        let s = a.sum_row_blocks(2).unwrap();
+        assert_eq!(s.shape().dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+        // One block is the identity.
+        assert_eq!(a.sum_row_blocks(4).unwrap(), a);
+        assert!(a.sum_row_blocks(3).is_err());
+        assert!(a.sum_row_blocks(0).is_err());
+    }
+
+    #[test]
+    fn mean_row_blocks_pools_each_block() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[4, 2]);
+        let m = a.mean_row_blocks(2).unwrap();
+        assert_eq!(m.shape().dims(), &[2, 2]);
+        assert_eq!(m.as_slice(), &[2.0, 3.0, 20.0, 30.0]);
+        // Pooling the whole matrix matches mean_rows.
+        let whole = a.mean_row_blocks(4).unwrap();
+        assert_eq!(whole.as_slice(), a.mean_rows().unwrap().as_slice());
+        assert!(a.mean_row_blocks(3).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub use autograd;
 pub use baselines;
 pub use fingerprint;
 pub use nn;
+pub use parallel;
 pub use sim_radio;
 pub use tensor;
 pub use vital;
