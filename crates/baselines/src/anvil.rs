@@ -9,14 +9,17 @@
 //! embedding to per-RP centroids by Euclidean distance (the "matching"
 //! stage), falling back to the classifier logits when centroids are missing.
 
+use std::path::Path;
+
 use autograd::{Tape, Var};
 use fingerprint::{FingerprintDataset, FingerprintObservation};
 use nn::optim::{zero_grads, Adam, Optimizer};
 use nn::{Activation, Dense, Init, Layer, LayerNorm, Mlp, MultiHeadSelfAttention, Param, Session};
 use tensor::rng::SeededRng;
 use tensor::Tensor;
-use vital::{DamConfig, Localizer, Result, VitalError};
+use vital::{Checkpoint, CheckpointError, DamConfig, Localizer, ModelKind, Result, VitalError};
 
+use crate::features::{rows_to_tensor, tensor_to_rows};
 use crate::{FeatureExtractor, FeatureMode};
 
 /// Number of tokens the fingerprint is folded into before attention.
@@ -47,15 +50,6 @@ impl AnvilNetwork {
         })
     }
 
-    fn params(&self) -> Vec<Param> {
-        let mut params = self.token_embed.params();
-        params.extend(self.norm.params());
-        params.extend(self.attention.params());
-        params.extend(self.head.params());
-        params.extend(self.embed_head.params());
-        params
-    }
-
     /// Folds a flat feature vector into `TOKENS` equal-width tokens (zero
     /// padded) for the attention block.
     fn tokenize(&self, features: &[f32]) -> Result<Tensor> {
@@ -80,6 +74,17 @@ impl AnvilNetwork {
         let embedding = self.embed_head.forward(session, pooled)?;
         let logits = self.head.forward(session, pooled)?;
         Ok((embedding, logits))
+    }
+}
+
+impl Layer for AnvilNetwork {
+    fn params(&self) -> Vec<Param> {
+        let mut params = self.token_embed.params();
+        params.extend(self.norm.params());
+        params.extend(self.attention.params());
+        params.extend(self.head.params());
+        params.extend(self.embed_head.params());
+        params
     }
 }
 
@@ -117,6 +122,105 @@ impl AnvilLocalizer {
     pub fn with_epochs(mut self, epochs: usize) -> Self {
         self.epochs = epochs.max(1);
         self
+    }
+
+    /// Serializes the attention network and the per-RP embedding centroids
+    /// into a [`Checkpoint`].
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn to_checkpoint(&self) -> Result<Checkpoint> {
+        let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
+        let present: Vec<&Vec<f32>> = self.centroids.iter().flatten().collect();
+        let embed_width = present.first().map(|c| c.len()).unwrap_or(0);
+        let present_rows: Vec<Vec<f32>> = present.into_iter().cloned().collect();
+
+        let mut ckpt = Checkpoint::new(ModelKind::Anvil);
+        ckpt.set_dam_config(self.extractor.dam_config());
+        ckpt.push_ints("seed", vec![self.seed]);
+        // The tokenizer zero-pads features to `token_width × TOKENS`, so
+        // the padded width reconstructs an identical network geometry.
+        ckpt.push_ints(
+            "dims",
+            vec![
+                self.epochs as u64,
+                self.num_classes as u64,
+                (network.token_width * TOKENS) as u64,
+                embed_width as u64,
+            ],
+        );
+        ckpt.push_state("network", network.state_dict());
+        ckpt.push_ints(
+            "centroid_mask",
+            self.centroids
+                .iter()
+                .map(|c| u64::from(c.is_some()))
+                .collect(),
+        );
+        ckpt.push_tensor("centroids", rows_to_tensor(&present_rows, embed_width)?);
+        Ok(ckpt)
+    }
+
+    /// Restores a fitted ANVIL instance from a [`Checkpoint`]: the
+    /// attention network is rebuilt with the stored token geometry and its
+    /// weights restored, so embedding matching is bit-identical to the
+    /// saved instance's.
+    ///
+    /// # Errors
+    /// Returns typed checkpoint errors on kind mismatch, missing entries or
+    /// weight-shape drift.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self> {
+        ckpt.expect_kind(ModelKind::Anvil)?;
+        let seed = ckpt.ints("seed")?.first().copied().unwrap_or(0);
+        let dims = ckpt.usizes("dims")?;
+        let [epochs, num_classes, padded_width, _embed_width] = dims[..] else {
+            return Err(CheckpointError::Corrupt(format!(
+                "expected 4 dimension entries, found {}",
+                dims.len()
+            ))
+            .into());
+        };
+        let mut anvil = AnvilLocalizer::new(seed)
+            .with_dam(ckpt.dam_config().copied())
+            .with_epochs(epochs);
+        anvil.num_classes = num_classes;
+
+        let mut init_rng = SeededRng::new(seed.wrapping_add(1));
+        let network = AnvilNetwork::new(&mut init_rng, padded_width, num_classes)?;
+        network.load_state(ckpt.state("network")?)?;
+        anvil.network = Some(network);
+
+        let mask = ckpt.usizes("centroid_mask")?;
+        if mask.len() != num_classes {
+            return Err(CheckpointError::Corrupt(format!(
+                "centroid mask covers {} classes, model has {num_classes}",
+                mask.len()
+            ))
+            .into());
+        }
+        let mut rows = tensor_to_rows(ckpt.tensor("centroids")?)?.into_iter();
+        anvil.centroids = mask
+            .iter()
+            .map(|&present| {
+                if present != 0 {
+                    rows.next()
+                        .ok_or_else(|| {
+                            VitalError::from(CheckpointError::Corrupt(
+                                "fewer centroid rows than mask entries".into(),
+                            ))
+                        })
+                        .map(Some)
+                } else {
+                    Ok(None)
+                }
+            })
+            .collect::<Result<Vec<_>>>()?;
+        if rows.next().is_some() {
+            return Err(
+                CheckpointError::Corrupt("more centroid rows than mask entries".into()).into(),
+            );
+        }
+        Ok(anvil)
     }
 
     fn embed(&self, features: &[f32]) -> Result<(Vec<f32>, Vec<f32>)> {
@@ -252,6 +356,14 @@ impl Localizer for AnvilLocalizer {
             }
         }
         Ok(predictions)
+    }
+
+    fn save(&self, path: &Path) -> Result<()> {
+        self.to_checkpoint()?.write_to(path)
+    }
+
+    fn load(path: &Path) -> Result<Self> {
+        AnvilLocalizer::from_checkpoint(&Checkpoint::read_from(path)?)
     }
 }
 

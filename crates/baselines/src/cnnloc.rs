@@ -1,13 +1,15 @@
 //! CNNLoc (paper ref. \[21\]): stacked-autoencoder pre-training followed by a
 //! 1-D convolutional neural network classifier over the RSSI fingerprint.
 
+use std::path::Path;
+
 use autograd::Tape;
 use fingerprint::{FingerprintDataset, FingerprintObservation};
 use nn::optim::{zero_grads, Adam, Optimizer};
 use nn::{Activation, Conv1d, Layer, Mlp, Param, Session, StackedAutoencoder};
 use tensor::rng::SeededRng;
 use tensor::Tensor;
-use vital::{DamConfig, Localizer, Result, VitalError};
+use vital::{Checkpoint, CheckpointError, DamConfig, Localizer, ModelKind, Result, VitalError};
 
 use crate::{FeatureExtractor, FeatureMode};
 
@@ -57,6 +59,88 @@ impl CnnLocLocalizer {
         self
     }
 
+    /// Builds the three network stages for a training-feature width,
+    /// mirroring the architecture decisions made in `fit` — shared by
+    /// training and checkpoint restoration so both construct identical
+    /// shapes.
+    fn build_stages(
+        init_rng: &mut SeededRng,
+        width: usize,
+        num_classes: usize,
+    ) -> Result<(StackedAutoencoder, Conv1d, Mlp)> {
+        let code_dim = (width / 2).max(8);
+        let autoencoder = StackedAutoencoder::new(init_rng, width, &[width.max(16), code_dim]);
+        let conv = Conv1d::new(init_rng, 3.min(code_dim), 8, 1)?;
+        let conv_width = conv.out_width_for(code_dim)?;
+        let classifier =
+            Mlp::new(init_rng, &[conv_width, 128, num_classes], Activation::Relu).with_dropout(0.1);
+        Ok((autoencoder, conv, classifier))
+    }
+
+    /// Serializes all three CNNLoc stages (SAE, 1-D CNN, classifier) into a
+    /// [`Checkpoint`].
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn to_checkpoint(&self) -> Result<Checkpoint> {
+        let (ae, conv, clf) = match (&self.autoencoder, &self.conv, &self.classifier) {
+            (Some(a), Some(c), Some(m)) => (a, c, m),
+            _ => return Err(VitalError::NotFitted),
+        };
+        let mut ckpt = Checkpoint::new(ModelKind::CnnLoc);
+        ckpt.set_dam_config(self.extractor.dam_config());
+        ckpt.push_ints("seed", vec![self.seed]);
+        ckpt.push_ints(
+            "dims",
+            vec![
+                self.pretrain_epochs as u64,
+                self.epochs as u64,
+                self.num_classes as u64,
+                ae.input_dim() as u64,
+            ],
+        );
+        ckpt.push_state("autoencoder", ae.state_dict());
+        ckpt.push_state("conv", conv.state_dict());
+        ckpt.push_state("classifier", clf.state_dict());
+        Ok(ckpt)
+    }
+
+    /// Restores a fitted CNNLoc instance from a [`Checkpoint`], rebuilding
+    /// the stage architectures from the stored dimensions and restoring
+    /// every weight bit-exactly.
+    ///
+    /// # Errors
+    /// Returns typed checkpoint errors on kind mismatch, missing entries or
+    /// weight-shape drift.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self> {
+        ckpt.expect_kind(ModelKind::CnnLoc)?;
+        let seed = ckpt.ints("seed")?.first().copied().unwrap_or(0);
+        let dims = ckpt.usizes("dims")?;
+        let [pretrain_epochs, epochs, num_classes, width] = dims[..] else {
+            return Err(CheckpointError::Corrupt(format!(
+                "expected 4 dimension entries, found {}",
+                dims.len()
+            ))
+            .into());
+        };
+        let mut cnnloc = CnnLocLocalizer::new(seed)
+            .with_dam(ckpt.dam_config().copied())
+            .with_epochs(epochs)
+            .with_pretrain_epochs(pretrain_epochs);
+        cnnloc.num_classes = num_classes;
+
+        let mut init_rng = SeededRng::new(seed.wrapping_add(1));
+        let (autoencoder, conv, classifier) =
+            Self::build_stages(&mut init_rng, width, num_classes)?;
+        autoencoder.load_state(ckpt.state("autoencoder")?)?;
+        conv.load_state(ckpt.state("conv")?)?;
+        classifier.load_state(ckpt.state("classifier")?)?;
+        cnnloc.autoencoder = Some(autoencoder);
+        cnnloc.conv = Some(conv);
+        cnnloc.classifier = Some(classifier);
+        Ok(cnnloc)
+    }
+
     fn params(&self) -> Vec<Param> {
         let mut params = Vec::new();
         if let Some(ae) = &self.autoencoder {
@@ -100,23 +184,14 @@ impl Localizer for CnnLocLocalizer {
         let (features, labels) = self.extractor.extract_matrix(train, true, 1, &mut rng);
         let width = features.cols()?;
 
-        // Stage 1: stacked-autoencoder pre-training on the fingerprints.
+        // Stage architectures (shared with checkpoint restoration), then
+        // stacked-autoencoder pre-training on the fingerprints.
         let mut init_rng = SeededRng::new(self.seed.wrapping_add(1));
-        let code_dim = (width / 2).max(8);
-        let autoencoder = StackedAutoencoder::new(&mut init_rng, width, &[width.max(16), code_dim]);
+        let (autoencoder, conv, classifier) =
+            Self::build_stages(&mut init_rng, width, self.num_classes)?;
         autoencoder
             .pretrain(&features, self.pretrain_epochs, 5e-3, 0.02, self.seed)
             .map_err(VitalError::from)?;
-
-        // Stage 2: 1-D CNN + MLP classifier on the encoded representation.
-        let conv = Conv1d::new(&mut init_rng, 3.min(code_dim), 8, 1)?;
-        let conv_width = conv.out_width_for(code_dim)?;
-        let classifier = Mlp::new(
-            &mut init_rng,
-            &[conv_width, 128, self.num_classes],
-            Activation::Relu,
-        )
-        .with_dropout(0.1);
 
         self.autoencoder = Some(autoencoder);
         self.conv = Some(conv);
@@ -184,6 +259,14 @@ impl Localizer for CnnLocLocalizer {
             predictions.extend(logits.argmax_rows()?);
         }
         Ok(predictions)
+    }
+
+    fn save(&self, path: &Path) -> Result<()> {
+        self.to_checkpoint()?.write_to(path)
+    }
+
+    fn load(path: &Path) -> Result<Self> {
+        CnnLocLocalizer::from_checkpoint(&Checkpoint::read_from(path)?)
     }
 }
 

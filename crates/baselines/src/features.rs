@@ -23,6 +23,41 @@ pub(crate) fn stack_rows(rows: &[Vec<f32>]) -> tensor::Result<Tensor> {
     Tensor::from_vec(data, &[rows.len(), width])
 }
 
+/// Packs per-row feature vectors into a `[rows, width]` tensor for
+/// checkpoint storage (handles the zero-row case, unlike
+/// [`stack_rows`]).
+///
+/// # Errors
+/// Returns an error if any row's width differs from `width`.
+pub(crate) fn rows_to_tensor(rows: &[Vec<f32>], width: usize) -> tensor::Result<Tensor> {
+    let mut data = Vec::with_capacity(rows.len() * width);
+    for row in rows {
+        if row.len() != width {
+            return Err(tensor::TensorError::LengthMismatch {
+                provided: row.len(),
+                expected: width,
+            });
+        }
+        data.extend_from_slice(row);
+    }
+    Tensor::from_vec(data, &[rows.len(), width])
+}
+
+/// Unpacks a `[rows, width]` checkpoint tensor back into per-row vectors.
+///
+/// # Errors
+/// Returns an error if the tensor is not a matrix.
+pub(crate) fn tensor_to_rows(t: &Tensor) -> tensor::Result<Vec<Vec<f32>>> {
+    let cols = t.cols()?;
+    if cols == 0 {
+        return Ok(vec![Vec::new(); t.rows()?]);
+    }
+    Ok(t.as_slice()
+        .chunks_exact(cols)
+        .map(<[f32]>::to_vec)
+        .collect())
+}
+
 /// How a fingerprint observation is turned into a flat feature vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FeatureMode {
@@ -38,6 +73,29 @@ pub enum FeatureMode {
     /// Hyperbolic Location Fingerprint: pairwise RSSI ratios against the
     /// strongest AP in log-space (paper ref. \[18\]).
     Hlf,
+}
+
+impl FeatureMode {
+    /// Stable identifier persisted in checkpoints.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FeatureMode::MeanChannel => "MeanChannel",
+            FeatureMode::ThreeChannel => "ThreeChannel",
+            FeatureMode::Ssd => "Ssd",
+            FeatureMode::Hlf => "Hlf",
+        }
+    }
+
+    /// Parses a [`FeatureMode::as_str`] identifier back.
+    pub fn parse(s: &str) -> Option<FeatureMode> {
+        match s {
+            "MeanChannel" => Some(FeatureMode::MeanChannel),
+            "ThreeChannel" => Some(FeatureMode::ThreeChannel),
+            "Ssd" => Some(FeatureMode::Ssd),
+            "Hlf" => Some(FeatureMode::Hlf),
+            _ => None,
+        }
+    }
 }
 
 /// Converts observations into feature vectors, optionally passing them
@@ -64,6 +122,12 @@ impl FeatureExtractor {
     /// Whether DAM is attached.
     pub fn has_dam(&self) -> bool {
         self.dam.is_some()
+    }
+
+    /// The attached DAM's configuration, if any — persisted in checkpoints
+    /// so a restored extractor reproduces the same inference pipeline.
+    pub fn dam_config(&self) -> Option<DamConfig> {
+        self.dam.as_ref().map(|d| *d.config())
     }
 
     /// The feature representation in use.

@@ -1,10 +1,13 @@
 //! Classical K-nearest-neighbour fingerprint matching, including the
 //! calibration-free SSD and HLF variants (paper ref. \[18\]).
 
+use std::path::Path;
+
 use fingerprint::{FingerprintDataset, FingerprintObservation};
 use tensor::rng::SeededRng;
-use vital::{Localizer, Result, VitalError};
+use vital::{Checkpoint, CheckpointError, Localizer, ModelKind, Result, VitalError};
 
+use crate::features::{rows_to_tensor, tensor_to_rows};
 use crate::{FeatureExtractor, FeatureMode};
 
 /// K-nearest-neighbour localizer over a configurable fingerprint
@@ -44,6 +47,56 @@ impl KnnLocalizer {
     /// Number of neighbours considered.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Serializes the fitted fingerprint store (features + labels) and the
+    /// matcher configuration into a [`Checkpoint`].
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn to_checkpoint(&self) -> Result<Checkpoint> {
+        if self.train_features.is_empty() {
+            return Err(VitalError::NotFitted);
+        }
+        let width = self.train_features[0].len();
+        let mut ckpt = Checkpoint::new(ModelKind::Knn);
+        ckpt.push_ints("k", vec![self.k as u64]);
+        ckpt.push_text("mode", self.extractor.mode().as_str());
+        ckpt.push_tensor("features", rows_to_tensor(&self.train_features, width)?);
+        ckpt.push_ints(
+            "labels",
+            self.train_labels.iter().map(|&l| l as u64).collect(),
+        );
+        Ok(ckpt)
+    }
+
+    /// Restores a fitted matcher from a [`Checkpoint`]; predictions are
+    /// bit-identical to the saved instance's.
+    ///
+    /// # Errors
+    /// Returns typed checkpoint errors on kind mismatch, missing entries or
+    /// inconsistent store sizes.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self> {
+        ckpt.expect_kind(ModelKind::Knn)?;
+        let k = ckpt.usizes("k")?.first().copied().unwrap_or(1);
+        let mode_text = ckpt.text("mode")?;
+        let mode = FeatureMode::parse(mode_text).ok_or_else(|| {
+            CheckpointError::Corrupt(format!("unknown feature mode {mode_text:?}"))
+        })?;
+        let features = tensor_to_rows(ckpt.tensor("features")?)?;
+        let labels = ckpt.usizes("labels")?;
+        if features.len() != labels.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} stored fingerprints but {} labels",
+                features.len(),
+                labels.len()
+            ))
+            .into());
+        }
+        let mut knn = KnnLocalizer::new(k, mode);
+        knn.train_features = features;
+        knn.train_labels = labels;
+        Ok(knn)
     }
 
     fn vote(&self, query: &[f32]) -> Result<usize> {
@@ -116,6 +169,14 @@ impl Localizer for KnnLocalizer {
         })
         .into_iter()
         .collect()
+    }
+
+    fn save(&self, path: &Path) -> Result<()> {
+        self.to_checkpoint()?.write_to(path)
+    }
+
+    fn load(path: &Path) -> Result<Self> {
+        KnnLocalizer::from_checkpoint(&Checkpoint::read_from(path)?)
     }
 }
 

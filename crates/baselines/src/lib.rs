@@ -73,6 +73,28 @@ pub fn comparison_suite(with_dam: bool, seed: u64) -> Vec<Box<dyn Localizer>> {
     ]
 }
 
+/// Loads *any* saved localizer — VITAL or one of the five baselines — from a
+/// checkpoint file, dispatching on the envelope's [`vital::ModelKind`].
+///
+/// This is the counterpart of [`vital::Localizer::save`] for callers that do
+/// not know the concrete model type in advance (e.g. the bench harness's
+/// `--checkpoint-dir` path).
+///
+/// # Errors
+/// Returns typed checkpoint errors for missing/corrupt files, format-version
+/// mismatches and weight-shape drift.
+pub fn load_localizer(path: &std::path::Path) -> vital::Result<Box<dyn Localizer>> {
+    let ckpt = vital::Checkpoint::read_from(path)?;
+    Ok(match ckpt.kind() {
+        vital::ModelKind::Vital => Box::new(vital::VitalModel::from_checkpoint(&ckpt)?),
+        vital::ModelKind::Knn => Box::new(KnnLocalizer::from_checkpoint(&ckpt)?),
+        vital::ModelKind::Sherpa => Box::new(SherpaLocalizer::from_checkpoint(&ckpt)?),
+        vital::ModelKind::CnnLoc => Box::new(CnnLocLocalizer::from_checkpoint(&ckpt)?),
+        vital::ModelKind::WiDeep => Box::new(WiDeepLocalizer::from_checkpoint(&ckpt)?),
+        vital::ModelKind::Anvil => Box::new(AnvilLocalizer::from_checkpoint(&ckpt)?),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

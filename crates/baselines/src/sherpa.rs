@@ -5,14 +5,17 @@
 //! classes gate a distance-weighted KNN vote restricted to those candidates,
 //! which is what gives SHERPA its robustness to device-specific offsets.
 
+use std::path::Path;
+
 use autograd::Tape;
 use fingerprint::{FingerprintDataset, FingerprintObservation};
 use nn::optim::{zero_grads, Adam, Optimizer};
 use nn::{Activation, Layer, Mlp, Session};
 use tensor::rng::SeededRng;
 use tensor::Tensor;
-use vital::{DamConfig, Localizer, Result, VitalError};
+use vital::{Checkpoint, CheckpointError, DamConfig, Localizer, ModelKind, Result, VitalError};
 
+use crate::features::{rows_to_tensor, tensor_to_rows};
 use crate::{FeatureExtractor, FeatureMode};
 
 /// The SHERPA localizer: DNN coarse classification + KNN refinement.
@@ -55,6 +58,94 @@ impl SherpaLocalizer {
     pub fn with_epochs(mut self, epochs: usize) -> Self {
         self.epochs = epochs.max(1);
         self
+    }
+
+    /// Builds the DNN classifier for a feature width — shared by training
+    /// and checkpoint restoration so both construct identical
+    /// architectures (any drift would silently break the bit-identical
+    /// reload contract).
+    fn build_network(seed: u64, width: usize, num_classes: usize) -> Mlp {
+        let mut init_rng = SeededRng::new(seed.wrapping_add(1));
+        Mlp::new(
+            &mut init_rng,
+            &[width, 128, 64, num_classes],
+            Activation::Relu,
+        )
+        .with_dropout(0.1)
+    }
+
+    /// Serializes both SHERPA stages — the DNN classifier weights and the
+    /// KNN fingerprint memory — into a [`Checkpoint`].
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn to_checkpoint(&self) -> Result<Checkpoint> {
+        let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
+        let width = self.train_features.first().map(Vec::len).unwrap_or(0);
+        let mut ckpt = Checkpoint::new(ModelKind::Sherpa);
+        ckpt.set_dam_config(self.extractor.dam_config());
+        ckpt.push_ints("seed", vec![self.seed]);
+        ckpt.push_ints(
+            "dims",
+            vec![
+                self.epochs as u64,
+                self.top_candidates as u64,
+                self.neighbours as u64,
+                self.num_classes as u64,
+                width as u64,
+            ],
+        );
+        ckpt.push_state("network", network.state_dict());
+        ckpt.push_tensor("memory", rows_to_tensor(&self.train_features, width)?);
+        ckpt.push_ints(
+            "labels",
+            self.train_labels.iter().map(|&l| l as u64).collect(),
+        );
+        Ok(ckpt)
+    }
+
+    /// Restores a fitted SHERPA instance from a [`Checkpoint`]: the DNN is
+    /// rebuilt with the stored architecture and its weights restored, so
+    /// predictions are bit-identical to the saved instance's.
+    ///
+    /// # Errors
+    /// Returns typed checkpoint errors on kind mismatch, missing entries or
+    /// weight-shape drift.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self> {
+        ckpt.expect_kind(ModelKind::Sherpa)?;
+        let seed = ckpt.ints("seed")?.first().copied().unwrap_or(0);
+        let dims = ckpt.usizes("dims")?;
+        let [epochs, top_candidates, neighbours, num_classes, width] = dims[..] else {
+            return Err(CheckpointError::Corrupt(format!(
+                "expected 5 dimension entries, found {}",
+                dims.len()
+            ))
+            .into());
+        };
+        let mut sherpa = SherpaLocalizer::new(seed)
+            .with_dam(ckpt.dam_config().copied())
+            .with_epochs(epochs);
+        sherpa.top_candidates = top_candidates;
+        sherpa.neighbours = neighbours;
+        sherpa.num_classes = num_classes;
+
+        // Rebuild the classifier architecture exactly as `fit` does, then
+        // overwrite its weights from the snapshot.
+        let network = Self::build_network(seed, width, num_classes);
+        network.load_state(ckpt.state("network")?)?;
+        sherpa.network = Some(network);
+
+        sherpa.train_features = tensor_to_rows(ckpt.tensor("memory")?)?;
+        sherpa.train_labels = ckpt.usizes("labels")?;
+        if sherpa.train_features.len() != sherpa.train_labels.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} stored fingerprints but {} labels",
+                sherpa.train_features.len(),
+                sherpa.train_labels.len()
+            ))
+            .into());
+        }
+        Ok(sherpa)
     }
 
     /// DNN posterior for a stack of queries: `[batch, width]` features in,
@@ -126,13 +217,7 @@ impl Localizer for SherpaLocalizer {
         let (features, labels) = self.extractor.extract_matrix(train, true, 2, &mut rng);
         let width = features.cols()?;
 
-        let mut init_rng = SeededRng::new(self.seed.wrapping_add(1));
-        let network = Mlp::new(
-            &mut init_rng,
-            &[width, 128, 64, self.num_classes],
-            Activation::Relu,
-        )
-        .with_dropout(0.1);
+        let network = Self::build_network(self.seed, width, self.num_classes);
         let mut optimizer = Adam::new(2e-3);
         let params = network.params();
         let batch = 32;
@@ -191,6 +276,14 @@ impl Localizer for SherpaLocalizer {
             }
         }
         Ok(predictions)
+    }
+
+    fn save(&self, path: &Path) -> Result<()> {
+        self.to_checkpoint()?.write_to(path)
+    }
+
+    fn load(path: &Path) -> Result<Self> {
+        SherpaLocalizer::from_checkpoint(&Checkpoint::read_from(path)?)
     }
 }
 

@@ -9,12 +9,15 @@
 //! remaining tractable inside the reproduction; the substitution is recorded
 //! in `DESIGN.md`.
 
+use std::path::Path;
+
 use fingerprint::{FingerprintDataset, FingerprintObservation};
-use nn::StackedAutoencoder;
+use nn::{Layer, StackedAutoencoder};
 use tensor::rng::SeededRng;
 use tensor::Tensor;
-use vital::{DamConfig, Localizer, Result, VitalError};
+use vital::{Checkpoint, CheckpointError, DamConfig, Localizer, ModelKind, Result, VitalError};
 
+use crate::features::{rows_to_tensor, tensor_to_rows};
 use crate::{FeatureExtractor, FeatureMode};
 
 /// The WiDeep localizer: denoising SAE + Gaussian-kernel classification.
@@ -66,6 +69,85 @@ impl WiDeepLocalizer {
         self
     }
 
+    /// Builds the denoising SAE for a feature width — shared by training
+    /// and checkpoint restoration so both construct identical
+    /// architectures (any drift would silently break the bit-identical
+    /// reload contract).
+    fn build_autoencoder(seed: u64, width: usize) -> StackedAutoencoder {
+        let mut init_rng = SeededRng::new(seed.wrapping_add(1));
+        StackedAutoencoder::new(&mut init_rng, width, &[width.max(16), (width / 2).max(8)])
+    }
+
+    /// Serializes the denoising autoencoder and the kernel classifier's
+    /// code memory into a [`Checkpoint`].
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn to_checkpoint(&self) -> Result<Checkpoint> {
+        let ae = self.autoencoder.as_ref().ok_or(VitalError::NotFitted)?;
+        let code_width = self.codes.first().map(Vec::len).unwrap_or(0);
+        let mut ckpt = Checkpoint::new(ModelKind::WiDeep);
+        ckpt.set_dam_config(self.extractor.dam_config());
+        ckpt.push_ints("seed", vec![self.seed]);
+        ckpt.push_ints(
+            "dims",
+            vec![
+                self.pretrain_epochs as u64,
+                self.num_classes as u64,
+                ae.input_dim() as u64,
+            ],
+        );
+        ckpt.push_scalar("corruption_std", f64::from(self.corruption_std));
+        ckpt.push_scalar("length_scale", f64::from(self.length_scale));
+        ckpt.push_state("autoencoder", ae.state_dict());
+        ckpt.push_tensor("codes", rows_to_tensor(&self.codes, code_width)?);
+        ckpt.push_ints("labels", self.labels.iter().map(|&l| l as u64).collect());
+        Ok(ckpt)
+    }
+
+    /// Restores a fitted WiDeep instance from a [`Checkpoint`]; kernel
+    /// inference over the restored codes is bit-identical to the saved
+    /// instance's.
+    ///
+    /// # Errors
+    /// Returns typed checkpoint errors on kind mismatch, missing entries or
+    /// weight-shape drift.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self> {
+        ckpt.expect_kind(ModelKind::WiDeep)?;
+        let seed = ckpt.ints("seed")?.first().copied().unwrap_or(0);
+        let dims = ckpt.usizes("dims")?;
+        let [pretrain_epochs, num_classes, width] = dims[..] else {
+            return Err(CheckpointError::Corrupt(format!(
+                "expected 3 dimension entries, found {}",
+                dims.len()
+            ))
+            .into());
+        };
+        let mut wideep = WiDeepLocalizer::new(seed)
+            .with_dam(ckpt.dam_config().copied())
+            .with_pretrain_epochs(pretrain_epochs);
+        wideep.num_classes = num_classes;
+        wideep.corruption_std = ckpt.scalar("corruption_std")? as f32;
+        wideep.length_scale = ckpt.scalar("length_scale")? as f32;
+
+        // Rebuild the SAE exactly as `fit` does, then restore its weights.
+        let autoencoder = Self::build_autoencoder(seed, width);
+        autoencoder.load_state(ckpt.state("autoencoder")?)?;
+        wideep.autoencoder = Some(autoencoder);
+
+        wideep.codes = tensor_to_rows(ckpt.tensor("codes")?)?;
+        wideep.labels = ckpt.usizes("labels")?;
+        if wideep.codes.len() != wideep.labels.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} stored codes but {} labels",
+                wideep.codes.len(),
+                wideep.labels.len()
+            ))
+            .into());
+        }
+        Ok(wideep)
+    }
+
     fn encode(&self, features: &[f32]) -> Result<Vec<f32>> {
         let ae = self.autoencoder.as_ref().ok_or(VitalError::NotFitted)?;
         let x = Tensor::from_vec(features.to_vec(), &[1, features.len()])?;
@@ -100,9 +182,7 @@ impl Localizer for WiDeepLocalizer {
 
         // Denoising SAE pre-training (aggressive corruption, per the paper's
         // description of WiDeep's behaviour).
-        let mut init_rng = SeededRng::new(self.seed.wrapping_add(1));
-        let autoencoder =
-            StackedAutoencoder::new(&mut init_rng, width, &[width.max(16), (width / 2).max(8)]);
+        let autoencoder = Self::build_autoencoder(self.seed, width);
         autoencoder
             .pretrain(
                 &features,
@@ -179,6 +259,14 @@ impl Localizer for WiDeepLocalizer {
             }
         }
         Ok(predictions)
+    }
+
+    fn save(&self, path: &Path) -> Result<()> {
+        self.to_checkpoint()?.write_to(path)
+    }
+
+    fn load(path: &Path) -> Result<Self> {
+        WiDeepLocalizer::from_checkpoint(&Checkpoint::read_from(path)?)
     }
 }
 

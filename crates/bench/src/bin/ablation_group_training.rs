@@ -4,14 +4,19 @@
 //! training.
 //!
 //! Run with `cargo run --release -p bench --bin ablation_group_training`.
+//! Pass `--checkpoint-dir <dir>` to train-and-save on the first run and
+//! load-and-evaluate thereafter (each training pool gets its own key).
 
-use bench::runner::{build_framework, collect_extended_dataset, evaluate_on_devices};
-use bench::{print_table, write_csv, Framework, Scale, TableRow};
+use bench::runner::{
+    build_framework, checkpoint_key, collect_extended_dataset, evaluate_on_devices,
+};
+use bench::{print_table, write_csv, CheckpointStore, Framework, Scale, TableRow};
 use fingerprint::{base_devices, DatasetConfig, FingerprintDataset};
 use sim_radio::building_1;
 
 fn main() {
     let scale = Scale::from_env();
+    let store = CheckpointStore::from_env_args();
     let building = building_1();
     let test = collect_extended_dataset(&building, scale, 61);
 
@@ -35,15 +40,20 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (label, pool) in [
-        ("single device (BLU only)", &single_device_pool),
-        ("group training (6 devices)", &group_pool),
+    for (label, context, pool) in [
+        (
+            "single device (BLU only)",
+            "group-single",
+            &single_device_pool,
+        ),
+        ("group training (6 devices)", "group-pool", &group_pool),
     ] {
-        let mean_error = build_framework(Framework::Vital, &building, scale, true, 61)
-            .and_then(|mut model| {
-                model.fit(pool)?;
-                evaluate_on_devices(model.as_ref(), &building, &test)
+        let key = checkpoint_key(context, Framework::Vital, &building, scale, true, 61);
+        let mean_error = store
+            .fit_or_load(&key, pool, || {
+                build_framework(Framework::Vital, &building, scale, true, 61)
             })
+            .and_then(|model| evaluate_on_devices(model.as_ref(), &building, &test))
             .map(|r| r.overall.mean_error_m())
             .unwrap_or(f32::NAN);
         println!("{label:<28} -> {mean_error:.2} m on unseen devices");

@@ -3,16 +3,21 @@
 //! frameworks were trained on — the generalisation experiment.
 //!
 //! Run with `cargo run --release -p bench --bin fig10_extended_summary`.
+//! Pass `--checkpoint-dir <dir>` to train-and-save on the first run and
+//! load-and-evaluate thereafter (keyed under the `full` training-pool
+//! context, distinct from the 80/20-split experiments).
 
 use bench::runner::{
-    build_framework, collect_base_dataset, collect_extended_dataset, evaluate_on_devices,
+    build_framework, checkpoint_key, collect_base_dataset, collect_extended_dataset,
+    evaluate_on_devices,
 };
-use bench::{print_table, write_csv, Framework, Scale, TableRow};
+use bench::{print_table, write_csv, CheckpointStore, Framework, Scale, TableRow};
 use sim_radio::benchmark_buildings;
 use vital::LocalizationReport;
 
 fn main() {
     let scale = Scale::from_env();
+    let store = CheckpointStore::from_env_args();
     let frameworks = Framework::all();
     let mut pooled: Vec<(String, Vec<LocalizationReport>)> = frameworks
         .iter()
@@ -25,11 +30,12 @@ fn main() {
         let train = collect_base_dataset(&building, scale, 41);
         let test = collect_extended_dataset(&building, scale, 41);
         for &framework in &frameworks {
-            let result =
-                build_framework(framework, &building, scale, true, 41).and_then(|mut localizer| {
-                    localizer.fit(&train)?;
-                    evaluate_on_devices(localizer.as_ref(), &building, &test)
-                });
+            let key = checkpoint_key("full", framework, &building, scale, true, 41);
+            let result = store
+                .fit_or_load(&key, &train, || {
+                    build_framework(framework, &building, scale, true, 41)
+                })
+                .and_then(|localizer| evaluate_on_devices(localizer.as_ref(), &building, &test));
             match result {
                 Ok(result) => {
                     println!(

@@ -3,19 +3,29 @@
 //! paper; emitted here as one table per building).
 //!
 //! Run with `cargo run --release -p bench --bin fig7_framework_grid`.
+//! Pass `--checkpoint-dir <dir>` to train-and-save on the first run and
+//! load-and-evaluate thereafter.
 
-use bench::runner::run_building_experiment;
-use bench::{print_table, write_csv, Framework, Scale, TableRow};
+use bench::runner::run_building_experiment_checkpointed;
+use bench::{print_table, write_csv, CheckpointStore, Framework, Scale, TableRow};
 use sim_radio::benchmark_buildings;
 
 fn main() {
     let scale = Scale::from_env();
+    let store = CheckpointStore::from_env_args();
     let frameworks = Framework::all();
     let mut csv_rows = Vec::new();
 
     for building in benchmark_buildings() {
         println!("\n### {} ###", building.name());
-        let results = match run_building_experiment(&building, &frameworks, scale, true, 17) {
+        let results = match run_building_experiment_checkpointed(
+            &store,
+            &building,
+            &frameworks,
+            scale,
+            true,
+            17,
+        ) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{} failed: {e}", building.name());

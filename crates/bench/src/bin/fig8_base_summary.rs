@@ -3,14 +3,17 @@
 //! base (training-pool) devices.
 //!
 //! Run with `cargo run --release -p bench --bin fig8_base_summary`.
+//! Pass `--checkpoint-dir <dir>` to train-and-save on the first run and
+//! load-and-evaluate thereafter.
 
-use bench::runner::run_building_experiment;
-use bench::{print_table, write_csv, Framework, Scale, TableRow};
+use bench::runner::run_building_experiment_checkpointed;
+use bench::{print_table, write_csv, CheckpointStore, Framework, Scale, TableRow};
 use sim_radio::benchmark_buildings;
 use vital::LocalizationReport;
 
 fn main() {
     let scale = Scale::from_env();
+    let store = CheckpointStore::from_env_args();
     let frameworks = Framework::all();
     let mut pooled: Vec<(String, Vec<LocalizationReport>)> = frameworks
         .iter()
@@ -18,7 +21,8 @@ fn main() {
         .collect();
 
     for building in benchmark_buildings() {
-        match run_building_experiment(&building, &frameworks, scale, true, 23) {
+        match run_building_experiment_checkpointed(&store, &building, &frameworks, scale, true, 23)
+        {
             Ok(results) => {
                 for result in results {
                     if let Some(slot) = pooled.iter_mut().find(|(n, _)| *n == result.framework) {

@@ -2,20 +2,26 @@
 //! of every framework trained with and without the Data Augmentation Module.
 //!
 //! Run with `cargo run --release -p bench --bin fig9_dam_ablation`.
+//! Pass `--checkpoint-dir <dir>` to train-and-save on the first run and
+//! load-and-evaluate thereafter (the with/without-DAM variants are cached
+//! under distinct keys).
 
-use bench::runner::run_building_experiment;
-use bench::{print_table, write_csv, Framework, Scale, TableRow};
+use bench::runner::run_building_experiment_checkpointed;
+use bench::{print_table, write_csv, CheckpointStore, Framework, Scale, TableRow};
 use sim_radio::building_1;
 
 fn main() {
     let scale = Scale::from_env();
+    let store = CheckpointStore::from_env_args();
     let building = building_1();
     let frameworks = Framework::all();
 
-    let without = run_building_experiment(&building, &frameworks, scale, false, 31)
-        .expect("baseline (no DAM) experiment");
+    let without =
+        run_building_experiment_checkpointed(&store, &building, &frameworks, scale, false, 31)
+            .expect("baseline (no DAM) experiment");
     let with =
-        run_building_experiment(&building, &frameworks, scale, true, 31).expect("DAM experiment");
+        run_building_experiment_checkpointed(&store, &building, &frameworks, scale, true, 31)
+            .expect("DAM experiment");
 
     let mut rows = Vec::new();
     for framework in frameworks {

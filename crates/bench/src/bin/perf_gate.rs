@@ -1,0 +1,148 @@
+//! CI performance-regression gate: compares a freshly generated
+//! `BENCH_perf.json` (from the `perf_summary` binary) against the
+//! committed thresholds in `ci/perf-thresholds.json` and exits non-zero if
+//! any metric regressed below its floor.
+//!
+//! ```text
+//! perf_gate [--perf BENCH_perf.json] [--thresholds ci/perf-thresholds.json]
+//! ```
+//!
+//! Threshold schema:
+//!
+//! ```json
+//! {
+//!   "gemm": [ {"m": 256, "min_speedup": 1.8} ],
+//!   "vit":  { "batch": 32, "min_speedup": 1.3, "require_agreement": true }
+//! }
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bench::json::{parse, Json};
+
+struct Gate {
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn check(&mut self, label: &str, actual: f64, floor: f64) {
+        if actual >= floor {
+            println!("PASS  {label}: {actual:.3} >= {floor:.3}");
+        } else {
+            println!("FAIL  {label}: {actual:.3} < {floor:.3}");
+            self.failures
+                .push(format!("{label}: {actual:.3} below floor {floor:.3}"));
+        }
+    }
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+fn num(json: &Json, context: &str, key: &str) -> Result<f64, String> {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{context} is missing numeric field {key:?}"))
+}
+
+fn run(perf_path: &Path, thresholds_path: &Path) -> Result<Vec<String>, String> {
+    let perf = load(perf_path)?;
+    let thresholds = load(thresholds_path)?;
+    let mut gate = Gate {
+        failures: Vec::new(),
+    };
+
+    // GEMM speedups: each threshold row names a square size `m` that must
+    // be present in the measured report.
+    let gemm_rows = perf
+        .get("gemm")
+        .and_then(Json::as_array)
+        .ok_or("BENCH_perf.json has no gemm array")?;
+    for threshold in thresholds
+        .get("gemm")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
+        let size = num(threshold, "gemm threshold", "m")?;
+        let floor = num(threshold, "gemm threshold", "min_speedup")?;
+        let row = gemm_rows
+            .iter()
+            .find(|r| r.get("m").and_then(Json::as_f64) == Some(size))
+            .ok_or_else(|| format!("no measured gemm row for m = {size}"))?;
+        let speedup = num(row, "gemm row", "speedup")?;
+        gate.check(&format!("gemm {size}\u{b3} packed speedup"), speedup, floor);
+    }
+
+    // Batched-ViT speedup + prediction agreement.
+    if let Some(vit_threshold) = thresholds.get("vit") {
+        let vit = perf.get("vit").ok_or("BENCH_perf.json has no vit object")?;
+        let expected_batch = num(vit_threshold, "vit threshold", "batch")?;
+        let measured_batch = num(vit, "vit report", "batch")?;
+        if measured_batch != expected_batch {
+            return Err(format!(
+                "vit report measured batch {measured_batch}, thresholds expect {expected_batch}"
+            ));
+        }
+        let floor = num(vit_threshold, "vit threshold", "min_speedup")?;
+        let speedup = num(vit, "vit report", "batch_speedup")?;
+        gate.check(
+            &format!("vit batch-{expected_batch} speedup"),
+            speedup,
+            floor,
+        );
+        if vit_threshold
+            .get("require_agreement")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+        {
+            let agree = vit
+                .get("predictions_agree")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            if agree {
+                println!("PASS  vit batched predictions agree with single-sample path");
+            } else {
+                gate.failures
+                    .push("vit batched predictions disagree with single-sample path".into());
+                println!("FAIL  vit batched predictions disagree with single-sample path");
+            }
+        }
+    }
+    Ok(gate.failures)
+}
+
+fn arg_value(args: &[String], flag: &str, default: &str) -> PathBuf {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(default))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let perf = arg_value(&args, "--perf", "BENCH_perf.json");
+    let thresholds = arg_value(&args, "--thresholds", "ci/perf-thresholds.json");
+
+    match run(&perf, &thresholds) {
+        Ok(failures) if failures.is_empty() => {
+            println!("perf gate: all thresholds met");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("perf gate: {} regression(s):", failures.len());
+            for failure in failures {
+                eprintln!("  - {failure}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("perf gate: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

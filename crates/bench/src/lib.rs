@@ -17,13 +17,15 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod scale;
 
 pub use report::{print_table, write_csv, TableRow};
 pub use runner::{
-    build_framework, evaluate_on_devices, run_building_experiment, train_and_evaluate, Framework,
-    FrameworkResult,
+    build_framework, checkpoint_key, evaluate_on_devices, run_building_experiment,
+    run_building_experiment_checkpointed, train_and_evaluate, train_and_evaluate_checkpointed,
+    CheckpointStore, Framework, FrameworkResult,
 };
 pub use scale::Scale;

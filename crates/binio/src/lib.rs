@@ -1,0 +1,447 @@
+//! The compact binary wire format backing VITAL model checkpoints.
+//!
+//! `binio` implements the vendored `serde` data model (`serde::ser::Serializer`
+//! / `serde::de::Deserializer`) over a fixed little-endian layout:
+//!
+//! | value | encoding |
+//! |---|---|
+//! | `bool` | one byte, `0`/`1` (anything else is a typed error) |
+//! | `u8`/`u16`/`u32`/`u64`/`i64` | fixed-width little-endian |
+//! | `usize` | `u64` |
+//! | `f32`/`f64` | IEEE-754 bit pattern as `u32`/`u64` — NaN payloads survive, round-trips are **bit-exact** |
+//! | `str` | `u64` byte length + UTF-8 bytes |
+//! | sequence | `u64` element count + elements |
+//! | struct | one byte field count (cheap structural validation) + fields in declaration order |
+//! | enum variant | `u32` variant index |
+//!
+//! The format is *non-self-describing*: readers must know the type they are
+//! decoding, which is exactly the checkpoint use case. Every failure mode —
+//! truncation, trailing garbage, invalid booleans/UTF-8, absurd length
+//! claims — surfaces as a typed [`BinError`], never a panic.
+//!
+//! # Example
+//! ```
+//! let bytes = binio::to_bytes(&vec![1.0f32, f32::NAN]).unwrap();
+//! let back: Vec<f32> = binio::from_bytes(&bytes).unwrap();
+//! assert_eq!(back[0], 1.0);
+//! assert!(back[1].is_nan());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::error::Error;
+use std::fmt;
+
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, Serializer};
+
+/// Typed decoding/encoding failures of the binary format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The input ended before a value could be fully read.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// Decoding finished but input bytes were left over.
+    TrailingBytes {
+        /// Number of unread bytes.
+        extra: usize,
+    },
+    /// A boolean byte was neither `0` nor `1`.
+    InvalidBool(u8),
+    /// A string's bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// A struct header did not match the expected type.
+    StructMismatch {
+        /// Struct the decoder expected.
+        name: &'static str,
+        /// Field count the decoder expected.
+        expected: usize,
+        /// Field count found on the wire.
+        found: usize,
+    },
+    /// A length claim exceeded what the remaining input could possibly
+    /// back.
+    LengthOverflow {
+        /// The claimed length.
+        claimed: u64,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// Data-level validation failed (unknown enum variant, inconsistent
+    /// shape, …).
+    InvalidData(String),
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            BinError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the last decoded value")
+            }
+            BinError::InvalidBool(b) => write!(f, "invalid boolean byte {b:#04x}"),
+            BinError::InvalidUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            BinError::StructMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "struct {name} expects {expected} fields, wire says {found}"
+            ),
+            BinError::LengthOverflow { claimed, remaining } => write!(
+                f,
+                "length claim {claimed} exceeds the {remaining} input bytes remaining"
+            ),
+            BinError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl Error for BinError {}
+
+/// Serializer writing the binary layout into an owned buffer.
+#[derive(Debug, Default)]
+pub struct BinSerializer {
+    buf: Vec<u8>,
+}
+
+impl BinSerializer {
+    /// Creates an empty serializer.
+    pub fn new() -> Self {
+        BinSerializer::default()
+    }
+
+    /// Consumes the serializer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Serializer for BinSerializer {
+    type Error = BinError;
+
+    fn serialize_bool(&mut self, v: bool) -> Result<(), BinError> {
+        self.buf.push(u8::from(v));
+        Ok(())
+    }
+
+    fn serialize_u8(&mut self, v: u8) -> Result<(), BinError> {
+        self.buf.push(v);
+        Ok(())
+    }
+
+    fn serialize_u16(&mut self, v: u16) -> Result<(), BinError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u32(&mut self, v: u32) -> Result<(), BinError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_u64(&mut self, v: u64) -> Result<(), BinError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_i64(&mut self, v: i64) -> Result<(), BinError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f32(&mut self, v: f32) -> Result<(), BinError> {
+        self.serialize_u32(v.to_bits())
+    }
+
+    fn serialize_f64(&mut self, v: f64) -> Result<(), BinError> {
+        self.serialize_u64(v.to_bits())
+    }
+
+    fn serialize_str(&mut self, v: &str) -> Result<(), BinError> {
+        self.serialize_u64(v.len() as u64)?;
+        self.buf.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_seq(&mut self, len: usize) -> Result<(), BinError> {
+        self.serialize_u64(len as u64)
+    }
+
+    fn serialize_struct(&mut self, _name: &'static str, fields: usize) -> Result<(), BinError> {
+        debug_assert!(fields <= u8::MAX as usize, "structs cap at 255 fields");
+        self.buf.push(fields as u8);
+        Ok(())
+    }
+
+    fn serialize_variant(&mut self, _name: &'static str, index: u32) -> Result<(), BinError> {
+        self.serialize_u32(index)
+    }
+}
+
+/// Deserializer reading the binary layout from a byte slice.
+#[derive(Debug)]
+pub struct BinDeserializer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinDeserializer<'a> {
+    /// Creates a deserializer over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        BinDeserializer { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.remaining() < n {
+            return Err(BinError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], BinError> {
+        Ok(self.take(N)?.try_into().expect("exact length slice"))
+    }
+}
+
+impl Deserializer for BinDeserializer<'_> {
+    type Error = BinError;
+
+    fn deserialize_bool(&mut self) -> Result<bool, BinError> {
+        match self.take_array::<1>()?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(BinError::InvalidBool(other)),
+        }
+    }
+
+    fn deserialize_u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take_array::<1>()?[0])
+    }
+
+    fn deserialize_u16(&mut self) -> Result<u16, BinError> {
+        Ok(u16::from_le_bytes(self.take_array()?))
+    }
+
+    fn deserialize_u32(&mut self) -> Result<u32, BinError> {
+        Ok(u32::from_le_bytes(self.take_array()?))
+    }
+
+    fn deserialize_u64(&mut self) -> Result<u64, BinError> {
+        Ok(u64::from_le_bytes(self.take_array()?))
+    }
+
+    fn deserialize_i64(&mut self) -> Result<i64, BinError> {
+        Ok(i64::from_le_bytes(self.take_array()?))
+    }
+
+    fn deserialize_f32(&mut self) -> Result<f32, BinError> {
+        Ok(f32::from_bits(self.deserialize_u32()?))
+    }
+
+    fn deserialize_f64(&mut self) -> Result<f64, BinError> {
+        Ok(f64::from_bits(self.deserialize_u64()?))
+    }
+
+    fn deserialize_str(&mut self) -> Result<String, BinError> {
+        let len = self.deserialize_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(BinError::LengthOverflow {
+                claimed: len,
+                remaining: self.remaining(),
+            });
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| BinError::InvalidUtf8)
+    }
+
+    fn deserialize_seq(&mut self) -> Result<usize, BinError> {
+        let len = self.deserialize_u64()?;
+        // Every element occupies at least one byte on the wire, so a claim
+        // beyond the remaining input is corrupt by construction.
+        if len > self.remaining() as u64 {
+            return Err(BinError::LengthOverflow {
+                claimed: len,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len as usize)
+    }
+
+    fn deserialize_struct(&mut self, name: &'static str, fields: usize) -> Result<(), BinError> {
+        let found = self.take_array::<1>()?[0] as usize;
+        if found != fields {
+            return Err(BinError::StructMismatch {
+                name,
+                expected: fields,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    fn deserialize_variant(&mut self, _name: &'static str) -> Result<u32, BinError> {
+        self.deserialize_u32()
+    }
+
+    fn invalid_data(&self, msg: &str) -> BinError {
+        BinError::InvalidData(msg.to_string())
+    }
+
+    fn seq_capacity_hint(&self, claimed_len: usize) -> usize {
+        claimed_len.min(self.remaining())
+    }
+}
+
+/// Serializes `value` into the binary layout.
+///
+/// # Errors
+/// Returns a [`BinError`] if the value reports one (in-memory encoding
+/// itself cannot fail).
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, BinError> {
+    let mut serializer = BinSerializer::new();
+    value.serialize(&mut serializer)?;
+    Ok(serializer.into_bytes())
+}
+
+/// Deserializes a `T` from `bytes`, requiring the whole input to be
+/// consumed.
+///
+/// # Errors
+/// Returns a [`BinError`] on truncated, corrupt or trailing input.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, BinError> {
+    let mut deserializer = BinDeserializer::new(bytes);
+    let value = T::deserialize(&mut deserializer)?;
+    if deserializer.remaining() != 0 {
+        return Err(BinError::TrailingBytes {
+            extra: deserializer.remaining(),
+        });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(true);
+        round_trip(false);
+        round_trip(0xABu8);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEADBEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(123usize);
+        round_trip(1.5f32);
+        round_trip(-0.0f64);
+        round_trip(String::from("héllo"));
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip((String::from("k"), 9u64));
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let weird = f32::from_bits(0x7FC0_1234); // NaN with payload
+        let bytes = to_bytes(&weird).unwrap();
+        let back: f32 = from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+        let inf_bytes = to_bytes(&f64::NEG_INFINITY).unwrap();
+        let inf: f64 = from_bytes(&inf_bytes).unwrap();
+        assert_eq!(inf, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let bytes = to_bytes(&vec![1.0f32, 2.0, 3.0]).unwrap();
+        for cut in 0..bytes.len() {
+            let result: Result<Vec<f32>, _> = from_bytes(&bytes[..cut]);
+            assert!(
+                matches!(
+                    result,
+                    Err(BinError::UnexpectedEof { .. }) | Err(BinError::LengthOverflow { .. })
+                ),
+                "cut at {cut} gave {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        let result: Result<u32, _> = from_bytes(&bytes);
+        assert_eq!(result, Err(BinError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_typed() {
+        let result: Result<bool, _> = from_bytes(&[7]);
+        assert_eq!(result, Err(BinError::InvalidBool(7)));
+
+        let mut bad_str = to_bytes(&2u64).unwrap(); // claims 2 bytes
+        bad_str.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+        let result: Result<String, _> = from_bytes(&bad_str);
+        assert_eq!(result, Err(BinError::InvalidUtf8));
+    }
+
+    #[test]
+    fn absurd_length_claims_do_not_allocate() {
+        // A sequence header claiming u64::MAX elements with no backing
+        // bytes must fail fast instead of trying to reserve memory.
+        let bytes = to_bytes(&u64::MAX).unwrap();
+        let result: Result<Vec<u8>, _> = from_bytes(&bytes);
+        assert!(matches!(result, Err(BinError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn errors_display_useful_messages() {
+        assert!(BinError::UnexpectedEof {
+            needed: 4,
+            remaining: 1
+        }
+        .to_string()
+        .contains("needed 4"));
+        assert!(BinError::TrailingBytes { extra: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(BinError::StructMismatch {
+            name: "Tensor",
+            expected: 2,
+            found: 5
+        }
+        .to_string()
+        .contains("Tensor"));
+        assert!(BinError::InvalidData("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

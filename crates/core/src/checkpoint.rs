@@ -1,0 +1,556 @@
+//! Versioned model checkpoints: the persistence envelope shared by VITAL
+//! and every baseline localizer.
+//!
+//! # File layout
+//!
+//! ```text
+//! ┌──────────────┬───────────────┬──────────────────────────────┐
+//! │ magic (8 B)  │ version (u32) │ binio-encoded Checkpoint     │
+//! │ "VITALCKP"   │ little-endian │ (kind, configs, states, ...) │
+//! └──────────────┴───────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The header is parsed before any payload decoding, so foreign files fail
+//! with [`CheckpointError::BadMagic`] and files from a future format fail
+//! with [`CheckpointError::UnsupportedVersion`] — both typed, never a
+//! panic. Payload corruption surfaces as [`CheckpointError::Corrupt`].
+//!
+//! # Version policy
+//!
+//! [`CHECKPOINT_VERSION`] is bumped on any wire-incompatible change to the
+//! envelope or to the tensor encoding. Readers accept exactly the current
+//! version; there is no silent migration — a version bump is an explicit
+//! "retrain or convert" event.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vital::{Checkpoint, ModelKind};
+//!
+//! # fn main() -> Result<(), vital::VitalError> {
+//! let mut ckpt = Checkpoint::new(ModelKind::Knn);
+//! ckpt.push_scalar("k", 3.0);
+//! ckpt.write_to("knn.vckpt".as_ref())?;
+//! let back = Checkpoint::read_from("knn.vckpt".as_ref())?;
+//! assert_eq!(back.kind(), ModelKind::Knn);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use tensor::Tensor;
+
+use crate::{DamConfig, Result, VitalConfig, VitalError};
+
+/// Leading bytes of every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"VITALCKP";
+
+/// Current checkpoint format version (see the module docs for the policy).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Which localizer family a checkpoint belongs to.
+///
+/// The discriminant is part of the wire format: variants must only ever be
+/// appended, never reordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The VITAL vision-transformer model.
+    Vital,
+    /// K-nearest-neighbour fingerprint matching (incl. SSD/HLF variants).
+    Knn,
+    /// SHERPA: DNN classifier + KNN refinement.
+    Sherpa,
+    /// CNNLoc: stacked autoencoder + 1-D CNN classifier.
+    CnnLoc,
+    /// WiDeep: denoising autoencoder + Gaussian-kernel classifier.
+    WiDeep,
+    /// ANVIL: attention encoder + Euclidean centroid matching.
+    Anvil,
+}
+
+impl ModelKind {
+    /// Stable display name (matches the `Localizer::name` family).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ModelKind::Vital => "VITAL",
+            ModelKind::Knn => "KNN",
+            ModelKind::Sherpa => "SHERPA",
+            ModelKind::CnnLoc => "CNNLoc",
+            ModelKind::WiDeep => "WiDeep",
+            ModelKind::Anvil => "ANVIL",
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Typed failures of checkpoint encoding, decoding and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The file was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The checkpoint holds a different model kind than the loader expects.
+    WrongKind {
+        /// Kind the loading model requires.
+        expected: ModelKind,
+        /// Kind recorded in the checkpoint.
+        found: ModelKind,
+    },
+    /// A named entry (config, scalar, tensor or state dict) is absent.
+    MissingEntry {
+        /// Name of the absent entry.
+        entry: String,
+    },
+    /// The payload failed to decode (truncation, corruption, type drift).
+    Corrupt(String),
+    /// Reading or writing the checkpoint file failed.
+    Io(String),
+    /// The model type does not implement persistence.
+    Unsupported {
+        /// Name of the model type.
+        model: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => {
+                write!(f, "not a VITAL checkpoint (bad magic bytes)")
+            }
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint format version {found} is not supported (this build reads \
+                 version {supported})"
+            ),
+            CheckpointError::WrongKind { expected, found } => {
+                write!(f, "checkpoint holds a {found} model, expected {expected}")
+            }
+            CheckpointError::MissingEntry { entry } => {
+                write!(f, "checkpoint is missing entry {entry:?}")
+            }
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint payload: {msg}"),
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O failed: {msg}"),
+            CheckpointError::Unsupported { model } => {
+                write!(f, "model {model} does not support checkpointing")
+            }
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+impl From<CheckpointError> for VitalError {
+    fn from(e: CheckpointError) -> Self {
+        VitalError::Checkpoint(e)
+    }
+}
+
+/// The persistence envelope for one trained localizer.
+///
+/// A checkpoint carries the model kind, the VITAL/DAM configurations where
+/// applicable, and a set of *named* payload entries: whole-layer state
+/// dicts, standalone tensors, integer arrays, floating-point scalars and
+/// strings. Models decide which entries they need; the envelope only
+/// guarantees typed, validated round-trips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    kind: ModelKind,
+    vital_config: Option<VitalConfig>,
+    dam_config: Option<DamConfig>,
+    scalars: Vec<(String, f64)>,
+    ints: Vec<(String, Vec<u64>)>,
+    texts: Vec<(String, String)>,
+    tensors: Vec<(String, Tensor)>,
+    states: Vec<(String, Vec<(String, Tensor)>)>,
+}
+
+impl Checkpoint {
+    /// Creates an empty checkpoint for a model kind.
+    pub fn new(kind: ModelKind) -> Self {
+        Checkpoint {
+            kind,
+            vital_config: None,
+            dam_config: None,
+            scalars: Vec::new(),
+            ints: Vec::new(),
+            texts: Vec::new(),
+            tensors: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// The model kind this checkpoint holds.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Validates that the checkpoint holds `expected`.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::WrongKind`] otherwise.
+    pub fn expect_kind(&self, expected: ModelKind) -> Result<()> {
+        if self.kind != expected {
+            return Err(CheckpointError::WrongKind {
+                expected,
+                found: self.kind,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Stores the VITAL model configuration.
+    pub fn set_vital_config(&mut self, config: VitalConfig) {
+        self.vital_config = Some(config);
+    }
+
+    /// The stored VITAL configuration.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::MissingEntry`] if absent.
+    pub fn vital_config(&self) -> Result<&VitalConfig> {
+        self.vital_config.as_ref().ok_or_else(|| {
+            CheckpointError::MissingEntry {
+                entry: "vital_config".into(),
+            }
+            .into()
+        })
+    }
+
+    /// Stores the DAM configuration used by the model's feature pipeline
+    /// (`None` means the model runs without DAM).
+    pub fn set_dam_config(&mut self, config: Option<DamConfig>) {
+        self.dam_config = config;
+    }
+
+    /// The stored DAM configuration, if any.
+    pub fn dam_config(&self) -> Option<&DamConfig> {
+        self.dam_config.as_ref()
+    }
+
+    /// Adds a named floating-point scalar (hyperparameters, flags).
+    pub fn push_scalar(&mut self, name: impl Into<String>, value: f64) {
+        self.scalars.push((name.into(), value));
+    }
+
+    /// Reads a named scalar back.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::MissingEntry`] if absent.
+    pub fn scalar(&self, name: &str) -> Result<f64> {
+        lookup(&self.scalars, name).copied()
+    }
+
+    /// Adds a named integer array (labels, seeds, masks).
+    pub fn push_ints(&mut self, name: impl Into<String>, values: Vec<u64>) {
+        self.ints.push((name.into(), values));
+    }
+
+    /// Reads a named integer array back.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::MissingEntry`] if absent.
+    pub fn ints(&self, name: &str) -> Result<&[u64]> {
+        lookup(&self.ints, name).map(Vec::as_slice)
+    }
+
+    /// Reads a named integer array back as `usize`s (labels).
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::MissingEntry`] if absent or
+    /// [`CheckpointError::Corrupt`] if any value does not fit `usize`.
+    pub fn usizes(&self, name: &str) -> Result<Vec<usize>> {
+        self.ints(name)?
+            .iter()
+            .map(|&v| {
+                usize::try_from(v).map_err(|_| {
+                    CheckpointError::Corrupt(format!("{name}: value {v} does not fit usize")).into()
+                })
+            })
+            .collect()
+    }
+
+    /// Adds a named string (feature-mode tags, device names).
+    pub fn push_text(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.texts.push((name.into(), value.into()));
+    }
+
+    /// Reads a named string back.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::MissingEntry`] if absent.
+    pub fn text(&self, name: &str) -> Result<&str> {
+        lookup(&self.texts, name).map(String::as_str)
+    }
+
+    /// Adds a named standalone tensor (fingerprint stores, centroids).
+    pub fn push_tensor(&mut self, name: impl Into<String>, value: Tensor) {
+        self.tensors.push((name.into(), value));
+    }
+
+    /// Reads a named tensor back.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::MissingEntry`] if absent.
+    pub fn tensor(&self, name: &str) -> Result<&Tensor> {
+        lookup(&self.tensors, name)
+    }
+
+    /// Adds a named layer state dict (the `nn::Layer::state_dict`
+    /// snapshot of one network stage).
+    pub fn push_state(&mut self, name: impl Into<String>, state: Vec<(String, Tensor)>) {
+        self.states.push((name.into(), state));
+    }
+
+    /// Reads a named state dict back.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::MissingEntry`] if absent.
+    pub fn state(&self, name: &str) -> Result<&[(String, Tensor)]> {
+        lookup(&self.states, name).map(Vec::as_slice)
+    }
+
+    /// Serializes the checkpoint into its on-disk byte form (header +
+    /// payload).
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Corrupt`] if encoding fails.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let payload = binio::to_bytes(self).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        let mut bytes = Vec::with_capacity(12 + payload.len());
+        bytes.extend_from_slice(&CHECKPOINT_MAGIC);
+        bytes.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        Ok(bytes)
+    }
+
+    /// Parses a checkpoint from its on-disk byte form, validating magic and
+    /// version before touching the payload.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::BadMagic`],
+    /// [`CheckpointError::UnsupportedVersion`] or
+    /// [`CheckpointError::Corrupt`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 12 || bytes[..8] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic.into());
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            }
+            .into());
+        }
+        binio::from_bytes(&bytes[12..]).map_err(|e| CheckpointError::Corrupt(e.to_string()).into())
+    }
+
+    /// Writes the checkpoint to `path`, creating parent directories.
+    ///
+    /// The write is atomic (temp file + rename in the target directory),
+    /// so an interrupted save never leaves a truncated checkpoint behind
+    /// for later runs to trip over.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] on filesystem failures.
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        let bytes = self.to_bytes()?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| CheckpointError::Io(format!("{}: {e}", parent.display())))?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        fs::write(&tmp, bytes)
+            .map_err(|e| CheckpointError::Io(format!("{}: {e}", tmp.display())))?;
+        fs::rename(&tmp, path).map_err(|e| {
+            fs::remove_file(&tmp).ok();
+            CheckpointError::Io(format!("{}: {e}", path.display())).into()
+        })
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Io`] on filesystem failures and the
+    /// [`Checkpoint::from_bytes`] errors on malformed content.
+    pub fn read_from(path: &Path) -> Result<Self> {
+        let bytes =
+            fs::read(path).map_err(|e| CheckpointError::Io(format!("{}: {e}", path.display())))?;
+        Checkpoint::from_bytes(&bytes)
+    }
+}
+
+fn lookup<'a, T>(entries: &'a [(String, T)], name: &str) -> Result<&'a T> {
+    entries
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| {
+            CheckpointError::MissingEntry {
+                entry: name.to_string(),
+            }
+            .into()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut ckpt = Checkpoint::new(ModelKind::Sherpa);
+        ckpt.set_dam_config(Some(DamConfig::default()));
+        ckpt.push_scalar("seed", 7.0);
+        ckpt.push_ints("labels", vec![0, 1, 2, 1]);
+        ckpt.push_text("mode", "MeanChannel");
+        ckpt.push_tensor("memory", Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap());
+        ckpt.push_state(
+            "network",
+            vec![
+                ("w".into(), Tensor::ones(&[2, 2])),
+                ("b".into(), Tensor::zeros(&[2])),
+            ],
+        );
+        ckpt
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let ckpt = sample();
+        let bytes = ckpt.to_bytes().unwrap();
+        assert_eq!(&bytes[..8], b"VITALCKP");
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.kind(), ModelKind::Sherpa);
+        assert_eq!(back.scalar("seed").unwrap(), 7.0);
+        assert_eq!(back.usizes("labels").unwrap(), vec![0, 1, 2, 1]);
+        assert_eq!(back.text("mode").unwrap(), "MeanChannel");
+        assert_eq!(back.tensor("memory").unwrap().shape().dims(), &[1, 2]);
+        assert_eq!(back.state("network").unwrap().len(), 2);
+        assert!(back.dam_config().is_some());
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(VitalError::Checkpoint(CheckpointError::BadMagic))
+        ));
+        assert!(matches!(
+            Checkpoint::from_bytes(b"short"),
+            Err(VitalError::Checkpoint(CheckpointError::BadMagic))
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(VitalError::Checkpoint(
+                CheckpointError::UnsupportedVersion {
+                    found: 99,
+                    supported: CHECKPOINT_VERSION,
+                }
+            ))
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_corrupt_not_panic() {
+        let bytes = sample().to_bytes().unwrap();
+        for cut in 12..bytes.len() {
+            assert!(matches!(
+                Checkpoint::from_bytes(&bytes[..cut]),
+                Err(VitalError::Checkpoint(CheckpointError::Corrupt(_)))
+            ));
+        }
+    }
+
+    #[test]
+    fn kind_and_entry_validation() {
+        let ckpt = sample();
+        assert!(ckpt.expect_kind(ModelKind::Sherpa).is_ok());
+        assert!(matches!(
+            ckpt.expect_kind(ModelKind::Vital),
+            Err(VitalError::Checkpoint(CheckpointError::WrongKind { .. }))
+        ));
+        assert!(matches!(
+            ckpt.scalar("nope"),
+            Err(VitalError::Checkpoint(CheckpointError::MissingEntry { .. }))
+        ));
+        assert!(matches!(
+            ckpt.vital_config(),
+            Err(VitalError::Checkpoint(CheckpointError::MissingEntry { .. }))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let dir = std::env::temp_dir().join("vital-ckpt-test");
+        let path = dir.join("nested/sample.vckpt");
+        let ckpt = sample();
+        ckpt.write_to(&path).unwrap();
+        let back = Checkpoint::read_from(&path).unwrap();
+        assert_eq!(back, ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert!(matches!(
+            Checkpoint::read_from(Path::new("/nonexistent/definitely/missing.vckpt")),
+            Err(VitalError::Checkpoint(CheckpointError::Io(_)))
+        ));
+    }
+
+    #[test]
+    fn model_kind_names() {
+        assert_eq!(ModelKind::Vital.to_string(), "VITAL");
+        assert_eq!(ModelKind::CnnLoc.as_str(), "CNNLoc");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
+        assert!(CheckpointError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains('9'));
+        assert!(CheckpointError::WrongKind {
+            expected: ModelKind::Vital,
+            found: ModelKind::Knn
+        }
+        .to_string()
+        .contains("KNN"));
+        assert!(CheckpointError::Unsupported {
+            model: "Constant".into()
+        }
+        .to_string()
+        .contains("Constant"));
+    }
+}

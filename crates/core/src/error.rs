@@ -3,6 +3,8 @@ use std::fmt;
 
 use tensor::TensorError;
 
+use crate::CheckpointError;
+
 /// Errors produced by the VITAL pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VitalError {
@@ -16,6 +18,8 @@ pub enum VitalError {
     NotFitted,
     /// The supplied dataset is empty or inconsistent with the configuration.
     InvalidDataset(String),
+    /// Saving or loading a model checkpoint failed.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for VitalError {
@@ -25,6 +29,7 @@ impl fmt::Display for VitalError {
             VitalError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             VitalError::NotFitted => write!(f, "model has not been trained yet"),
             VitalError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            VitalError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
@@ -33,6 +38,7 @@ impl Error for VitalError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             VitalError::Tensor(e) => Some(e),
+            VitalError::Checkpoint(e) => Some(e),
             _ => None,
         }
     }

@@ -45,6 +45,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod checkpoint;
 mod config;
 mod dam;
 mod error;
@@ -54,6 +55,9 @@ mod metrics;
 mod model;
 mod vit;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointError, ModelKind, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
 pub use config::{DamConfig, TrainConfig, VitalConfig};
 pub use dam::DataAugmentationModule;
 pub use error::VitalError;

@@ -1,10 +1,12 @@
 //! The common interface every localization framework implements, plus the
 //! shared evaluation loop that converts RP misclassifications into metres.
 
+use std::path::Path;
+
 use fingerprint::{FingerprintDataset, FingerprintObservation};
 use sim_radio::Building;
 
-use crate::{LocalizationReport, Result, VitalError};
+use crate::{CheckpointError, LocalizationReport, Result, VitalError};
 
 /// A fingerprinting indoor-localization framework.
 ///
@@ -41,6 +43,46 @@ pub trait Localizer {
     /// Returns the first per-observation prediction error encountered.
     fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
         observations.iter().map(|o| self.predict(o)).collect()
+    }
+
+    /// Persists the trained model as a versioned checkpoint file.
+    ///
+    /// Implemented by VITAL and every baseline framework; a model restored
+    /// with [`Localizer::load`] produces bit-identical predictions to the
+    /// saved one. The default implementation reports that the framework
+    /// does not support persistence.
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] when the model has not been
+    /// trained, or a [`crate::CheckpointError`] on serialization/IO
+    /// failures.
+    fn save(&self, path: &Path) -> Result<()> {
+        let _ = path;
+        Err(CheckpointError::Unsupported {
+            model: self.name().to_string(),
+        }
+        .into())
+    }
+
+    /// Restores a model from a checkpoint written by [`Localizer::save`].
+    ///
+    /// Only available on concrete localizer types (`Self: Sized`); to load
+    /// a checkpoint of unknown kind as a `Box<dyn Localizer>`, use the
+    /// kind-dispatching loader in the `baselines` crate.
+    ///
+    /// # Errors
+    /// Returns a [`crate::CheckpointError`] on missing/corrupt files,
+    /// format-version or model-kind mismatches, and a tensor error on
+    /// weight-shape mismatches.
+    fn load(path: &Path) -> Result<Self>
+    where
+        Self: Sized,
+    {
+        let _ = path;
+        Err(CheckpointError::Unsupported {
+            model: std::any::type_name::<Self>().to_string(),
+        }
+        .into())
     }
 }
 

@@ -11,8 +11,8 @@ use tensor::rng::SeededRng;
 use tensor::Tensor;
 
 use crate::{
-    DataAugmentationModule, Localizer, Result, RssiImageCreator, VisionTransformer, VitalConfig,
-    VitalError,
+    Checkpoint, DataAugmentationModule, Localizer, ModelKind, Result, RssiImageCreator,
+    VisionTransformer, VitalConfig, VitalError,
 };
 
 /// Per-epoch training statistics returned by [`VitalModel::fit`].
@@ -214,15 +214,49 @@ impl VitalModel {
         self.transformer.predict(&patches)
     }
 
+    /// Serializes the trained model (configuration + transformer weights)
+    /// into a [`Checkpoint`] envelope.
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] if the model has not been trained;
+    /// persisting untrained weights is almost always a pipeline bug.
+    pub fn to_checkpoint(&self) -> Result<Checkpoint> {
+        if !self.fitted {
+            return Err(VitalError::NotFitted);
+        }
+        let mut ckpt = Checkpoint::new(ModelKind::Vital);
+        ckpt.set_vital_config(self.config.clone());
+        ckpt.push_state("transformer", self.transformer.state_dict());
+        Ok(ckpt)
+    }
+
+    /// Rebuilds a trained model from a [`Checkpoint`]: the architecture is
+    /// reconstructed from the stored [`VitalConfig`] and every transformer
+    /// weight is restored, so predictions are bit-identical to the saved
+    /// model's.
+    ///
+    /// # Errors
+    /// Returns a checkpoint error on kind mismatch or missing entries, and
+    /// a tensor error if stored weight shapes do not match the
+    /// configuration's architecture.
+    pub fn from_checkpoint(ckpt: &Checkpoint) -> Result<Self> {
+        ckpt.expect_kind(ModelKind::Vital)?;
+        let config = ckpt.vital_config()?.clone();
+        let mut model = VitalModel::new(config)?;
+        model.transformer.load_state(ckpt.state("transformer")?)?;
+        model.fitted = true;
+        Ok(model)
+    }
+
     /// Batched online inference: predicts every observation through stacked
     /// transformer forward passes, amortizing tape construction and turning
     /// the per-sample dense layers into batch-wide GEMMs.
     ///
     /// Chunks of `train.batch_size` observations share one forward pass, so
     /// memory stays bounded on arbitrarily large query streams. Results are
-    /// identical to per-observation [`VitalModel::predict_observation`]
-    /// calls (the stacked path is bit-exact; preprocessing uses the same
-    /// fixed inference seed).
+    /// identical to per-observation `predict_observation` calls (the
+    /// stacked path is bit-exact; preprocessing uses the same fixed
+    /// inference seed).
     ///
     /// # Errors
     /// Returns an error if any observation is empty or mismatched.
@@ -266,6 +300,14 @@ impl Localizer for VitalModel {
             return Err(VitalError::NotFitted);
         }
         self.predict_observations(observations)
+    }
+
+    fn save(&self, path: &std::path::Path) -> Result<()> {
+        self.to_checkpoint()?.write_to(path)
+    }
+
+    fn load(path: &std::path::Path) -> Result<Self> {
+        VitalModel::from_checkpoint(&Checkpoint::read_from(path)?)
     }
 }
 
@@ -405,6 +447,58 @@ mod tests {
         );
         assert!(model.param_count() > 1000);
         assert_eq!(Localizer::name(&model), "VITAL");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_exact() {
+        let (_, dataset, mut config) = tiny_training_setup();
+        config.train.epochs = 2;
+        let mut model = VitalModel::new(config).unwrap();
+        model.fit(&dataset).unwrap();
+
+        let dir = std::env::temp_dir().join("vital-model-roundtrip");
+        let path = dir.join("vital.vckpt");
+        Localizer::save(&model, &path).unwrap();
+        let restored = <VitalModel as Localizer>::load(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert!(restored.is_fitted());
+        assert_eq!(restored.config(), model.config());
+        let observations = dataset.observations();
+        assert_eq!(
+            restored.localize_batch(observations).unwrap(),
+            model.localize_batch(observations).unwrap(),
+            "restored model diverged from the trained one"
+        );
+        // Weight-level bit-exactness, not just argmax agreement.
+        for ((_, a), (_, b)) in model
+            .transformer()
+            .state_dict()
+            .iter()
+            .zip(restored.transformer().state_dict().iter())
+        {
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn unfitted_model_refuses_to_checkpoint() {
+        let (_, _, config) = tiny_training_setup();
+        let model = VitalModel::new(config).unwrap();
+        assert!(matches!(model.to_checkpoint(), Err(VitalError::NotFitted)));
+    }
+
+    #[test]
+    fn checkpoint_of_wrong_kind_is_rejected() {
+        let ckpt = Checkpoint::new(ModelKind::Knn);
+        assert!(matches!(
+            VitalModel::from_checkpoint(&ckpt),
+            Err(VitalError::Checkpoint(
+                crate::CheckpointError::WrongKind { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -21,7 +21,8 @@ enum Fusion {
 }
 
 /// One transformer encoder block: layer-norm → multi-head self-attention
-/// (+ residual) → layer-norm → GELU MLP, fused per [`Fusion`].
+/// (+ residual) → layer-norm → GELU MLP, fused per the block's `Fusion`
+/// mode (residual addition or paper-style concatenation).
 #[derive(Debug, Clone)]
 pub struct EncoderBlock {
     norm_attention: LayerNorm,

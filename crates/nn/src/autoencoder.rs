@@ -7,7 +7,7 @@ use crate::{Activation, Layer, Mlp, Param, Result, Session};
 
 /// A stacked (denoising) autoencoder.
 ///
-/// Both WiDeep (ref. [22]) and CNNLoc (ref. [21]) use stacked autoencoders to
+/// Both WiDeep (ref. \[22\]) and CNNLoc (ref. \[21\]) use stacked autoencoders to
 /// denoise / pre-train representations of the RSSI fingerprint before a
 /// downstream classifier. The encoder compresses the fingerprint through the
 /// widths in `hidden`, the decoder mirrors the widths to reconstruct the

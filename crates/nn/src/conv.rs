@@ -6,7 +6,7 @@ use crate::{Dense, Init, Layer, Param, Result, Session};
 
 /// A 1-D convolution over the feature (AP) axis of a fingerprint batch.
 ///
-/// The CNNLoc baseline (paper §VI.C, ref. [21]) applies stacked 1-D
+/// The CNNLoc baseline (paper §VI.C, ref. \[21\]) applies stacked 1-D
 /// convolutions to the RSSI fingerprint vector. The layer treats the input as
 /// `[batch, length]` with a single input channel and produces
 /// `[batch, windows × out_channels]` where `windows = (length − kernel)/stride + 1`.

@@ -75,7 +75,8 @@ pub use session::Session;
 pub type Result<T> = std::result::Result<T, tensor::TensorError>;
 
 /// Common interface of every trainable layer: exposing its parameters so an
-/// optimizer (or a parameter counter) can reach them.
+/// optimizer (or a parameter counter) can reach them, and snapshotting /
+/// restoring those parameters for model checkpoints.
 pub trait Layer {
     /// All trainable parameters owned by this layer, in a stable order.
     fn params(&self) -> Vec<Param>;
@@ -83,5 +84,48 @@ pub trait Layer {
     /// Total number of trainable scalar parameters.
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Snapshot of every parameter — `(name, value)` pairs in the stable
+    /// [`Layer::params`] order. This is the payload a model checkpoint
+    /// persists; names are diagnostic, order is the contract.
+    fn state_dict(&self) -> Vec<(String, tensor::Tensor)> {
+        self.params()
+            .iter()
+            .map(|p| (p.name(), p.value()))
+            .collect()
+    }
+
+    /// Restores every parameter from a [`Layer::state_dict`] snapshot of a
+    /// layer with the same architecture. Entries are matched positionally
+    /// and validated by shape, so the restored layer's forward pass is
+    /// bit-identical to the snapshotted one.
+    ///
+    /// # Errors
+    /// Returns [`tensor::TensorError::LengthMismatch`] if the entry count
+    /// differs from this layer's parameter count, or
+    /// [`tensor::TensorError::ShapeMismatch`] if any entry's shape differs
+    /// from the corresponding parameter's.
+    fn load_state(&self, state: &[(String, tensor::Tensor)]) -> Result<()> {
+        let params = self.params();
+        if params.len() != state.len() {
+            return Err(tensor::TensorError::LengthMismatch {
+                provided: state.len(),
+                expected: params.len(),
+            });
+        }
+        for (param, (_, value)) in params.iter().zip(state) {
+            if !param.value().shape().same_as(value.shape()) {
+                return Err(tensor::TensorError::ShapeMismatch {
+                    op: "load_state",
+                    lhs: param.value().shape().dims().to_vec(),
+                    rhs: value.shape().dims().to_vec(),
+                });
+            }
+        }
+        for (param, (_, value)) in params.iter().zip(state) {
+            param.set_value(value.clone());
+        }
+        Ok(())
     }
 }

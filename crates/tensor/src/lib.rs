@@ -33,6 +33,7 @@ mod matmul;
 mod ops;
 mod reduce;
 pub mod rng;
+mod serde_impl;
 mod shape;
 mod tensor_impl;
 

@@ -1,0 +1,177 @@
+//! Hand-rolled `Serialize`/`Deserialize` impls for [`Shape`] and
+//! [`Tensor`] — the foundation of the model-persistence layer.
+//!
+//! Following the rten idiom, the tensor serializes as a two-field struct
+//! (`shape`, then the contiguous row-major `data`), and deserialization
+//! *validates* on load: the shape's volume is recomputed with overflow
+//! checks and must match the element count exactly, so corrupt or
+//! truncated checkpoints surface as typed errors instead of panics or
+//! silently mis-shaped tensors.
+//!
+//! `f32` elements travel as raw IEEE-754 bit patterns (the `binio` format
+//! guarantees this), so round-trips are **bit-exact** — including NaN
+//! payloads and infinities.
+
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, Serializer};
+
+use crate::{Shape, Tensor};
+
+impl Serialize for Shape {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_seq(self.dims().len())?;
+        for &dim in self.dims() {
+            serializer.serialize_usize(dim)?;
+        }
+        Ok(())
+    }
+}
+
+impl Deserialize for Shape {
+    fn deserialize<D: Deserializer + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        let rank = deserializer.deserialize_seq()?;
+        let mut dims = Vec::with_capacity(deserializer.seq_capacity_hint(rank));
+        for _ in 0..rank {
+            dims.push(deserializer.deserialize_usize()?);
+        }
+        Ok(Shape::new(&dims))
+    }
+}
+
+impl Serialize for Tensor {
+    fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+        serializer.serialize_struct("Tensor", 2)?;
+        self.shape().serialize(serializer)?;
+        serializer.serialize_seq(self.len())?;
+        for &v in self.as_slice() {
+            serializer.serialize_f32(v)?;
+        }
+        Ok(())
+    }
+}
+
+impl Deserialize for Tensor {
+    fn deserialize<D: Deserializer + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.deserialize_struct("Tensor", 2)?;
+        let shape = Shape::deserialize(deserializer)?;
+        // Recompute the volume with overflow checking — a corrupt shape
+        // like [u64::MAX, 2] must not wrap into a plausible size.
+        let volume = shape
+            .dims()
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| {
+                deserializer.invalid_data(&format!(
+                    "tensor shape {:?} volume overflows usize",
+                    shape.dims()
+                ))
+            })?;
+        let len = deserializer.deserialize_seq()?;
+        if len != volume {
+            return Err(deserializer.invalid_data(&format!(
+                "tensor data length {len} does not match shape {:?} volume {volume}",
+                shape.dims()
+            )));
+        }
+        let mut data = Vec::with_capacity(deserializer.seq_capacity_hint(len));
+        for _ in 0..len {
+            data.push(deserializer.deserialize_f32()?);
+        }
+        Tensor::from_vec(data, shape.dims()).map_err(|e| deserializer.invalid_data(&e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializer that records the call sequence — verifies the wire
+    /// layout contract (struct header, shape seq, data seq) without
+    /// depending on the `binio` crate (which depends on us for tests).
+    #[derive(Default)]
+    struct TraceSerializer {
+        trace: Vec<String>,
+    }
+
+    impl serde::ser::Serializer for TraceSerializer {
+        type Error = ();
+        fn serialize_bool(&mut self, v: bool) -> Result<(), ()> {
+            self.trace.push(format!("bool:{v}"));
+            Ok(())
+        }
+        fn serialize_u8(&mut self, v: u8) -> Result<(), ()> {
+            self.trace.push(format!("u8:{v}"));
+            Ok(())
+        }
+        fn serialize_u16(&mut self, v: u16) -> Result<(), ()> {
+            self.trace.push(format!("u16:{v}"));
+            Ok(())
+        }
+        fn serialize_u32(&mut self, v: u32) -> Result<(), ()> {
+            self.trace.push(format!("u32:{v}"));
+            Ok(())
+        }
+        fn serialize_u64(&mut self, v: u64) -> Result<(), ()> {
+            self.trace.push(format!("u64:{v}"));
+            Ok(())
+        }
+        fn serialize_i64(&mut self, v: i64) -> Result<(), ()> {
+            self.trace.push(format!("i64:{v}"));
+            Ok(())
+        }
+        fn serialize_f32(&mut self, v: f32) -> Result<(), ()> {
+            self.trace.push(format!("f32:{v}"));
+            Ok(())
+        }
+        fn serialize_f64(&mut self, v: f64) -> Result<(), ()> {
+            self.trace.push(format!("f64:{v}"));
+            Ok(())
+        }
+        fn serialize_str(&mut self, v: &str) -> Result<(), ()> {
+            self.trace.push(format!("str:{v}"));
+            Ok(())
+        }
+        fn serialize_seq(&mut self, len: usize) -> Result<(), ()> {
+            self.trace.push(format!("seq:{len}"));
+            Ok(())
+        }
+        fn serialize_struct(&mut self, name: &'static str, fields: usize) -> Result<(), ()> {
+            self.trace.push(format!("struct:{name}:{fields}"));
+            Ok(())
+        }
+        fn serialize_variant(&mut self, name: &'static str, index: u32) -> Result<(), ()> {
+            self.trace.push(format!("variant:{name}:{index}"));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn tensor_wire_layout_is_shape_then_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let mut s = TraceSerializer::default();
+        t.serialize(&mut s).unwrap();
+        assert_eq!(
+            s.trace,
+            vec![
+                "struct:Tensor:2",
+                "seq:2",
+                "u64:2",
+                "u64:3",
+                "seq:6",
+                "f32:1",
+                "f32:2",
+                "f32:3",
+                "f32:4",
+                "f32:5",
+                "f32:6"
+            ]
+        );
+    }
+
+    #[test]
+    fn shape_serializes_as_dim_sequence() {
+        let mut s = TraceSerializer::default();
+        Shape::new(&[4, 1, 7]).serialize(&mut s).unwrap();
+        assert_eq!(s.trace, vec!["seq:3", "u64:4", "u64:1", "u64:7"]);
+    }
+}

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::TensorError;
 
 /// The dimensions of a [`crate::Tensor`].
@@ -9,7 +7,7 @@ use crate::TensorError;
 /// A shape is an ordered list of axis sizes. Rank-0 (scalar), rank-1
 /// (vector), rank-2 (matrix) and rank-3 tensors are all used by the VITAL
 /// pipeline; higher ranks are supported but untested.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, Shape, TensorError};
 
 /// A dense, row-major, owned `f32` tensor.
@@ -20,7 +18,11 @@ use crate::{Result, Shape, TensorError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Tensor` implements hand-rolled `serde` `Serialize`/`Deserialize`
+/// (see the crate's `serde_impl` module): the wire form is the shape
+/// followed by the contiguous row-major data, validated on load.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Shape,
@@ -486,20 +488,5 @@ mod tests {
         let t = Tensor::zeros(&[10]);
         let s = t.to_string();
         assert!(s.contains('…'));
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let t = Tensor::from_vec(vec![1.5, -2.5], &[2]).unwrap();
-        let json = serde_json_like(&t);
-        assert!(json.contains("1.5"));
-    }
-
-    // serde_json is not a workspace dependency; exercise Serialize via the
-    // serde data model using a tiny manual serializer stand-in (Debug of the
-    // serialized struct fields is enough to ensure derive compiles and fields
-    // are visible).
-    fn serde_json_like(t: &Tensor) -> String {
-        format!("{:?}", t)
     }
 }

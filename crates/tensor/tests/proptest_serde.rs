@@ -1,0 +1,151 @@
+//! Property-based and adversarial tests for the tensor serde layer:
+//! arbitrary shapes/values (including non-finite floats) must round-trip
+//! bit-exactly through the `binio` wire format, and corrupt, truncated or
+//! mis-versioned inputs must surface as typed errors — never panics.
+
+use binio::BinError;
+use proptest::prelude::*;
+use tensor::{Shape, Tensor};
+
+/// Bit-level equality: `PartialEq` on `f32` treats NaN != NaN, so the
+/// round-trip assertion compares IEEE-754 bit patterns instead.
+fn bits_equal(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Strategy producing a tensor with 1–3 axes and a mix of ordinary,
+/// tiny, huge and non-finite values.
+fn arbitrary_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..5, 1usize..5, 1usize..4, 0u32..6).prop_flat_map(|(a, b, c, rank_pick)| {
+        let dims: Vec<usize> = match rank_pick % 3 {
+            0 => vec![a * b * c],
+            1 => vec![a, b * c],
+            _ => vec![a, b, c],
+        };
+        let volume: usize = dims.iter().product();
+        (
+            proptest::collection::vec(-1.0e30f32..1.0e30, volume),
+            Just(dims),
+            0u32..5,
+        )
+            .prop_map(|(mut data, dims, weird)| {
+                // Splice in non-finite and denormal values deterministically.
+                if weird > 0 && !data.is_empty() {
+                    let n = data.len();
+                    if weird & 1 != 0 {
+                        data[0] = f32::NAN;
+                    }
+                    if weird & 2 != 0 {
+                        data[n / 2] = f32::INFINITY;
+                    }
+                    if weird & 4 != 0 {
+                        data[n - 1] = f32::NEG_INFINITY;
+                    }
+                }
+                Tensor::from_vec(data, &dims).expect("volume matches dims")
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn tensor_round_trip_is_bit_exact(t in arbitrary_tensor()) {
+        let bytes = binio::to_bytes(&t).unwrap();
+        let back: Tensor = binio::from_bytes(&bytes).unwrap();
+        prop_assert!(bits_equal(&t, &back), "round-trip altered bits");
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error(t in arbitrary_tensor(), frac in 0.0f64..1.0) {
+        let bytes = binio::to_bytes(&t).unwrap();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        let result: Result<Tensor, BinError> = binio::from_bytes(&bytes[..cut]);
+        prop_assert!(result.is_err(), "truncated input decoded successfully");
+    }
+
+    #[test]
+    fn shape_round_trips(dims in proptest::collection::vec(0usize..9, 0..4)) {
+        let shape = Shape::new(&dims);
+        let bytes = binio::to_bytes(&shape).unwrap();
+        let back: Shape = binio::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(shape, back);
+    }
+}
+
+#[test]
+fn zero_sized_and_scalar_tensors_round_trip() {
+    for t in [
+        Tensor::zeros(&[0]),
+        Tensor::zeros(&[3, 0]),
+        Tensor::scalar(4.25),
+    ] {
+        let bytes = binio::to_bytes(&t).unwrap();
+        let back: Tensor = binio::from_bytes(&bytes).unwrap();
+        assert!(bits_equal(&t, &back));
+    }
+}
+
+#[test]
+fn data_length_mismatch_is_rejected() {
+    // Hand-craft a payload whose shape says [2, 2] but whose data sequence
+    // claims 3 elements.
+    let mut s = binio::BinSerializer::new();
+    use serde::ser::Serializer;
+    s.serialize_struct("Tensor", 2).unwrap();
+    s.serialize_seq(2).unwrap(); // shape: rank 2
+    s.serialize_usize(2).unwrap();
+    s.serialize_usize(2).unwrap();
+    s.serialize_seq(3).unwrap(); // data: wrong element count
+    for v in [1.0f32, 2.0, 3.0] {
+        s.serialize_f32(v).unwrap();
+    }
+    let result: Result<Tensor, BinError> = binio::from_bytes(&s.into_bytes());
+    match result {
+        Err(BinError::InvalidData(msg)) => assert!(msg.contains("does not match")),
+        other => panic!("expected InvalidData, got {other:?}"),
+    }
+}
+
+#[test]
+fn overflowing_shape_volume_is_rejected() {
+    let mut s = binio::BinSerializer::new();
+    use serde::ser::Serializer;
+    s.serialize_struct("Tensor", 2).unwrap();
+    s.serialize_seq(2).unwrap();
+    s.serialize_u64(u64::MAX).unwrap(); // dim 0
+    s.serialize_u64(2).unwrap(); // dim 1 → volume overflows
+    s.serialize_seq(0).unwrap();
+    let result: Result<Tensor, BinError> = binio::from_bytes(&s.into_bytes());
+    assert!(
+        matches!(result, Err(BinError::InvalidData(_))),
+        "got {result:?}"
+    );
+}
+
+#[test]
+fn wrong_struct_header_is_rejected() {
+    // A bare f32 is not a Tensor: the struct header byte will not match.
+    let bytes = binio::to_bytes(&1.0f32).unwrap();
+    let result: Result<Tensor, BinError> = binio::from_bytes(&bytes);
+    assert!(result.is_err());
+}
+
+#[test]
+fn corrupt_byte_never_panics() {
+    let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[4, 6]).unwrap();
+    let bytes = binio::to_bytes(&t).unwrap();
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0xA5;
+        // Either decodes to some tensor (flipped data bits) or errors —
+        // but must never panic or mis-shape.
+        if let Ok(back) = binio::from_bytes::<Tensor>(&corrupted) {
+            assert_eq!(back.len(), back.shape().volume());
+        }
+    }
+}

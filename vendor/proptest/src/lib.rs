@@ -19,7 +19,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Number of elements a [`vec`] strategy may generate, as a half-open
+    /// Number of elements a [`vec()`] strategy may generate, as a half-open
     /// range `[lo, hi)`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

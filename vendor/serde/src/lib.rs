@@ -1,11 +1,31 @@
-//! Minimal stand-in for the parts of `serde` this workspace uses (see
-//! `vendor/README.md` for why it is vendored).
+//! Minimal functional stand-in for the parts of `serde` this workspace uses
+//! (see `vendor/README.md` for why it is vendored).
 //!
-//! The workspace only ever derives `Serialize`/`Deserialize` to declare
-//! serialization intent; nothing serializes at runtime. The traits here are
-//! satisfied by blanket impls so that generic `T: Serialize` bounds compile,
-//! and the re-exported derives (behind the `derive` feature, always enabled
-//! by the workspace) expand to nothing.
+//! Unlike the original stand-in (whose traits were empty markers), this
+//! version implements a real — if deliberately small — serialization data
+//! model so the workspace's model-persistence layer can round-trip weights
+//! through an actual byte format:
+//!
+//! * [`ser::Serialize`] / [`ser::Serializer`] — a *push* model: a value
+//!   walks itself and emits primitives, sequences, structs and enum
+//!   variants into a format-provided serializer.
+//! * [`de::Deserialize`] / [`de::Deserializer`] — the mirrored *pull*
+//!   model: a type reads its primitives back in the same order.
+//!
+//! Differences from upstream `serde` (documented deviations):
+//!
+//! * Serializers are driven through `&mut self` instead of the by-value
+//!   `SerializeStruct`/`SerializeSeq` sub-serializer objects.
+//! * Deserialization is *not* visitor-based: formats are assumed to be
+//!   non-self-describing (the concrete format, `binio`, is a compact
+//!   little-endian binary layout), so each `Deserialize` impl pulls
+//!   exactly the fields it wrote.
+//! * `Deserialize` has no `'de` lifetime parameter; all decoded values are
+//!   owned.
+//!
+//! The derive macros re-exported behind the `derive` feature (from the
+//! vendored `serde_derive`) generate real impls for named-field structs and
+//! unit-variant enums — the only shapes the workspace derives on.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -13,29 +33,245 @@
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
-pub trait Serialize {}
+// The trait and derive-macro namespaces are distinct, so — as in upstream
+// serde — `use serde::{Serialize, Deserialize}` imports both.
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
 
-impl<T: ?Sized> Serialize for T {}
+/// Serialization half of the data model.
+pub mod ser {
+    /// A data format that values can serialize themselves into.
+    ///
+    /// Implementations provide the primitive sinks; composite layout
+    /// (field order, sequence framing) is driven by the [`Serialize`]
+    /// impls themselves.
+    pub trait Serializer {
+        /// Error produced when the format cannot accept a value.
+        type Error;
 
-/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
-/// types. The lifetime parameter mirrors upstream so bounds written against
-/// the real crate keep compiling.
-pub trait Deserialize<'de> {}
+        /// Emits a boolean.
+        fn serialize_bool(&mut self, v: bool) -> Result<(), Self::Error>;
+        /// Emits an unsigned 8-bit integer.
+        fn serialize_u8(&mut self, v: u8) -> Result<(), Self::Error>;
+        /// Emits an unsigned 16-bit integer.
+        fn serialize_u16(&mut self, v: u16) -> Result<(), Self::Error>;
+        /// Emits an unsigned 32-bit integer.
+        fn serialize_u32(&mut self, v: u32) -> Result<(), Self::Error>;
+        /// Emits an unsigned 64-bit integer.
+        fn serialize_u64(&mut self, v: u64) -> Result<(), Self::Error>;
+        /// Emits a signed 64-bit integer.
+        fn serialize_i64(&mut self, v: i64) -> Result<(), Self::Error>;
+        /// Emits a 32-bit float. Implementations must preserve the exact bit
+        /// pattern (including NaN payloads) so round-trips are bit-exact.
+        fn serialize_f32(&mut self, v: f32) -> Result<(), Self::Error>;
+        /// Emits a 64-bit float (same bit-exactness requirement).
+        fn serialize_f64(&mut self, v: f64) -> Result<(), Self::Error>;
+        /// Emits a string.
+        fn serialize_str(&mut self, v: &str) -> Result<(), Self::Error>;
+        /// Begins a sequence of exactly `len` elements; the elements follow
+        /// as plain `serialize` calls.
+        fn serialize_seq(&mut self, len: usize) -> Result<(), Self::Error>;
+        /// Begins a struct with a fixed number of fields; the fields follow
+        /// in declaration order.
+        fn serialize_struct(
+            &mut self,
+            name: &'static str,
+            fields: usize,
+        ) -> Result<(), Self::Error>;
+        /// Emits an enum variant tag. Unit variants carry no payload.
+        fn serialize_variant(&mut self, name: &'static str, index: u32) -> Result<(), Self::Error>;
 
-impl<'de, T: ?Sized> Deserialize<'de> for T {}
+        /// Emits a `usize` (encoded as `u64` on the wire).
+        fn serialize_usize(&mut self, v: usize) -> Result<(), Self::Error> {
+            self.serialize_u64(v as u64)
+        }
+    }
 
-/// Marker stand-in for `serde::de::DeserializeOwned`.
-pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
-
-impl<T> DeserializeOwned for T {}
-
-/// Stand-in for the `serde::de` module.
-pub mod de {
-    pub use super::{Deserialize, DeserializeOwned};
+    /// A value that can write itself into any [`Serializer`].
+    pub trait Serialize {
+        /// Serializes `self` into `serializer`.
+        fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error>;
+    }
 }
 
-/// Stand-in for the `serde::ser` module.
-pub mod ser {
-    pub use super::Serialize;
+/// Deserialization half of the data model.
+pub mod de {
+    /// A data format that owned values can be pulled back out of.
+    pub trait Deserializer {
+        /// Error produced on malformed, truncated or mistyped input.
+        type Error;
+
+        /// Reads a boolean.
+        fn deserialize_bool(&mut self) -> Result<bool, Self::Error>;
+        /// Reads an unsigned 8-bit integer.
+        fn deserialize_u8(&mut self) -> Result<u8, Self::Error>;
+        /// Reads an unsigned 16-bit integer.
+        fn deserialize_u16(&mut self) -> Result<u16, Self::Error>;
+        /// Reads an unsigned 32-bit integer.
+        fn deserialize_u32(&mut self) -> Result<u32, Self::Error>;
+        /// Reads an unsigned 64-bit integer.
+        fn deserialize_u64(&mut self) -> Result<u64, Self::Error>;
+        /// Reads a signed 64-bit integer.
+        fn deserialize_i64(&mut self) -> Result<i64, Self::Error>;
+        /// Reads a 32-bit float, preserving the exact bit pattern.
+        fn deserialize_f32(&mut self) -> Result<f32, Self::Error>;
+        /// Reads a 64-bit float, preserving the exact bit pattern.
+        fn deserialize_f64(&mut self) -> Result<f64, Self::Error>;
+        /// Reads an owned string.
+        fn deserialize_str(&mut self) -> Result<String, Self::Error>;
+        /// Reads a sequence header, returning the element count that
+        /// follows.
+        fn deserialize_seq(&mut self) -> Result<usize, Self::Error>;
+        /// Reads (and validates) a struct header.
+        fn deserialize_struct(
+            &mut self,
+            name: &'static str,
+            fields: usize,
+        ) -> Result<(), Self::Error>;
+        /// Reads an enum variant tag.
+        fn deserialize_variant(&mut self, name: &'static str) -> Result<u32, Self::Error>;
+        /// Builds a format error carrying `msg` — used by `Deserialize`
+        /// impls for data-validation failures (unknown enum variant,
+        /// inconsistent lengths, …).
+        fn invalid_data(&self, msg: &str) -> Self::Error;
+
+        /// Reads a `usize` (stored as `u64`), rejecting values that do not
+        /// fit the platform.
+        fn deserialize_usize(&mut self) -> Result<usize, Self::Error> {
+            let v = self.deserialize_u64()?;
+            usize::try_from(v).map_err(|_| self.invalid_data("u64 does not fit usize"))
+        }
+
+        /// Upper bound a `Vec` deserializer may pre-allocate for a claimed
+        /// sequence length. Formats that know their remaining input size
+        /// clamp this so corrupt length claims cannot trigger huge
+        /// allocations.
+        fn seq_capacity_hint(&self, claimed_len: usize) -> usize {
+            claimed_len
+        }
+    }
+
+    /// An owned value that can read itself back out of any
+    /// [`Deserializer`].
+    pub trait Deserialize: Sized {
+        /// Deserializes a value from `deserializer`.
+        fn deserialize<D: Deserializer + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error>;
+    }
+}
+
+mod impls {
+    use super::de::{Deserialize, Deserializer};
+    use super::ser::{Serialize, Serializer};
+
+    macro_rules! primitive {
+        ($ty:ty, $ser:ident, $de:ident) => {
+            impl Serialize for $ty {
+                fn serialize<S: Serializer + ?Sized>(
+                    &self,
+                    serializer: &mut S,
+                ) -> Result<(), S::Error> {
+                    serializer.$ser(*self)
+                }
+            }
+            impl Deserialize for $ty {
+                fn deserialize<D: Deserializer + ?Sized>(
+                    deserializer: &mut D,
+                ) -> Result<Self, D::Error> {
+                    deserializer.$de()
+                }
+            }
+        };
+    }
+
+    primitive!(bool, serialize_bool, deserialize_bool);
+    primitive!(u8, serialize_u8, deserialize_u8);
+    primitive!(u16, serialize_u16, deserialize_u16);
+    primitive!(u32, serialize_u32, deserialize_u32);
+    primitive!(u64, serialize_u64, deserialize_u64);
+    primitive!(i64, serialize_i64, deserialize_i64);
+    primitive!(usize, serialize_usize, deserialize_usize);
+    primitive!(f32, serialize_f32, deserialize_f32);
+    primitive!(f64, serialize_f64, deserialize_f64);
+
+    impl Serialize for String {
+        fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl Deserialize for String {
+        fn deserialize<D: Deserializer + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+            deserializer.deserialize_str()
+        }
+    }
+
+    impl Serialize for str {
+        fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+            serializer.serialize_str(self)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+            serializer.serialize_seq(self.len())?;
+            for item in self {
+                item.serialize(serializer)?;
+            }
+            Ok(())
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn deserialize<D: Deserializer + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+            let len = deserializer.deserialize_seq()?;
+            // Pre-allocate at most what the format says can still be
+            // backed by input, so a corrupt header cannot OOM.
+            let mut out = Vec::with_capacity(deserializer.seq_capacity_hint(len));
+            for _ in 0..len {
+                out.push(T::deserialize(deserializer)?);
+            }
+            Ok(out)
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+            match self {
+                None => serializer.serialize_bool(false),
+                Some(v) => {
+                    serializer.serialize_bool(true)?;
+                    v.serialize(serializer)
+                }
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn deserialize<D: Deserializer + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+            if deserializer.deserialize_bool()? {
+                Ok(Some(T::deserialize(deserializer)?))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+        fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+            self.0.serialize(serializer)?;
+            self.1.serialize(serializer)
+        }
+    }
+
+    impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+        fn deserialize<D: Deserializer + ?Sized>(deserializer: &mut D) -> Result<Self, D::Error> {
+            Ok((A::deserialize(deserializer)?, B::deserialize(deserializer)?))
+        }
+    }
+
+    impl<T: Serialize> Serialize for &T {
+        fn serialize<S: Serializer + ?Sized>(&self, serializer: &mut S) -> Result<(), S::Error> {
+            (*self).serialize(serializer)
+        }
+    }
 }

@@ -1,23 +1,296 @@
-//! No-op derive macros backing the vendored `serde` stand-in.
+//! Functional `Serialize`/`Deserialize` derives backing the vendored
+//! `serde` stand-in.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on its config and data
-//! types to declare serialization intent, but nothing actually serializes
-//! (there is no reachable registry to pull `serde_json` from — see
-//! `vendor/README.md`). The vendored `serde` crate provides blanket trait
-//! impls, so these derives only need to accept the input and emit nothing.
+//! The workspace has no reachable crates-io registry (see
+//! `vendor/README.md`), so these derives are hand-written against the raw
+//! `proc_macro` API — no `syn`/`quote`. They support exactly the shapes the
+//! workspace derives on:
+//!
+//! * structs with named fields (serialized as a struct header followed by
+//!   every field in declaration order), and
+//! * enums whose variants are all unit variants (serialized as a `u32`
+//!   variant index).
+//!
+//! Anything else (tuple structs, generic types, variants with payloads)
+//! produces a compile error telling the author to hand-roll the impl — the
+//! `tensor` crate's `Tensor`/`Shape` impls are the canonical example.
 
 #![deny(missing_docs)]
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op stand-in for `serde_derive::Serialize`.
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+/// What shape of type the derive input turned out to be.
+enum Input {
+    /// Named-field struct: type name + field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Unit-variant enum: type name + variant names in declaration order.
+    Enum(String, Vec<String>),
 }
 
-/// No-op stand-in for `serde_derive::Deserialize`.
+/// Derives `serde::ser::Serialize` for a named-field struct or unit enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_input(input) {
+        Ok(Input::Struct(name, fields)) => {
+            let mut body = format!(
+                "serializer.serialize_struct(\"{name}\", {})?;\n",
+                fields.len()
+            );
+            for field in &fields {
+                body.push_str(&format!(
+                    "::serde::ser::Serialize::serialize(&self.{field}, serializer)?;\n"
+                ));
+            }
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                   fn serialize<S: ::serde::ser::Serializer + ?Sized>(\n\
+                       &self, serializer: &mut S,\n\
+                   ) -> ::core::result::Result<(), S::Error> {{\n\
+                       {body}\
+                       ::core::result::Result::Ok(())\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Ok(Input::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    format!("{name}::{v} => serializer.serialize_variant(\"{name}\", {i}u32),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                   fn serialize<S: ::serde::ser::Serializer + ?Sized>(\n\
+                       &self, serializer: &mut S,\n\
+                   ) -> ::core::result::Result<(), S::Error> {{\n\
+                       match self {{ {arms} }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Err(msg) => return compile_error(&msg),
+    };
+    generated.parse().expect("derive emitted invalid Rust")
+}
+
+/// Derives `serde::de::Deserialize` for a named-field struct or unit enum.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_input(input) {
+        Ok(Input::Struct(name, fields)) => {
+            let mut literal = String::new();
+            for field in &fields {
+                literal.push_str(&format!(
+                    "{field}: ::serde::de::Deserialize::deserialize(deserializer)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::de::Deserialize for {name} {{\n\
+                   fn deserialize<D: ::serde::de::Deserializer + ?Sized>(\n\
+                       deserializer: &mut D,\n\
+                   ) -> ::core::result::Result<Self, D::Error> {{\n\
+                       deserializer.deserialize_struct(\"{name}\", {})?;\n\
+                       ::core::result::Result::Ok({name} {{ {literal} }})\n\
+                   }}\n\
+                 }}",
+                fields.len()
+            )
+        }
+        Ok(Input::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(i, v)| format!("{i}u32 => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::de::Deserialize for {name} {{\n\
+                   fn deserialize<D: ::serde::de::Deserializer + ?Sized>(\n\
+                       deserializer: &mut D,\n\
+                   ) -> ::core::result::Result<Self, D::Error> {{\n\
+                       match deserializer.deserialize_variant(\"{name}\")? {{\n\
+                           {arms}\n\
+                           other => ::core::result::Result::Err(deserializer.invalid_data(\n\
+                               &format!(\"invalid variant index {{other}} for enum {name}\"))),\n\
+                       }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Err(msg) => return compile_error(&msg),
+    };
+    generated.parse().expect("derive emitted invalid Rust")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+/// Parses the derive input far enough to recover the type name plus its
+/// field or variant names.
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter();
+
+    // Skip outer attributes (`#[...]`) and visibility, then expect
+    // `struct` or `enum`.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the bracketed attribute group
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let text = ident.to_string();
+                match text.as_str() {
+                    "pub" => {} // optional `(crate)` group is skipped as a Group below
+                    "struct" | "enum" => break text,
+                    other => {
+                        return Err(format!(
+                            "serde derive: unexpected token `{other}` before struct/enum keyword"
+                        ))
+                    }
+                }
+            }
+            Some(TokenTree::Group(_)) => {} // `pub(crate)` restriction group
+            other => {
+                return Err(format!(
+                    "serde derive: could not find struct/enum keyword (got {other:?})"
+                ))
+            }
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde derive: tuple struct {name} is unsupported; hand-roll the impl"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde derive: generic type {name} is unsupported; hand-roll the impl"
+                ));
+            }
+            Some(_) => {}
+            None => {
+                return Err(format!(
+                    "serde derive: unit struct {name} is unsupported; hand-roll the impl"
+                ))
+            }
+        }
+    };
+
+    if keyword == "struct" {
+        Ok(Input::Struct(name, parse_named_fields(body.stream())?))
+    } else {
+        let variants = parse_unit_variants(&name, body.stream())?;
+        Ok(Input::Enum(name, variants))
+    }
+}
+
+/// Extracts field names from the brace body of a named-field struct.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (incl. doc comments) and visibility.
+        let field_name = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next(); // `pub(crate)` restriction
+                    }
+                }
+                Some(TokenTree::Ident(ident)) => break ident.to_string(),
+                Some(other) => {
+                    return Err(format!("serde derive: unexpected field token {other:?}"))
+                }
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde derive: expected `:` after field {field_name}, got {other:?}"
+                ))
+            }
+        }
+        fields.push(field_name);
+        // Skip the type: consume until a top-level comma. Generic argument
+        // lists are tracked via '<'/'>' depth; parenthesized/bracketed types
+        // arrive as atomic groups so their internal commas are invisible.
+        let mut angle_depth = 0usize;
+        loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Extracts variant names from the brace body of an enum, rejecting
+/// variants that carry data.
+fn parse_unit_variants(enum_name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match tokens.next() {
+                None => return Ok(variants),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) => break ident.to_string(),
+                Some(other) => {
+                    return Err(format!(
+                        "serde derive: unexpected token {other:?} in enum {enum_name}"
+                    ))
+                }
+            }
+        };
+        match tokens.peek() {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde derive: variant {enum_name}::{variant} carries data; \
+                     hand-roll the impl"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde derive: explicit discriminant on {enum_name}::{variant} is \
+                     unsupported; hand-roll the impl"
+                ));
+            }
+            _ => {}
+        }
+        variants.push(variant);
+        // Consume up to and including the separating comma.
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
 }
