@@ -85,13 +85,24 @@ pub fn comparison_suite(with_dam: bool, seed: u64) -> Vec<Box<dyn Localizer>> {
 /// mismatches and weight-shape drift.
 pub fn load_localizer(path: &std::path::Path) -> vital::Result<Box<dyn Localizer>> {
     let ckpt = vital::Checkpoint::read_from(path)?;
+    localizer_from_checkpoint(&ckpt)
+}
+
+/// Materializes a localizer of any kind from an already-parsed checkpoint
+/// envelope — the in-memory counterpart of [`load_localizer`] for callers
+/// that read the file themselves (e.g. the serve crate's model registry,
+/// which scans a directory once for both catalog and weights).
+///
+/// # Errors
+/// Typed checkpoint errors for kind mismatches and weight-shape drift.
+pub fn localizer_from_checkpoint(ckpt: &vital::Checkpoint) -> vital::Result<Box<dyn Localizer>> {
     Ok(match ckpt.kind() {
-        vital::ModelKind::Vital => Box::new(vital::VitalModel::from_checkpoint(&ckpt)?),
-        vital::ModelKind::Knn => Box::new(KnnLocalizer::from_checkpoint(&ckpt)?),
-        vital::ModelKind::Sherpa => Box::new(SherpaLocalizer::from_checkpoint(&ckpt)?),
-        vital::ModelKind::CnnLoc => Box::new(CnnLocLocalizer::from_checkpoint(&ckpt)?),
-        vital::ModelKind::WiDeep => Box::new(WiDeepLocalizer::from_checkpoint(&ckpt)?),
-        vital::ModelKind::Anvil => Box::new(AnvilLocalizer::from_checkpoint(&ckpt)?),
+        vital::ModelKind::Vital => Box::new(vital::VitalModel::from_checkpoint(ckpt)?),
+        vital::ModelKind::Knn => Box::new(KnnLocalizer::from_checkpoint(ckpt)?),
+        vital::ModelKind::Sherpa => Box::new(SherpaLocalizer::from_checkpoint(ckpt)?),
+        vital::ModelKind::CnnLoc => Box::new(CnnLocLocalizer::from_checkpoint(ckpt)?),
+        vital::ModelKind::WiDeep => Box::new(WiDeepLocalizer::from_checkpoint(ckpt)?),
+        vital::ModelKind::Anvil => Box::new(AnvilLocalizer::from_checkpoint(ckpt)?),
     })
 }
 

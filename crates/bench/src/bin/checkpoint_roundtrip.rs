@@ -15,47 +15,19 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fingerprint::{base_devices, DatasetConfig, FingerprintDataset};
-use sim_radio::building_1;
-use vital::{Localizer, VitalConfig, VitalModel};
+use bench::smoke::{smoke_dataset, smoke_vital_config};
+use fingerprint::FingerprintDataset;
+use vital::{Localizer, VitalModel};
 
-/// Deterministic training/evaluation dataset shared by both subcommands.
+/// Deterministic training/evaluation dataset shared by both subcommands
+/// (and by `serve_loadgen --verify`, which replays it against a server).
 fn dataset() -> FingerprintDataset {
-    let building = building_1();
-    let dataset = FingerprintDataset::collect(
-        &building,
-        &base_devices()[..2],
-        &DatasetConfig {
-            captures_per_rp: 1,
-            samples_per_capture: 3,
-            seed: 77,
-        },
-    );
-    let subset: Vec<_> = dataset
-        .observations()
-        .iter()
-        .filter(|o| o.rp_label < 12)
-        .cloned()
-        .collect();
-    FingerprintDataset::from_observations(dataset.building(), dataset.num_aps(), 12, subset)
-}
-
-fn model_config() -> VitalConfig {
-    let mut config = VitalConfig::fast(building_1().access_points().len(), 12);
-    config.image_size = 16;
-    config.patch_size = 4;
-    config.d_model = 24;
-    config.msa_heads = 4;
-    config.encoder_mlp_hidden = vec![32, 16];
-    config.head_hidden = vec![32];
-    config.train.epochs = 4;
-    config.train.batch_size = 8;
-    config
+    smoke_dataset()
 }
 
 fn train(checkpoint: &Path, predictions: &Path) -> Result<(), String> {
     let data = dataset();
-    let mut model = VitalModel::new(model_config()).map_err(|e| e.to_string())?;
+    let mut model = VitalModel::new(smoke_vital_config()).map_err(|e| e.to_string())?;
     model
         .fit(&data)
         .map_err(|e| format!("training failed: {e}"))?;

@@ -1,25 +1,34 @@
-//! CI performance-regression gate: compares a freshly generated
-//! `BENCH_perf.json` (from the `perf_summary` binary) against the
-//! committed thresholds in `ci/perf-thresholds.json` and exits non-zero if
-//! any metric regressed below its floor.
+//! CI performance-regression gate: compares freshly generated benchmark
+//! reports against the committed thresholds in `ci/perf-thresholds.json`
+//! and exits non-zero if any metric regressed below its floor.
 //!
 //! ```text
 //! perf_gate [--perf BENCH_perf.json] [--thresholds ci/perf-thresholds.json]
+//!           [--serve BENCH_serve.json] [--serve-only]
 //! ```
+//!
+//! The compute floors (`gemm`, `vit`) are checked against `--perf` (from
+//! the `perf_summary` binary). When `--serve` is given, the serving floors
+//! are additionally checked against the `serve_loadgen` report; with
+//! `--serve-only` the compute floors are skipped (the `serve-smoke` CI job
+//! runs the load gate without regenerating the compute report).
 //!
 //! Threshold schema:
 //!
 //! ```json
 //! {
-//!   "gemm": [ {"m": 256, "min_speedup": 1.8} ],
-//!   "vit":  { "batch": 32, "min_speedup": 1.3, "require_agreement": true }
+//!   "gemm":  [ {"m": 256, "min_speedup": 1.8} ],
+//!   "vit":   { "batch": 32, "min_speedup": 1.3, "require_agreement": true },
+//!   "serve": { "min_rps": 500, "max_p99_ms": 50, "max_errors": 0,
+//!              "require_verified": true }
 //! }
 //! ```
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use bench::json::{parse, Json};
+use jsonio::{parse, Json};
+use serve::cli;
 
 struct Gate {
     failures: Vec<String>,
@@ -49,12 +58,92 @@ fn num(json: &Json, context: &str, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{context} is missing numeric field {key:?}"))
 }
 
-fn run(perf_path: &Path, thresholds_path: &Path) -> Result<Vec<String>, String> {
-    let perf = load(perf_path)?;
+/// Inverted check for "must not exceed" floors (error counts, p99 caps).
+impl Gate {
+    fn check_max(&mut self, label: &str, actual: f64, ceiling: f64) {
+        if actual <= ceiling {
+            println!("PASS  {label}: {actual:.3} <= {ceiling:.3}");
+        } else {
+            println!("FAIL  {label}: {actual:.3} > {ceiling:.3}");
+            self.failures
+                .push(format!("{label}: {actual:.3} above ceiling {ceiling:.3}"));
+        }
+    }
+
+    fn require(&mut self, label: &str, ok: bool) {
+        if ok {
+            println!("PASS  {label}");
+        } else {
+            println!("FAIL  {label}");
+            self.failures.push(label.to_string());
+        }
+    }
+}
+
+/// Checks the serving floors from a `serve_loadgen` report.
+fn check_serve(gate: &mut Gate, serve: &Json, thresholds: &Json) -> Result<(), String> {
+    let rps = num(serve, "serve report", "rps")?;
+    gate.check(
+        "serve sustained throughput (req/s)",
+        rps,
+        num(thresholds, "serve threshold", "min_rps")?,
+    );
+    let p99_ms = serve
+        .get("latency_ms")
+        .and_then(|l| l.get("p99"))
+        .and_then(Json::as_f64)
+        .ok_or("serve report is missing latency_ms.p99")?;
+    gate.check_max(
+        "serve p99 latency (ms)",
+        p99_ms,
+        num(thresholds, "serve threshold", "max_p99_ms")?,
+    );
+    gate.check_max(
+        "serve error responses",
+        num(serve, "serve report", "errors")?,
+        thresholds
+            .get("max_errors")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    );
+    if thresholds
+        .get("require_verified")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        gate.require(
+            "serve responses bit-identical to offline localize_batch",
+            serve.get("verified").and_then(Json::as_bool) == Some(true),
+        );
+    }
+    Ok(())
+}
+
+fn run(
+    perf_path: &Path,
+    thresholds_path: &Path,
+    serve_path: Option<&Path>,
+    serve_only: bool,
+) -> Result<Vec<String>, String> {
     let thresholds = load(thresholds_path)?;
     let mut gate = Gate {
         failures: Vec::new(),
     };
+
+    if let Some(serve_path) = serve_path {
+        let serve = load(serve_path)?;
+        let serve_thresholds = thresholds
+            .get("serve")
+            .ok_or("thresholds file has no serve section")?;
+        check_serve(&mut gate, &serve, serve_thresholds)?;
+    } else if serve_only {
+        return Err("--serve-only requires --serve PATH".into());
+    }
+    if serve_only {
+        return Ok(gate.failures);
+    }
+
+    let perf = load(perf_path)?;
 
     // GEMM speedups: each threshold row names a square size `m` that must
     // be present in the measured report.
@@ -115,20 +204,14 @@ fn run(perf_path: &Path, thresholds_path: &Path) -> Result<Vec<String>, String> 
     Ok(gate.failures)
 }
 
-fn arg_value(args: &[String], flag: &str, default: &str) -> PathBuf {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from(default))
-}
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
-    let perf = arg_value(&args, "--perf", "BENCH_perf.json");
-    let thresholds = arg_value(&args, "--thresholds", "ci/perf-thresholds.json");
+    let perf = cli::parse_path(&args, "--perf", "BENCH_perf.json");
+    let thresholds = cli::parse_path(&args, "--thresholds", "ci/perf-thresholds.json");
+    let serve = cli::value(&args, "--serve").map(PathBuf::from);
+    let serve_only = cli::has_flag(&args, "--serve-only");
 
-    match run(&perf, &thresholds) {
+    match run(&perf, &thresholds, serve.as_deref(), serve_only) {
         Ok(failures) if failures.is_empty() => {
             println!("perf gate: all thresholds met");
             ExitCode::SUCCESS

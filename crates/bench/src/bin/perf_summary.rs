@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use bench::Scale;
+use jsonio::Json;
 use tensor::rng::SeededRng;
 use tensor::Tensor;
 use vital::{VisionTransformer, VitalConfig};
@@ -188,37 +189,46 @@ fn main() {
     let gemm = bench_gemm(sizes, gemm_reps);
     let vit = bench_vit(scale, vit_reps);
 
-    let gemm_json: Vec<String> = gemm
-        .iter()
-        .map(|r| {
-            let gflops = 2.0 * (r.size as f64).powi(3) / (r.packed_ms * 1e6);
-            format!(
-                "    {{\"m\": {size}, \"k\": {size}, \"n\": {size}, \
-                 \"packed_ms\": {packed:.4}, \"reference_ms\": {reference:.4}, \
-                 \"speedup\": {speedup:.3}, \"packed_gflops\": {gflops:.2}}}",
-                size = r.size,
-                packed = r.packed_ms,
-                reference = r.reference_ms,
-                speedup = r.reference_ms / r.packed_ms,
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"scale\": \"{scale}\",\n  \"threads\": {threads},\n  \"gemm\": [\n{gemm}\n  ],\n  \
-         \"vit\": {{\n    \"batch\": {batch},\n    \"single_ms_per_sample\": {single:.4},\n    \
-         \"batch_ms_per_sample\": {batched:.4},\n    \"batch_speedup\": {speedup:.3},\n    \
-         \"predictions_agree\": {agree}\n  }}\n}}\n",
-        scale = match scale {
-            Scale::Quick => "quick",
-            Scale::Full => "full",
-        },
-        gemm = gemm_json.join(",\n"),
-        batch = vit.batch,
-        single = vit.single_ms_per_sample,
-        batched = vit.batch_ms_per_sample,
-        speedup = vit.single_ms_per_sample / vit.batch_ms_per_sample,
-        agree = vit.predictions_agree,
-    );
+    // Round to the precision the hand-formatted report used to commit.
+    let r4 = |x: f64| Json::from((x * 1e4).round() / 1e4);
+    let r3 = |x: f64| Json::from((x * 1e3).round() / 1e3);
+    let gemm_rows = Json::arr(gemm.iter().map(|r| {
+        let gflops = 2.0 * (r.size as f64).powi(3) / (r.packed_ms * 1e6);
+        Json::obj([
+            ("m", Json::from(r.size)),
+            ("k", Json::from(r.size)),
+            ("n", Json::from(r.size)),
+            ("packed_ms", r4(r.packed_ms)),
+            ("reference_ms", r4(r.reference_ms)),
+            ("speedup", r3(r.reference_ms / r.packed_ms)),
+            ("packed_gflops", Json::from((gflops * 1e2).round() / 1e2)),
+        ])
+    }));
+    let json = Json::obj([
+        (
+            "scale",
+            Json::from(match scale {
+                Scale::Quick => "quick",
+                Scale::Full => "full",
+            }),
+        ),
+        ("threads", Json::from(threads)),
+        ("gemm", gemm_rows),
+        (
+            "vit",
+            Json::obj([
+                ("batch", Json::from(vit.batch)),
+                ("single_ms_per_sample", r4(vit.single_ms_per_sample)),
+                ("batch_ms_per_sample", r4(vit.batch_ms_per_sample)),
+                (
+                    "batch_speedup",
+                    r3(vit.single_ms_per_sample / vit.batch_ms_per_sample),
+                ),
+                ("predictions_agree", Json::from(vit.predictions_agree)),
+            ]),
+        ),
+    ])
+    .to_json_pretty();
 
     // The bench crate lives at <repo>/crates/bench, so the repo root is two
     // levels up from the compile-time manifest dir.

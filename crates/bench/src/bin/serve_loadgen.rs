@@ -1,0 +1,387 @@
+//! `serve_loadgen` — closed-loop load generator for `vital-serve`.
+//!
+//! ```text
+//! serve_loadgen [--addr 127.0.0.1:8077] [--connections 8] [--duration-s 10]
+//!               [--bulk 8] [--model NAME] [--quick] [--threads N]
+//!               [--verify --checkpoint PATH] [--out BENCH_serve.json]
+//! ```
+//!
+//! Each connection thread replays bulk `POST /v1/localize` requests built
+//! from the deterministic `bench::smoke` dataset, back to back, until the
+//! duration elapses; client-side latency is measured per request. With
+//! `--verify`, the checkpoint is also loaded *offline* and every server
+//! response is compared against the offline `localize_batch` predictions —
+//! the bit-identical-batching guarantee, checked from outside the process.
+//!
+//! The run is summarized to `BENCH_serve.json` (throughput, exact latency
+//! percentiles, error counts, the server's own `/metrics` snapshot), which
+//! the `perf_gate --serve` CI step checks against committed floors.
+//! `--quick` selects the small CI-sized run (fewer connections, ~3 s).
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use bench::smoke::smoke_dataset;
+use fingerprint::FingerprintObservation;
+use jsonio::Json;
+use serve::cli;
+use serve::codec;
+use serve::http::{self, Conn, Method};
+
+struct Args {
+    addr: String,
+    connections: usize,
+    duration: Duration,
+    bulk: usize,
+    model: Option<String>,
+    quick: bool,
+    threads: Option<usize>,
+    verify: Option<PathBuf>,
+    out: PathBuf,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let quick = cli::has_flag(args, "--quick");
+    let verify = if cli::has_flag(args, "--verify") {
+        Some(
+            cli::value(args, "--checkpoint")
+                .map(PathBuf::from)
+                .ok_or("--verify requires --checkpoint PATH")?,
+        )
+    } else {
+        None
+    };
+    let default_out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_serve.json");
+    Ok(Args {
+        addr: cli::value(args, "--addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8077".to_string()),
+        connections: cli::parse_usize(args, "--connections", if quick { 4 } else { 8 })?.max(1),
+        duration: cli::parse_duration_s(args, "--duration-s", if quick { 3.0 } else { 10.0 })?,
+        bulk: cli::parse_usize(args, "--bulk", if quick { 4 } else { 8 })?.max(1),
+        model: cli::value(args, "--model").cloned(),
+        quick,
+        threads: cli::parse_threads(args)?,
+        verify,
+        out: cli::value(args, "--out")
+            .map(PathBuf::from)
+            .unwrap_or(default_out),
+    })
+}
+
+/// One worker's tallies.
+#[derive(Default)]
+struct WorkerStats {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    rejected_busy: u64,
+    error_responses: u64,
+    transport_errors: u64,
+    verify_ok: bool,
+    verify_message: Option<String>,
+}
+
+/// Issues a GET and returns the parsed body, for health/metrics probes.
+fn get_json(addr: &str, target: &str) -> Result<Json, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    http::write_request(&mut (&stream), Method::Get, target, &[("host", addr)], b"")
+        .map_err(|e| format!("cannot send GET {target}: {e}"))?;
+    let response = Conn::new(&stream)
+        .read_response()
+        .map_err(|e| format!("GET {target} failed: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("GET {target} returned {}", response.status));
+    }
+    jsonio::parse(&String::from_utf8_lossy(&response.body))
+        .map_err(|e| format!("GET {target} returned invalid JSON: {e}"))
+}
+
+fn worker(
+    addr: &str,
+    deadline: Instant,
+    chunks: &[Vec<FingerprintObservation>],
+    chunk_stride: (usize, usize), // (first chunk, stride)
+    model: Option<&str>,
+    expected: Option<&[Vec<usize>]>,
+) -> WorkerStats {
+    let mut stats = WorkerStats {
+        verify_ok: true,
+        ..WorkerStats::default()
+    };
+    let connect = || -> Option<TcpStream> {
+        let stream = TcpStream::connect(addr).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        Some(stream)
+    };
+    let Some(mut stream) = connect() else {
+        stats.transport_errors += 1;
+        return stats;
+    };
+    let mut conn = Conn::new(stream.try_clone().expect("clone TCP stream"));
+    let (first, stride) = chunk_stride;
+    let mut index = first;
+    // Pre-render each chunk's request body once; the loop then only does
+    // IO.
+    let bodies: Vec<String> = chunks
+        .iter()
+        .map(|observations| codec::localize_request_body(model, observations))
+        .collect();
+
+    while Instant::now() < deadline {
+        let chunk = index % chunks.len();
+        index += stride;
+        let body = bodies[chunk].as_bytes();
+        let started = Instant::now();
+        let sent = http::write_request(
+            &mut (&stream),
+            Method::Post,
+            "/v1/localize",
+            &[("host", addr), ("content-type", "application/json")],
+            body,
+        );
+        let response = match sent {
+            Ok(()) => conn.read_response(),
+            Err(e) => Err(e.into()),
+        };
+        match response {
+            Ok(response) => {
+                let elapsed_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                match response.status {
+                    200 => {
+                        stats.ok += 1;
+                        stats.latencies_us.push(elapsed_us);
+                        if let Some(expected) = expected {
+                            match codec::parse_predictions(&response.body) {
+                                Ok(got) if got == expected[chunk] => {}
+                                Ok(got) => {
+                                    stats.verify_ok = false;
+                                    stats.verify_message.get_or_insert_with(|| {
+                                        format!(
+                                            "chunk {chunk}: server said {got:?}, offline \
+                                             localize_batch said {:?}",
+                                            expected[chunk]
+                                        )
+                                    });
+                                }
+                                Err(e) => {
+                                    stats.verify_ok = false;
+                                    stats
+                                        .verify_message
+                                        .get_or_insert_with(|| format!("chunk {chunk}: {e}"));
+                                }
+                            }
+                        }
+                    }
+                    503 => {
+                        stats.rejected_busy += 1;
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    _ => stats.error_responses += 1,
+                }
+            }
+            Err(_) => {
+                stats.transport_errors += 1;
+                // One reconnect attempt; give up on repeated failure.
+                match connect() {
+                    Some(new_stream) => {
+                        stream = new_stream;
+                        conn = Conn::new(stream.try_clone().expect("clone TCP stream"));
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1e3
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let dataset = smoke_dataset();
+    let observations = dataset.observations();
+
+    // Fixed chunking of the dataset into bulk requests; workers cycle
+    // through chunks with a stride so the coverage is uniform.
+    let chunks: Vec<Vec<FingerprintObservation>> =
+        observations.chunks(args.bulk).map(|c| c.to_vec()).collect();
+
+    // Offline reference predictions for --verify, computed before any load
+    // is generated (models are not Send, so this stays on the main
+    // thread).
+    let expected: Option<Vec<Vec<usize>>> = match &args.verify {
+        None => None,
+        Some(checkpoint) => {
+            let localizer = baselines::load_localizer(checkpoint)
+                .map_err(|e| format!("cannot load {} for --verify: {e}", checkpoint.display()))?;
+            let run_batch = || {
+                chunks
+                    .iter()
+                    .map(|observations| localizer.localize_batch(observations))
+                    .collect::<Result<Vec<_>, _>>()
+            };
+            let predictions = match args.threads {
+                Some(threads) => parallel::with_threads(threads, run_batch),
+                None => run_batch(),
+            }
+            .map_err(|e| format!("offline localize_batch failed: {e}"))?;
+            eprintln!(
+                "serve_loadgen: offline reference computed over {} chunks ({})",
+                predictions.len(),
+                localizer.name()
+            );
+            Some(predictions)
+        }
+    };
+
+    let health = get_json(&args.addr, "/healthz")?;
+    if health.get("status").and_then(Json::as_str) != Some("ok") {
+        return Err(format!("server health check failed: {health}"));
+    }
+
+    eprintln!(
+        "serve_loadgen: {} connections × bulk {} against http://{} for {:.1}s{}",
+        args.connections,
+        args.bulk,
+        args.addr,
+        args.duration.as_secs_f64(),
+        if expected.is_some() {
+            " (verifying)"
+        } else {
+            ""
+        }
+    );
+
+    let started = Instant::now();
+    let deadline = started + args.duration;
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.connections)
+            .map(|worker_id| {
+                let chunks = &chunks;
+                let expected = expected.as_deref();
+                let model = args.model.as_deref();
+                let addr = &args.addr;
+                scope.spawn(move || {
+                    worker(
+                        addr,
+                        deadline,
+                        chunks,
+                        (worker_id, args.connections),
+                        model,
+                        expected,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = stats
+        .iter()
+        .flat_map(|s| s.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let ok: u64 = stats.iter().map(|s| s.ok).sum();
+    let rejected: u64 = stats.iter().map(|s| s.rejected_busy).sum();
+    let error_responses: u64 = stats.iter().map(|s| s.error_responses).sum();
+    let transport: u64 = stats.iter().map(|s| s.transport_errors).sum();
+    let verified = expected.as_ref().map(|_| stats.iter().all(|s| s.verify_ok));
+    if let Some(message) = stats.iter().find_map(|s| s.verify_message.as_ref()) {
+        eprintln!("serve_loadgen: VERIFY MISMATCH — {message}");
+    }
+
+    let rps = if elapsed_s > 0.0 {
+        ok as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e3
+    };
+    let server_metrics = get_json(&args.addr, "/metrics")?;
+
+    let round = |x: f64| (x * 1e3).round() / 1e3;
+    let report = Json::obj([
+        ("quick", Json::from(args.quick)),
+        ("addr", Json::from(args.addr.as_str())),
+        ("connections", Json::from(args.connections)),
+        ("bulk", Json::from(args.bulk)),
+        ("duration_s", Json::from(args.duration.as_secs_f64())),
+        ("elapsed_s", Json::from(round(elapsed_s))),
+        ("requests_ok", Json::from(ok)),
+        ("rejected_busy", Json::from(rejected)),
+        ("errors", Json::from(error_responses + transport)),
+        ("error_responses", Json::from(error_responses)),
+        ("transport_errors", Json::from(transport)),
+        ("rps", Json::from(round(rps))),
+        (
+            "latency_ms",
+            Json::obj([
+                ("count", Json::from(latencies.len())),
+                ("p50", Json::from(round(percentile_ms(&latencies, 0.50)))),
+                ("p95", Json::from(round(percentile_ms(&latencies, 0.95)))),
+                ("p99", Json::from(round(percentile_ms(&latencies, 0.99)))),
+                ("mean", Json::from(round(mean_ms))),
+                (
+                    "max",
+                    Json::from(round(
+                        latencies.last().map(|v| *v as f64 / 1e3).unwrap_or(0.0),
+                    )),
+                ),
+            ]),
+        ),
+        (
+            "verified",
+            match verified {
+                Some(v) => Json::from(v),
+                None => Json::Null,
+            },
+        ),
+        ("server_metrics", server_metrics),
+    ]);
+    std::fs::write(&args.out, report.to_json_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    println!("{report}");
+    eprintln!(
+        "serve_loadgen: {ok} ok ({rps:.0} req/s), {rejected} busy, {} errors, p99 {:.2} ms — wrote {}",
+        error_responses + transport,
+        percentile_ms(&latencies, 0.99),
+        args.out.display()
+    );
+    Ok(verified != Some(false))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match parse_args(&args).and_then(|args| run(&args)) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("serve_loadgen: server responses diverged from offline predictions");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("serve_loadgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,10 +17,15 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod json;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod smoke;
+
+/// Compatibility re-export: the minimal JSON reader/writer moved to the
+/// shared `jsonio` crate (the `serve` codec uses it too); `bench::json`
+/// keeps existing imports working.
+pub use jsonio as json;
 
 pub use report::{print_table, write_csv, TableRow};
 pub use runner::{

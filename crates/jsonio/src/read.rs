@@ -1,73 +1,8 @@
-//! A minimal JSON reader for the CI tooling (perf-regression gate).
-//!
-//! The workspace has no `serde_json` (no reachable registry — see
-//! `vendor/README.md`), and the only JSON the harness *reads* is its own
-//! machine-generated output (`BENCH_perf.json`) plus the committed
-//! threshold file, so a small recursive-descent parser covers the need:
-//! objects, arrays, strings (with the common escapes), numbers, booleans
-//! and null.
+//! Recursive-descent JSON reader (promoted from `bench::json`).
 
 use std::fmt;
 
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (parsed as `f64`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, preserving key order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Member lookup on an object (`None` for other variants / missing
-    /// keys).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The boolean value, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
+use crate::Json;
 
 /// A JSON syntax error with byte offset.
 #[derive(Debug, Clone, PartialEq)]
@@ -233,17 +168,24 @@ impl Parser<'_> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| self.error("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.error("invalid \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.error("invalid \\u escape"))?;
-                            self.pos += 4;
+                            let code = self.hex_escape()?;
+                            let scalar = if (0xD800..0xDC00).contains(&code) {
+                                // RFC 8259: non-BMP characters arrive as a
+                                // UTF-16 surrogate pair of \u escapes.
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(&b"\\u"[..]) {
+                                    return Err(self.error("unpaired high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex_escape()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
                             out.push(
-                                char::from_u32(code)
+                                char::from_u32(scalar)
                                     .ok_or_else(|| self.error("non-scalar \\u escape"))?,
                             );
                         }
@@ -264,6 +206,19 @@ impl Parser<'_> {
                 }
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\u` escape (cursor already past the
+    /// `\u`).
+    fn hex_escape(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
@@ -326,21 +281,29 @@ mod tests {
     }
 
     #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_are_rejected() {
+        // RFC 8259 escaping of U+1F4CD (round pushpin) as a surrogate pair.
+        assert_eq!(
+            parse(r#""\ud83d\udccd""#).unwrap(),
+            Json::Str("\u{1f4cd}".into())
+        );
+        for bad in [
+            r#""\ud83d""#,       // unpaired high surrogate
+            r#""\ud83d\n""#,     // high surrogate followed by non-\u escape
+            r#""\ud83dx""#,      // high surrogate followed by raw text
+            r#""\ud83d\ud83d""#, // two high surrogates
+            r#""\udccd""#,       // lone low surrogate
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
     fn rejects_malformed_documents() {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
         let err = parse("{\"a\": nope}").unwrap_err();
         assert!(err.to_string().contains("byte"));
-    }
-
-    #[test]
-    fn accessors_return_none_on_wrong_variant() {
-        let json = parse("[1]").unwrap();
-        assert!(json.get("x").is_none());
-        assert!(json.as_f64().is_none());
-        assert!(json.as_bool().is_none());
-        assert!(json.as_str().is_none());
-        assert_eq!(json.as_array().unwrap().len(), 1);
     }
 }

@@ -1,0 +1,199 @@
+//! JSON writer: compact (wire protocol) and pretty (committed `BENCH_*.json`
+//! artifacts) serialization of a [`Json`] value.
+//!
+//! Output is always a valid JSON document that [`crate::parse`] round-trips:
+//! strings get the standard escapes (control characters via `\u00XX`),
+//! integral numbers in the exactly-representable `f64` range print without a
+//! fraction, other finite numbers use Rust's shortest round-trip `f64`
+//! formatting, and non-finite numbers (which JSON cannot represent) are
+//! written as `null`.
+
+use crate::Json;
+
+/// Largest integer magnitude exactly representable in an `f64` (2^53);
+/// integral numbers up to this print without a fraction or exponent.
+const MAX_EXACT_INT: f64 = 9_007_199_254_740_992.0;
+
+pub(crate) fn write_compact(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (key, member)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_compact(member, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn write_pretty(value: &Json, out: &mut String, indent: usize) {
+    match value {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Json::Obj(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, member)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(key, out);
+                out.push_str(": ");
+                write_pretty(member, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // `n as i64` would drop the sign bit of negative zero.
+        out.push_str("-0");
+    } else if n.fract() == 0.0 && n.abs() <= MAX_EXACT_INT {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Rust's `{}` for f64 is the shortest representation that parses
+        // back to the same bits.
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, Json};
+
+    #[test]
+    fn compact_output_matches_expected_text() {
+        let doc = Json::obj([
+            ("s", Json::from("a\"b\\c\nd\u{1}")),
+            ("i", Json::from(42u64)),
+            ("f", Json::from(2.5)),
+            ("neg", Json::from(-3i64)),
+            ("none", Json::Null),
+            ("ok", Json::from(true)),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj::<String>([])),
+        ]);
+        assert_eq!(
+            doc.to_json_string(),
+            r#"{"s":"a\"b\\c\nd\u0001","i":42,"f":2.5,"neg":-3,"none":null,"ok":true,"empty_arr":[],"empty_obj":{}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses_back() {
+        let doc = Json::obj([
+            ("gemm", Json::arr([Json::obj([("m", Json::from(256u64))])])),
+            ("threads", Json::from(2u64)),
+        ]);
+        let text = doc.to_json_pretty();
+        assert!(text.starts_with("{\n  \"gemm\": [\n    {\n      \"m\": 256"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null() {
+        assert_eq!(Json::from(f64::NAN).to_json_string(), "null");
+        assert_eq!(Json::from(f64::INFINITY).to_json_string(), "null");
+        assert_eq!(Json::from(f64::NEG_INFINITY).to_json_string(), "null");
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for n in [
+            0.0,
+            -0.0,
+            1.5,
+            -2.25,
+            0.1,
+            1e300,
+            -1e-300,
+            9_007_199_254_740_992.0,
+            123456789.0,
+            f64::MIN_POSITIVE,
+        ] {
+            let text = Json::Num(n).to_json_string();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), n.to_bits(), "{n} -> {text} -> {back}");
+        }
+    }
+
+    #[test]
+    fn strings_with_unicode_round_trip() {
+        for s in [
+            "",
+            "héllo wörld",
+            "tab\there",
+            "quote\"slash\\",
+            "\u{1f600}",
+        ] {
+            let text = Json::Str(s.into()).to_json_string();
+            assert_eq!(parse(&text).unwrap(), Json::Str(s.into()));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the JSON writer: any value tree the writer can emit
+//! must parse back to an identical tree, in both compact and pretty layouts.
+
+use jsonio::{parse, Json};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary JSON scalar: null, bool, finite number
+/// (integral or fractional) or an ASCII string that may contain quotes,
+/// backslashes and control characters (exercising every escape path).
+fn scalar() -> impl Strategy<Value = Json> {
+    (
+        0u32..5,
+        -1.0e15f64..1.0e15,
+        proptest::collection::vec(0u8..128, 0..12),
+    )
+        .prop_map(|(kind, num, bytes)| match kind {
+            0 => Json::Null,
+            1 => Json::Bool(num > 0.0),
+            2 => Json::Num(num.trunc()),
+            3 => Json::Num(num / 1024.0),
+            _ => Json::Str(String::from_utf8(bytes).expect("ASCII bytes are UTF-8")),
+        })
+}
+
+/// Strategy producing a two-level JSON document: an object holding scalars,
+/// arrays of scalars and nested objects of scalars.
+fn document() -> impl Strategy<Value = Json> {
+    (
+        proptest::collection::vec(scalar(), 0..6),
+        proptest::collection::vec((0u32..1000, scalar()), 0..6),
+        scalar(),
+    )
+        .prop_map(|(items, members, single)| {
+            let nested = Json::obj(
+                members
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (tag, v))| (format!("k{i}_{tag}"), v.clone())),
+            );
+            Json::obj([
+                ("single", single),
+                ("items", Json::Arr(items)),
+                ("nested", nested),
+            ])
+        })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trips(doc in document()) {
+        let text = doc.to_json_string();
+        prop_assert_eq!(parse(&text).expect("writer emitted invalid JSON"), doc);
+    }
+
+    #[test]
+    fn pretty_round_trips(doc in document()) {
+        let text = doc.to_json_pretty();
+        prop_assert_eq!(parse(&text).expect("writer emitted invalid JSON"), doc);
+    }
+
+    #[test]
+    fn parse_never_panics_on_garbage(bytes in proptest::collection::vec(0u8..255, 0..64)) {
+        // Any byte soup either parses or returns a typed error — no panics.
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse(&text);
+    }
+}

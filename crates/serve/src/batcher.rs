@@ -1,0 +1,598 @@
+//! The micro-batching scheduler at the heart of the server.
+//!
+//! Connection handler threads enqueue parsed observations as [`Job`]s into
+//! a **bounded** queue; a single dispatcher thread drains up to
+//! `max_batch` observations or waits at most `max_wait` after the first
+//! queued job (whichever comes first), groups the drained jobs by model,
+//! runs **one** `localize_batch` call per model group, and fans the
+//! predictions back out over each job's reply channel.
+//!
+//! Two properties matter:
+//!
+//! * **Backpressure** — the queue is a `sync_channel` of fixed capacity;
+//!   when it is full, [`BatcherClient::submit`] fails immediately with
+//!   [`SubmitError::Busy`] and the HTTP layer answers `503` +
+//!   `Retry-After` instead of buffering without bound.
+//! * **Bit-identical batching** — coalescing never changes results. The
+//!   GEMM/batched-inference stack guarantees batched execution is
+//!   bit-identical to per-sample execution for any batch size (enforced by
+//!   the tensor/ViT property suites), and the dispatcher preserves
+//!   per-job observation order, so a response is byte-for-byte the same
+//!   whether a request was batched with strangers or served alone. The
+//!   `server_integration` test asserts this end to end.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fingerprint::FingerprintObservation;
+
+use crate::metrics::Metrics;
+use crate::registry::{ModelSource, Registry};
+
+/// One queued localize request.
+pub struct Job {
+    /// Resolved model name (validated against the catalog before
+    /// enqueueing, so the dispatcher can group by it).
+    pub model: String,
+    /// Observations to localize, in request order.
+    pub observations: Vec<FingerprintObservation>,
+    /// Where the handler thread waits for the outcome.
+    pub reply: mpsc::Sender<Result<Vec<usize>, String>>,
+}
+
+/// Scheduler knobs (see the README's "Serving" section).
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Maximum observations coalesced into one `localize_batch` call.
+    pub max_batch: usize,
+    /// Longest the dispatcher waits after the first queued job before
+    /// dispatching a partial batch.
+    pub max_wait: Duration,
+    /// Bounded queue capacity, in jobs; a full queue sheds load with 503.
+    pub queue_cap: usize,
+    /// Worker threads for the batched compute (`None` = the `parallel`
+    /// crate's default resolution).
+    pub threads: Option<usize>,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch: 32,
+            max_wait: Duration::from_micros(2000),
+            queue_cap: 256,
+            threads: None,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — shed load (HTTP 503 + `Retry-After`).
+    Busy,
+    /// The dispatcher has shut down.
+    Closed,
+}
+
+/// Cheap, cloneable handle the connection handlers submit through.
+#[derive(Clone)]
+pub struct BatcherClient {
+    tx: SyncSender<Job>,
+    metrics: Arc<Metrics>,
+    alive: Arc<AtomicBool>,
+}
+
+impl BatcherClient {
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    /// [`SubmitError::Busy`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] when the dispatcher is gone.
+    pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        // Increment *before* the send: the dispatcher can dequeue (and
+        // decrement) the instant try_send succeeds, and increment-after
+        // would briefly wrap the depth below zero.
+        self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                match e {
+                    TrySendError::Full(_) => Err(SubmitError::Busy),
+                    TrySendError::Disconnected(_) => Err(SubmitError::Closed),
+                }
+            }
+        }
+    }
+
+    /// Whether the dispatcher thread is still running. `false` means every
+    /// localize request will fail — surfaced by `GET /healthz` so
+    /// orchestrators stop routing to a dead service.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+}
+
+/// Starts the dispatcher thread: builds the registry from `source` (models
+/// are not `Send`, so they must be born on the dispatcher thread) and
+/// returns the submission handle once loading succeeded.
+///
+/// The dispatcher exits when every [`BatcherClient`] clone is dropped.
+///
+/// # Errors
+/// Registry construction failures (unreadable/corrupt checkpoints), as a
+/// message.
+pub fn start(
+    source: ModelSource,
+    config: BatcherConfig,
+    metrics: Arc<Metrics>,
+) -> Result<(BatcherClient, std::thread::JoinHandle<()>), String> {
+    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_cap.max(1));
+    let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
+    let dispatcher_metrics = Arc::clone(&metrics);
+    let alive = Arc::new(AtomicBool::new(true));
+
+    /// Marks the dispatcher dead when its thread exits — including by
+    /// panic — so `/healthz` stops reporting a service that can no longer
+    /// answer.
+    struct AliveGuard(Arc<AtomicBool>);
+    impl Drop for AliveGuard {
+        fn drop(&mut self) {
+            self.0.store(false, Ordering::Relaxed);
+        }
+    }
+    let guard = AliveGuard(Arc::clone(&alive));
+
+    let handle = std::thread::Builder::new()
+        .name("vital-serve-dispatcher".into())
+        .spawn(move || {
+            let _guard = guard;
+            let registry = match source.build() {
+                Ok(registry) => {
+                    let _ = ready_tx.send(Ok(()));
+                    registry
+                }
+                Err(e) => {
+                    let _ = ready_tx.send(Err(e));
+                    return;
+                }
+            };
+            dispatch_loop(&registry, &rx, &config, &dispatcher_metrics);
+        })
+        .map_err(|e| format!("cannot spawn dispatcher thread: {e}"))?;
+    match ready_rx.recv() {
+        Ok(Ok(())) => Ok((BatcherClient { tx, metrics, alive }, handle)),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Err("dispatcher thread died during model loading".into()),
+    }
+}
+
+/// Drains and executes batches until the channel disconnects.
+fn dispatch_loop(
+    registry: &Registry,
+    rx: &Receiver<Job>,
+    config: &BatcherConfig,
+    metrics: &Metrics,
+) {
+    // A job dequeued while filling a batch that it would overflow is
+    // carried over to start the next batch instead.
+    let mut carry: Option<Job> = None;
+    loop {
+        // Block for the batch's first job.
+        let first = match carry.take() {
+            Some(job) => job,
+            None => {
+                let Ok(job) = rx.recv() else {
+                    return; // all clients dropped
+                };
+                metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                job
+            }
+        };
+        let deadline = Instant::now() + config.max_wait;
+        let mut jobs = vec![first];
+        let mut queued_observations = jobs[0].observations.len();
+
+        // Coalesce until the batch is full or the wait budget is spent.
+        // `max_batch` is a hard cap on the dispatch size (only a single
+        // bulk request larger than the cap can exceed it, since it cannot
+        // be split across batches).
+        let mut disconnected = false;
+        while queued_observations < config.max_batch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(job) => {
+                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    if queued_observations + job.observations.len() > config.max_batch {
+                        carry = Some(job);
+                        break;
+                    }
+                    queued_observations += job.observations.len();
+                    jobs.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        execute(registry, jobs, config, metrics);
+        if disconnected {
+            if let Some(job) = carry.take() {
+                execute(registry, vec![job], config, metrics);
+            }
+            return;
+        }
+    }
+}
+
+/// Groups `jobs` by model (preserving arrival order within each group),
+/// runs one `localize_batch` per group and fans results back out.
+fn execute(registry: &Registry, jobs: Vec<Job>, config: &BatcherConfig, metrics: &Metrics) {
+    let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
+    for job in jobs {
+        match groups.iter_mut().find(|(model, _)| *model == job.model) {
+            Some((_, group)) => group.push(job),
+            None => groups.push((job.model.clone(), vec![job])),
+        }
+    }
+
+    for (model, mut group) in groups {
+        // Move the observations out of the jobs (their lengths, kept per
+        // job, drive the fan-out slicing) — no per-request deep copies on
+        // the hot path.
+        let lengths: Vec<usize> = group.iter().map(|job| job.observations.len()).collect();
+        let batch: Vec<FingerprintObservation> = if group.len() == 1 {
+            std::mem::take(&mut group[0].observations)
+        } else {
+            group
+                .iter_mut()
+                .flat_map(|job| job.observations.drain(..))
+                .collect()
+        };
+        metrics.record_batch(batch.len());
+
+        let outcome = match registry.get(Some(&model)) {
+            Some(localizer) => {
+                let run = || localizer.localize_batch(&batch);
+                match config.threads {
+                    Some(threads) => parallel::with_threads(threads, run),
+                    None => run(),
+                }
+                .map_err(|e| format!("model {model:?} failed: {e}"))
+                .and_then(|predictions| {
+                    // A short/long result would make the fan-out slicing
+                    // panic the dispatcher; degrade this batch instead.
+                    if predictions.len() == batch.len() {
+                        Ok(predictions)
+                    } else {
+                        Err(format!(
+                            "model {model:?} returned {} predictions for {} observations",
+                            predictions.len(),
+                            batch.len()
+                        ))
+                    }
+                })
+            }
+            // Unreachable in practice: names are validated against the
+            // catalog before enqueueing.
+            None => Err(format!("model {model:?} is not loaded")),
+        };
+
+        match outcome {
+            Ok(predictions) => {
+                let mut offset = 0;
+                for (job, take) in group.iter().zip(lengths) {
+                    let slice = predictions[offset..offset + take].to_vec();
+                    offset += take;
+                    let _ = job.reply.send(Ok(slice));
+                }
+            }
+            Err(message) => {
+                for job in &group {
+                    let _ = job.reply.send(Err(message.clone()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vital::{Localizer, Result as VitalResult, VitalError};
+
+    /// Deterministic stand-in model: predicts `round(-mean[0])` so batching
+    /// behaviour is observable without training anything.
+    struct EchoLocalizer;
+
+    impl Localizer for EchoLocalizer {
+        fn name(&self) -> &str {
+            "Echo"
+        }
+        fn fit(&mut self, _: &fingerprint::FingerprintDataset) -> VitalResult<()> {
+            Ok(())
+        }
+        fn predict(&self, o: &fingerprint::FingerprintObservation) -> VitalResult<usize> {
+            Ok((-o.mean[0]) as usize)
+        }
+    }
+
+    /// A model that always fails, for error fan-out coverage.
+    struct FailingLocalizer;
+
+    impl Localizer for FailingLocalizer {
+        fn name(&self) -> &str {
+            "Failing"
+        }
+        fn fit(&mut self, _: &fingerprint::FingerprintDataset) -> VitalResult<()> {
+            Ok(())
+        }
+        fn predict(&self, _: &fingerprint::FingerprintObservation) -> VitalResult<usize> {
+            Err(VitalError::NotFitted)
+        }
+    }
+
+    fn obs(v: f32) -> FingerprintObservation {
+        FingerprintObservation {
+            rp_label: 0,
+            device: String::new(),
+            min: vec![v],
+            max: vec![v],
+            mean: vec![v],
+        }
+    }
+
+    fn echo_source() -> ModelSource {
+        ModelSource::custom(vec![("echo".into(), "Echo".into())], || {
+            Ok(Registry::from_models(vec![(
+                "echo".into(),
+                Box::new(EchoLocalizer),
+            )]))
+        })
+    }
+
+    #[test]
+    fn jobs_round_trip_with_per_job_slicing() {
+        let metrics = Arc::new(Metrics::new());
+        let (client, handle) = start(
+            echo_source(),
+            BatcherConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(20),
+                queue_cap: 16,
+                threads: Some(1),
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+
+        let (tx_a, rx_a) = mpsc::channel();
+        let (tx_b, rx_b) = mpsc::channel();
+        client
+            .submit(Job {
+                model: "echo".into(),
+                observations: vec![obs(-3.0), obs(-5.0)],
+                reply: tx_a,
+            })
+            .unwrap();
+        client
+            .submit(Job {
+                model: "echo".into(),
+                observations: vec![obs(-7.0)],
+                reply: tx_b,
+            })
+            .unwrap();
+        assert_eq!(rx_a.recv().unwrap().unwrap(), vec![3, 5]);
+        assert_eq!(rx_b.recv().unwrap().unwrap(), vec![7]);
+
+        drop(client);
+        handle.join().unwrap();
+        assert!(metrics.queue_depth.load(Ordering::Relaxed) == 0);
+    }
+
+    #[test]
+    fn max_batch_is_a_hard_cap_via_carry_over() {
+        let metrics = Arc::new(Metrics::new());
+        let (client, handle) = start(
+            echo_source(),
+            BatcherConfig {
+                max_batch: 4,
+                // A long window guarantees both jobs are drained into the
+                // same coalescing pass — the second must be carried over,
+                // not merged past the cap.
+                max_wait: Duration::from_millis(200),
+                queue_cap: 16,
+                threads: Some(1),
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let (tx_a, rx_a) = mpsc::channel();
+        let (tx_b, rx_b) = mpsc::channel();
+        client
+            .submit(Job {
+                model: "echo".into(),
+                observations: vec![obs(-1.0), obs(-2.0), obs(-3.0)],
+                reply: tx_a,
+            })
+            .unwrap();
+        client
+            .submit(Job {
+                model: "echo".into(),
+                observations: vec![obs(-4.0), obs(-5.0), obs(-6.0)],
+                reply: tx_b,
+            })
+            .unwrap();
+        assert_eq!(rx_a.recv().unwrap().unwrap(), vec![1, 2, 3]);
+        assert_eq!(rx_b.recv().unwrap().unwrap(), vec![4, 5, 6]);
+        drop(client);
+        handle.join().unwrap();
+
+        // Two dispatches of 3 observations — never one of 6.
+        let snapshot = metrics.snapshot_json();
+        let hist = snapshot.get("batch_size_hist").unwrap().as_array().unwrap();
+        let sizes: Vec<usize> = hist
+            .iter()
+            .filter_map(|b| b.get("size").and_then(jsonio::Json::as_usize))
+            .collect();
+        assert_eq!(sizes, vec![3], "batch sizes recorded: {sizes:?}");
+    }
+
+    /// A batch override that drops the last prediction, simulating a buggy
+    /// model.
+    struct ShortLocalizer;
+
+    impl Localizer for ShortLocalizer {
+        fn name(&self) -> &str {
+            "Short"
+        }
+        fn fit(&mut self, _: &fingerprint::FingerprintDataset) -> VitalResult<()> {
+            Ok(())
+        }
+        fn predict(&self, _: &fingerprint::FingerprintObservation) -> VitalResult<usize> {
+            Ok(0)
+        }
+        fn localize_batch(
+            &self,
+            observations: &[fingerprint::FingerprintObservation],
+        ) -> VitalResult<Vec<usize>> {
+            Ok(vec![0; observations.len().saturating_sub(1)])
+        }
+    }
+
+    #[test]
+    fn short_prediction_vectors_degrade_the_batch_not_the_dispatcher() {
+        let source = ModelSource::custom(vec![("short".into(), "Short".into())], || {
+            Ok(Registry::from_models(vec![(
+                "short".into(),
+                Box::new(ShortLocalizer),
+            )]))
+        });
+        let (client, handle) = start(
+            source,
+            BatcherConfig {
+                threads: Some(1),
+                ..BatcherConfig::default()
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let (tx, rx) = mpsc::channel();
+        client
+            .submit(Job {
+                model: "short".into(),
+                observations: vec![obs(-1.0), obs(-2.0)],
+                reply: tx,
+            })
+            .unwrap();
+        let err = rx.recv().unwrap().unwrap_err();
+        assert!(err.contains("1 predictions for 2 observations"), "{err}");
+        // The dispatcher survived the bad batch.
+        assert!(client.is_alive());
+        drop(client);
+        handle.join().expect("dispatcher must not have panicked");
+    }
+
+    #[test]
+    fn model_errors_fan_out_to_every_job() {
+        let source = ModelSource::custom(vec![("bad".into(), "Failing".into())], || {
+            Ok(Registry::from_models(vec![(
+                "bad".into(),
+                Box::new(FailingLocalizer),
+            )]))
+        });
+        let (client, handle) =
+            start(source, BatcherConfig::default(), Arc::new(Metrics::new())).unwrap();
+        let (tx, rx) = mpsc::channel();
+        client
+            .submit(Job {
+                model: "bad".into(),
+                observations: vec![obs(-1.0)],
+                reply: tx,
+            })
+            .unwrap();
+        let err = rx.recv().unwrap().unwrap_err();
+        assert!(err.contains("bad"), "{err}");
+        drop(client);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn registry_build_failure_propagates_to_start() {
+        let source = ModelSource::custom(vec![], || Err("no such checkpoint".into()));
+        match start(source, BatcherConfig::default(), Arc::new(Metrics::new())) {
+            Err(err) => assert!(err.contains("no such checkpoint")),
+            Ok(_) => panic!("start succeeded despite failing registry builder"),
+        }
+    }
+
+    #[test]
+    fn full_queue_reports_busy() {
+        // A dispatcher that never drains: block it by building the registry
+        // from a closure that parks until we release it via channel close…
+        // simpler: fill the queue faster than a slow model drains it.
+        struct SlowLocalizer;
+        impl Localizer for SlowLocalizer {
+            fn name(&self) -> &str {
+                "Slow"
+            }
+            fn fit(&mut self, _: &fingerprint::FingerprintDataset) -> VitalResult<()> {
+                Ok(())
+            }
+            fn predict(&self, o: &fingerprint::FingerprintObservation) -> VitalResult<usize> {
+                std::thread::sleep(Duration::from_millis(150));
+                Ok((-o.mean[0]) as usize)
+            }
+        }
+        let source = ModelSource::custom(vec![("slow".into(), "Slow".into())], || {
+            Ok(Registry::from_models(vec![(
+                "slow".into(),
+                Box::new(SlowLocalizer),
+            )]))
+        });
+        let (client, handle) = start(
+            source,
+            BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(1),
+                queue_cap: 1,
+                threads: Some(1),
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+
+        let mut replies = Vec::new();
+        let mut saw_busy = false;
+        // First submit is picked up by the dispatcher (slow), the next fills
+        // the 1-slot queue, and further ones must report Busy.
+        for _ in 0..8 {
+            let (tx, rx) = mpsc::channel();
+            match client.submit(Job {
+                model: "slow".into(),
+                observations: vec![obs(-2.0)],
+                reply: tx,
+            }) {
+                Ok(()) => replies.push(rx),
+                Err(SubmitError::Busy) => {
+                    saw_busy = true;
+                    break;
+                }
+                Err(SubmitError::Closed) => panic!("dispatcher died"),
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(saw_busy, "queue of capacity 1 never reported Busy");
+        for rx in replies {
+            assert_eq!(rx.recv().unwrap().unwrap(), vec![2]);
+        }
+        drop(client);
+        handle.join().unwrap();
+    }
+}

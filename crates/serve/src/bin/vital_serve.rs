@@ -1,0 +1,96 @@
+//! `vital-serve` — the online localization server.
+//!
+//! ```text
+//! vital-serve --checkpoint-dir checkpoints/ [--addr 127.0.0.1:8077]
+//!             [--max-batch 32] [--max-wait-us 2000] [--queue-cap 256]
+//!             [--threads N]
+//! ```
+//!
+//! Loads every `*.vckpt` checkpoint in `--checkpoint-dir` (any of the six
+//! localizer kinds), then serves `POST /v1/localize`, `GET /v1/models`,
+//! `GET /healthz` and `GET /metrics` until killed. `--threads` pins the
+//! `parallel` crate's worker count for the batched compute, making runs
+//! deterministic on CI's small runners.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use serve::{cli, BatcherConfig, ModelSource, Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    checkpoint_dir: PathBuf,
+    max_batch: usize,
+    max_wait_us: u64,
+    queue_cap: usize,
+    threads: Option<usize>,
+}
+
+fn usage() -> String {
+    "usage: vital-serve --checkpoint-dir DIR [--addr HOST:PORT] [--max-batch N] \
+     [--max-wait-us N] [--queue-cap N] [--threads N]"
+        .to_string()
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let checkpoint_dir = cli::value(args, "--checkpoint-dir")
+        .map(PathBuf::from)
+        .ok_or_else(usage)?;
+    Ok(Args {
+        addr: cli::value(args, "--addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8077".to_string()),
+        checkpoint_dir,
+        max_batch: cli::parse_usize(args, "--max-batch", 32)?.max(1),
+        max_wait_us: cli::parse_usize(args, "--max-wait-us", 2000)? as u64,
+        queue_cap: cli::parse_usize(args, "--queue-cap", 256)?.max(1),
+        threads: cli::parse_threads(args)?,
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let source = ModelSource::checkpoint_dir(&args.checkpoint_dir)?;
+    let catalog: Vec<String> = source
+        .catalog
+        .iter()
+        .map(|(name, kind)| format!("{name} ({kind})"))
+        .collect();
+    let server = Server::start(
+        ServerConfig {
+            addr: args.addr,
+            batcher: BatcherConfig {
+                max_batch: args.max_batch,
+                max_wait: Duration::from_micros(args.max_wait_us),
+                queue_cap: args.queue_cap,
+                threads: args.threads,
+            },
+        },
+        source,
+    )?;
+    println!(
+        "vital-serve listening on http://{} — models: {}; max_batch={} max_wait_us={} \
+         queue_cap={} threads={}",
+        server.addr(),
+        catalog.join(", "),
+        args.max_batch,
+        args.max_wait_us,
+        args.queue_cap,
+        args.threads
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "auto".to_string()),
+    );
+    server.join();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match parse_args(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("vital-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

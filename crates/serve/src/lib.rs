@@ -1,0 +1,46 @@
+//! Online localization service for the VITAL workspace.
+//!
+//! This crate turns the offline reproduction into a serving system: a
+//! dependency-free HTTP/1.1 server on [`std::net::TcpListener`] whose hot
+//! path is the **micro-batching scheduler** — concurrent requests are
+//! coalesced into one `Localizer::localize_batch` call over the packed
+//! parallel GEMM, then fanned back out, with bounded-queue backpressure
+//! protecting the dispatcher. Batching is *transparent*: responses are
+//! bit-identical whether a request was served alone or coalesced with
+//! strangers (the batched-inference stack guarantees batch-size
+//! invariance).
+//!
+//! Layers, bottom to top:
+//!
+//! * [`http`] — hand-rolled, EOF-guarded HTTP/1.1 request/response parsing
+//!   and writing; typed errors, never panics on untrusted bytes.
+//! * [`codec`] — JSON bodies ⇄ [`fingerprint::FingerprintObservation`]s,
+//!   on the shared `jsonio` crate.
+//! * [`batcher`] — the bounded MPSC queue + dispatcher thread that forms
+//!   micro-batches (`max_batch` / `max_wait` knobs) and executes them.
+//! * [`registry`] — checkpoint discovery and model loading via
+//!   `baselines::load_localizer` (any of the six localizer kinds).
+//! * [`server`] — accept loop, routing (`POST /v1/localize`,
+//!   `GET /v1/models`, `GET /healthz`, `GET /metrics`) and lifecycle.
+//! * [`metrics`] — counters, batch-size histogram and latency percentiles
+//!   behind `GET /metrics`.
+//!
+//! The `vital-serve` binary wires these together from the command line;
+//! `serve_loadgen` (in the `bench` crate) drives a running server
+//! closed-loop and writes `BENCH_serve.json` for the CI load gate.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batcher;
+pub mod cli;
+pub mod codec;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatcherConfig, SubmitError};
+pub use metrics::Metrics;
+pub use registry::{ModelSource, Registry};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,127 @@
+//! Model registry: discovers versioned checkpoints in a directory and
+//! materializes them as [`Localizer`]s.
+//!
+//! Trained models hold `Rc`-based parameters and are **not `Send`**, so the
+//! registry is built *inside* the dispatcher thread (see
+//! [`crate::batcher`]): what crosses threads is only a [`ModelSource`] — a
+//! `Send` recipe (parsed checkpoint envelopes, or a custom factory for
+//! tests) plus a cheap catalog of `(name, kind)` pairs the HTTP handlers
+//! serve from `GET /v1/models`. Each checkpoint file is read and parsed
+//! exactly once, at startup, for both the catalog and the weights.
+
+use std::path::Path;
+
+use vital::{Checkpoint, Localizer};
+
+/// Checkpoint file extension the registry scans for.
+pub const CHECKPOINT_EXT: &str = "vckpt";
+
+/// The loaded models, owned by the dispatcher thread.
+pub struct Registry {
+    models: Vec<(String, Box<dyn Localizer>)>,
+}
+
+impl Registry {
+    /// Wraps already-constructed localizers (tests, embedded use).
+    pub fn from_models(models: Vec<(String, Box<dyn Localizer>)>) -> Self {
+        Registry { models }
+    }
+
+    /// Looks a model up by name; `None` selects the server's only model and
+    /// fails when several are hosted.
+    pub fn get(&self, name: Option<&str>) -> Option<&dyn Localizer> {
+        match name {
+            Some(name) => self
+                .models
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, l)| l.as_ref()),
+            None if self.models.len() == 1 => Some(self.models[0].1.as_ref()),
+            None => None,
+        }
+    }
+}
+
+/// A `Send` recipe for building a [`Registry`] in the dispatcher thread,
+/// plus the catalog the HTTP layer needs up front.
+pub struct ModelSource {
+    /// `(name, kind)` pairs for `GET /v1/models` and request validation.
+    pub catalog: Vec<(String, String)>,
+    builder: Box<dyn FnOnce() -> Result<Registry, String> + Send>,
+}
+
+impl ModelSource {
+    /// Source backed by a checkpoint directory: every `*.vckpt` file is
+    /// read and parsed once, here; the parsed envelopes travel to the
+    /// dispatcher thread, which materializes the (non-`Send`) models from
+    /// them. Models are served under their file stem, sorted by name.
+    ///
+    /// # Errors
+    /// A readable-English message when the directory cannot be read, a
+    /// checkpoint is corrupt, or no checkpoint is found at all.
+    pub fn checkpoint_dir(dir: &Path) -> Result<Self, String> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read checkpoint dir {}: {e}", dir.display()))?;
+        let mut checkpoints: Vec<(String, Checkpoint)> = Vec::new();
+        for entry in entries {
+            let path = entry
+                .map_err(|e| format!("cannot read checkpoint dir {}: {e}", dir.display()))?
+                .path();
+            if path.extension().and_then(|e| e.to_str()) != Some(CHECKPOINT_EXT) {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("checkpoint {} has no UTF-8 stem", path.display()))?
+                .to_string();
+            let ckpt = Checkpoint::read_from(&path)
+                .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+            checkpoints.push((name, ckpt));
+        }
+        if checkpoints.is_empty() {
+            return Err(format!(
+                "no *.{CHECKPOINT_EXT} checkpoints found in {}",
+                dir.display()
+            ));
+        }
+        checkpoints.sort_by(|a, b| a.0.cmp(&b.0));
+        let catalog = checkpoints
+            .iter()
+            .map(|(name, ckpt)| (name.clone(), ckpt.kind().as_str().to_string()))
+            .collect();
+        Ok(ModelSource {
+            catalog,
+            builder: Box::new(move || {
+                let mut models = Vec::with_capacity(checkpoints.len());
+                for (name, ckpt) in &checkpoints {
+                    let localizer = baselines::localizer_from_checkpoint(ckpt)
+                        .map_err(|e| format!("cannot load model {name:?}: {e}"))?;
+                    models.push((name.clone(), localizer));
+                }
+                Ok(Registry { models })
+            }),
+        })
+    }
+
+    /// Source backed by a factory closure, for tests and embedded servers.
+    /// The closure runs on the dispatcher thread, so the localizers it
+    /// builds never cross threads.
+    pub fn custom(
+        catalog: Vec<(String, String)>,
+        builder: impl FnOnce() -> Result<Registry, String> + Send + 'static,
+    ) -> Self {
+        ModelSource {
+            catalog,
+            builder: Box::new(builder),
+        }
+    }
+
+    /// Consumes the source, building the registry (dispatcher thread only).
+    ///
+    /// # Errors
+    /// Whatever the underlying builder reports.
+    pub fn build(self) -> Result<Registry, String> {
+        (self.builder)()
+    }
+}

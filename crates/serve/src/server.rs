@@ -1,0 +1,327 @@
+//! The TCP front end: accept loop, per-connection handler threads, request
+//! routing, and the server lifecycle handle.
+//!
+//! Endpoints:
+//!
+//! | route | behaviour |
+//! |---|---|
+//! | `POST /v1/localize` | decode → enqueue on the micro-batcher → wait for the batch's predictions (`503` + `Retry-After` when the queue is full) |
+//! | `GET /v1/models` | the catalog of hosted models (name + kind) |
+//! | `GET /healthz` | liveness: `{"status":"ok"}` once the registry is loaded |
+//! | `GET /metrics` | counters, batch-size histogram, latency percentiles, queue depth |
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use jsonio::Json;
+
+use crate::batcher::{self, BatcherClient, BatcherConfig, Job, SubmitError};
+use crate::codec;
+use crate::http::{self, Conn, Method, Request, Response};
+use crate::metrics::Metrics;
+use crate::registry::ModelSource;
+
+/// Idle timeout on connection reads; a peer that goes silent this long is
+/// disconnected so handler threads cannot leak forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Everything needed to start a server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Micro-batching knobs.
+    pub batcher: BatcherConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batcher: BatcherConfig::default(),
+        }
+    }
+}
+
+/// Shared state every connection handler gets.
+struct Shared {
+    metrics: Arc<Metrics>,
+    batcher: BatcherClient,
+    /// `(name, kind)` catalog for `/v1/models` and request validation.
+    catalog: Vec<(String, String)>,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// the accept loop; in-flight connections finish their current request.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+}
+
+impl Server {
+    /// Binds, loads the models (failing fast if any checkpoint is
+    /// unreadable) and starts accepting connections.
+    ///
+    /// # Errors
+    /// Bind failures and model-loading failures, as a message.
+    pub fn start(config: ServerConfig, source: ModelSource) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+
+        let metrics = Arc::new(Metrics::new());
+        let catalog = source.catalog.clone();
+        let (batcher, dispatcher) =
+            batcher::start(source, config.batcher.clone(), Arc::clone(&metrics))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            metrics: Arc::clone(&metrics),
+            batcher,
+            catalog,
+            shutdown: Arc::clone(&shutdown),
+        });
+        let accept = std::thread::Builder::new()
+            .name("vital-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))
+            .map_err(|e| format!("cannot spawn accept thread: {e}"))?;
+
+        Ok(Server {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            metrics,
+        })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics (shared with the `/metrics` endpoint).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Blocks until the accept loop exits (it only exits on
+    /// [`Server::shutdown`], so this is "serve forever" for the binary).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+
+    /// Stops accepting connections and joins the accept loop. Handler
+    /// threads drain naturally as their connections close.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let shared = Arc::clone(shared);
+                // Handler threads are detached: they hold a BatcherClient
+                // clone and exit when their connection closes or idles out.
+                let _ = std::thread::Builder::new()
+                    .name("vital-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) if shared.shutdown.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut conn = Conn::new(&stream);
+    loop {
+        let request = match conn.read_request() {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // clean close between requests
+            Err(error) => {
+                // Answer protocol errors that still have a client to talk
+                // to, then drop the connection either way.
+                if let Some(status) = error.status() {
+                    shared
+                        .metrics
+                        .requests_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    count_status(&shared.metrics, status);
+                    let body = codec::error_response(&error.to_string());
+                    let _ =
+                        http::write_response(&mut (&stream), &json_response(status, &body), false);
+                }
+                return;
+            }
+        };
+        shared
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let response = route(&request, shared);
+        count_status(&shared.metrics, response.status);
+        if http::write_response(&mut (&stream), &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Folds a response status into the error counters (2xx are counted at the
+/// localize site, where latency is also recorded).
+fn count_status(metrics: &Metrics, status: u16) {
+    match status {
+        400..=499 => {
+            metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // Backpressure 503s are intentional shedding, tracked separately in
+        // `rejected_busy` — only other 5xx count as server errors.
+        500..=599 if status != 503 => {
+            metrics.server_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+}
+
+fn json_response(status: u16, body: &Json) -> Response {
+    Response::new(status, body.to_json_string().into_bytes())
+        .with_header("content-type", "application/json")
+}
+
+fn route(request: &Request, shared: &Shared) -> Response {
+    match (request.method, request.target.as_str()) {
+        (Method::Get, "/healthz") => {
+            // A dead dispatcher means every localize request will fail;
+            // report unhealthy so orchestrators stop routing here.
+            if shared.batcher.is_alive() {
+                json_response(
+                    200,
+                    &Json::obj([
+                        ("status", Json::from("ok")),
+                        ("models", Json::from(shared.catalog.len())),
+                    ]),
+                )
+            } else {
+                json_response(
+                    503,
+                    &Json::obj([("status", Json::from("dispatcher is dead"))]),
+                )
+            }
+        }
+        (Method::Get, "/v1/models") => {
+            let models = Json::arr(shared.catalog.iter().map(|(name, kind)| {
+                Json::obj([
+                    ("name", Json::from(name.as_str())),
+                    ("kind", Json::from(kind.as_str())),
+                ])
+            }));
+            json_response(200, &Json::obj([("models", models)]))
+        }
+        (Method::Get, "/metrics") => json_response(200, &shared.metrics.snapshot_json()),
+        (Method::Post, "/v1/localize") => localize(request, shared),
+        (Method::Get, _) => json_response(404, &codec::error_response("no such endpoint")),
+        (Method::Post, _) => json_response(404, &codec::error_response("no such endpoint")),
+    }
+}
+
+fn localize(request: &Request, shared: &Shared) -> Response {
+    let started = Instant::now();
+    let decoded = match codec::parse_localize_request(&request.body) {
+        Ok(decoded) => decoded,
+        Err(error) => return json_response(400, &codec::error_response(&error.to_string())),
+    };
+
+    // Resolve the model name against the catalog up front so the
+    // dispatcher only ever sees valid names.
+    let model = match &decoded.model {
+        Some(name) => match shared.catalog.iter().find(|(n, _)| n == name) {
+            Some((name, _)) => name.clone(),
+            None => {
+                return json_response(
+                    404,
+                    &codec::error_response(&format!("model {name:?} is not hosted")),
+                )
+            }
+        },
+        None if shared.catalog.len() == 1 => shared.catalog[0].0.clone(),
+        None => {
+            return json_response(
+                400,
+                &codec::error_response(
+                    "several models are hosted; name one with the \"model\" field",
+                ),
+            )
+        }
+    };
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let submitted = shared.batcher.submit(Job {
+        model: model.clone(),
+        observations: decoded.observations,
+        reply: reply_tx,
+    });
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::Busy) => {
+            shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            return json_response(
+                503,
+                &codec::error_response("dispatch queue is full; retry shortly"),
+            )
+            .with_header("retry-after", "1");
+        }
+        Err(SubmitError::Closed) => {
+            return json_response(500, &codec::error_response("dispatcher is gone"));
+        }
+    }
+
+    match reply_rx.recv() {
+        Ok(Ok(predictions)) => {
+            shared.metrics.localize_ok.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .latency
+                .record_us(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            json_response(
+                200,
+                &codec::predictions_response(&model, &predictions, decoded.bulk),
+            )
+        }
+        Ok(Err(message)) => json_response(500, &codec::error_response(&message)),
+        Err(_) => json_response(500, &codec::error_response("dispatcher dropped the job")),
+    }
+}

@@ -1,0 +1,159 @@
+//! Adversarial property tests for the HTTP/1.1 parser: arbitrary garbage,
+//! truncations, split reads and lying `Content-Length` claims must all
+//! surface as typed errors or `Partial` — never a panic, never an
+//! out-of-bounds read, and never a message that differs by how the bytes
+//! were chunked.
+
+use proptest::prelude::*;
+use serve::http::{parse_request, Conn, HttpError, Parse, Request, MAX_BODY_BYTES};
+
+/// A structurally valid request generated field by field.
+fn arbitrary_request_wire() -> impl Strategy<Value = Vec<u8>> {
+    (
+        0u32..2,
+        proptest::collection::vec(0u8..26, 1..8),
+        proptest::collection::vec((0u8..26, 0u8..26), 0..4),
+        proptest::collection::vec(0u8..255, 0..64),
+        0u32..2,
+    )
+        .prop_map(|(method, path, headers, body, close)| {
+            let method = if method == 0 { "GET" } else { "POST" };
+            let path: String = path.iter().map(|c| (b'a' + c) as char).collect();
+            let mut wire = format!("{method} /{path} HTTP/1.1\r\n").into_bytes();
+            for (i, (a, b)) in headers.iter().enumerate() {
+                let name = format!("x-{}{}-{i}", (b'a' + a) as char, (b'a' + b) as char);
+                let value = format!("v{}{}", (b'a' + b) as char, i);
+                wire.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+            }
+            if close == 1 {
+                wire.extend_from_slice(b"connection: close\r\n");
+            }
+            wire.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+            wire.extend_from_slice(&body);
+            wire
+        })
+}
+
+/// A reader that hands out the wire bytes in caller-chosen chunk sizes,
+/// then EOF.
+struct Chunked {
+    data: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+    cut_index: usize,
+}
+
+impl std::io::Read for Chunked {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let step = self
+            .cuts
+            .get(self.cut_index)
+            .copied()
+            .unwrap_or(usize::MAX)
+            .clamp(1, out.len())
+            .min(self.data.len() - self.pos);
+        self.cut_index += 1;
+        out[..step].copy_from_slice(&self.data[self.pos..self.pos + step]);
+        self.pos += step;
+        Ok(step)
+    }
+}
+
+fn parse_whole(wire: &[u8]) -> Request {
+    match parse_request(wire).expect("generated request must parse") {
+        Parse::Complete { value, consumed } => {
+            assert_eq!(consumed, wire.len());
+            value
+        }
+        Parse::Partial => panic!("generated request parsed as partial"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..255, 0..256)) {
+        // Any outcome is fine — typed error, partial, or (rarely) a parse —
+        // as long as nothing panics.
+        let _ = parse_request(&bytes);
+    }
+
+    #[test]
+    fn every_prefix_is_partial_or_typed_error(wire in arbitrary_request_wire()) {
+        let full = parse_whole(&wire);
+        for cut in 0..wire.len() {
+            match parse_request(&wire[..cut]) {
+                Ok(Parse::Partial) => {}
+                Ok(Parse::Complete { .. }) =>
+                    prop_assert!(false, "strict prefix of {cut} bytes parsed as complete"),
+                Err(_) =>
+                    prop_assert!(false, "prefix of a valid request reported an error"),
+            }
+        }
+        prop_assert!(!full.target.is_empty());
+    }
+
+    #[test]
+    fn split_reads_reassemble_identically(
+        wire in arbitrary_request_wire(),
+        cuts in proptest::collection::vec(1usize..7, 0..128),
+    ) {
+        let direct = parse_whole(&wire);
+        let mut conn = Conn::new(Chunked { data: wire.clone(), cuts, pos: 0, cut_index: 0 });
+        let reassembled = conn.read_request().expect("valid request").expect("not EOF");
+        prop_assert_eq!(reassembled, direct);
+        prop_assert!(conn.read_request().expect("clean close").is_none());
+    }
+
+    #[test]
+    fn truncation_mid_body_is_unexpected_eof(
+        wire in arbitrary_request_wire(),
+        drop_tail in 1usize..32,
+    ) {
+        // Chop bytes off the end (keeping at least the head incomplete or
+        // body short) and drive it through a Conn that then reports EOF.
+        let cut = wire.len().saturating_sub(drop_tail);
+        if cut == 0 {
+            return Ok(());
+        }
+        let truncated = &wire[..cut];
+        // Only interesting when the truncated wire is not itself a complete
+        // message (bodies can be empty, making some cuts complete).
+        if let Ok(Parse::Partial) = parse_request(truncated) {
+            let mut conn = Conn::new(truncated);
+            match conn.read_request() {
+                Err(HttpError::UnexpectedEof { .. }) => {}
+                other => prop_assert!(false, "expected UnexpectedEof, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lying_content_length_is_rejected_not_buffered(excess in 1u64..1_000_000_000_000) {
+        let declared = MAX_BODY_BYTES as u64 + excess;
+        let wire = format!("POST /x HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        match parse_request(wire.as_bytes()) {
+            Err(HttpError::BodyTooLarge { declared: d, .. }) => prop_assert_eq!(d, declared),
+            other => prop_assert!(false, "expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_requests_give_typed_errors(
+        wire in arbitrary_request_wire(),
+        flip in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        // Flip one bit somewhere in the head; the parser must return either
+        // a typed error or a (different) parse — never panic.
+        let mut corrupted = wire.clone();
+        let head_len = corrupted.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let index = flip % head_len;
+        corrupted[index] ^= 1 << bit;
+        let _ = parse_request(&corrupted);
+    }
+}

@@ -1,0 +1,328 @@
+//! End-to-end tests: a real server on an ephemeral port, concurrent bulk
+//! requests over keep-alive connections, and the headline guarantee —
+//! responses produced through the micro-batching scheduler are
+//! **bit-identical** to an offline `localize_batch` call on the same
+//! observations. Plus deterministic backpressure (503 + `Retry-After`) and
+//! the error surface of the HTTP API.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use baselines::{FeatureMode, KnnLocalizer};
+use fingerprint::{base_devices, DatasetConfig, FingerprintDataset, FingerprintObservation};
+use jsonio::Json;
+use serve::codec;
+use serve::http::{self, Conn, Method, Response};
+use serve::{BatcherConfig, ModelSource, Registry, Server, ServerConfig};
+use sim_radio::building_1;
+use vital::{Localizer, Result as VitalResult};
+
+/// Small deterministic dataset (seed-fixed): training and query sets for
+/// the KNN model both server and offline reference are built from.
+fn dataset() -> FingerprintDataset {
+    FingerprintDataset::collect(
+        &building_1(),
+        &base_devices()[..2],
+        &DatasetConfig {
+            captures_per_rp: 1,
+            samples_per_capture: 2,
+            seed: 1234,
+        },
+    )
+}
+
+/// A fitted KNN localizer — deterministic, so building it twice (once
+/// inside the server's dispatcher thread, once offline) yields the same
+/// model.
+fn fitted_knn(data: &FingerprintDataset) -> KnnLocalizer {
+    let mut knn = KnnLocalizer::new(3, FeatureMode::Ssd);
+    knn.fit(data).expect("fit KNN");
+    knn
+}
+
+fn knn_server(batcher: BatcherConfig) -> Server {
+    let source = ModelSource::custom(vec![("knn".into(), "KNN".into())], || {
+        let mut knn = KnnLocalizer::new(3, FeatureMode::Ssd);
+        knn.fit(&dataset()).map_err(|e| e.to_string())?;
+        Ok(Registry::from_models(vec![("knn".into(), Box::new(knn))]))
+    });
+    Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batcher,
+        },
+        source,
+    )
+    .expect("server start")
+}
+
+fn post_localize(conn: &mut Conn<&TcpStream>, stream: &TcpStream, body: &[u8]) -> Response {
+    http::write_request(
+        &mut (&*stream),
+        Method::Post,
+        "/v1/localize",
+        &[("content-type", "application/json")],
+        body,
+    )
+    .expect("send request");
+    conn.read_response().expect("read response")
+}
+
+fn get(addr: std::net::SocketAddr, target: &str) -> Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    http::write_request(&mut (&stream), Method::Get, target, &[], b"").expect("send");
+    Conn::new(&stream).read_response().expect("response")
+}
+
+#[test]
+fn concurrent_batched_responses_are_bit_identical_to_offline_localize_batch() {
+    let data = dataset();
+    let observations: Vec<FingerprintObservation> = data.observations().to_vec();
+    let offline = fitted_knn(&data);
+    let expected = offline
+        .localize_batch(&observations)
+        .expect("offline predictions");
+
+    // Encourage real coalescing: a wait window comfortably longer than a
+    // client round-trip, batch larger than any single request.
+    let server = knn_server(BatcherConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(5),
+        queue_cap: 256,
+        threads: Some(1),
+    });
+    let addr = server.addr();
+
+    // 4 concurrent clients × several keep-alive bulk requests each, over
+    // disjoint slices of the observation set.
+    const CLIENTS: usize = 4;
+    const BULK: usize = 5;
+    let results: Vec<(usize, Vec<usize>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..CLIENTS {
+            let observations = &observations;
+            handles.push(scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut conn = Conn::new(&stream);
+                let mut got = Vec::new();
+                let mut start = client * BULK;
+                while start < observations.len() {
+                    let end = (start + BULK).min(observations.len());
+                    let body = codec::localize_request_body(None, &observations[start..end]);
+                    let response = post_localize(&mut conn, &stream, body.as_bytes());
+                    assert_eq!(
+                        response.status,
+                        200,
+                        "body: {}",
+                        String::from_utf8_lossy(&response.body)
+                    );
+                    let predictions =
+                        codec::parse_predictions(&response.body).expect("parse predictions");
+                    got.push((start, predictions));
+                    start += CLIENTS * BULK;
+                }
+                got
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    // Every slice, from every client, matches the offline reference
+    // exactly.
+    let mut covered = 0;
+    for (start, predictions) in results {
+        assert_eq!(
+            predictions,
+            expected[start..start + predictions.len()].to_vec(),
+            "server diverged from offline localize_batch at offset {start}"
+        );
+        covered += predictions.len();
+    }
+    assert_eq!(covered, observations.len(), "every observation was served");
+
+    // The batch-size histogram proves requests were actually coalesced:
+    // with 4 clients in flight and a 5 ms window, at least one dispatch
+    // must exceed a single request's BULK observations.
+    let metrics = server.metrics().snapshot_json();
+    let hist = metrics
+        .get("batch_size_hist")
+        .and_then(Json::as_array)
+        .expect("batch histogram")
+        .to_vec();
+    assert!(!hist.is_empty(), "no batches recorded");
+    let max_batch_seen = hist
+        .iter()
+        .filter_map(|b| b.get("size").and_then(Json::as_usize))
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_batch_seen > BULK,
+        "no dispatch coalesced more than one request (largest batch: {max_batch_seen})"
+    );
+}
+
+#[test]
+fn single_and_bulk_forms_round_trip_and_models_are_listed() {
+    let data = dataset();
+    let offline = fitted_knn(&data);
+    let server = knn_server(BatcherConfig {
+        threads: Some(1),
+        ..BatcherConfig::default()
+    });
+    let addr = server.addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let health_json = jsonio::parse(std::str::from_utf8(&health.body).unwrap()).unwrap();
+    assert_eq!(health_json.get("status").and_then(Json::as_str), Some("ok"));
+
+    let models = get(addr, "/v1/models");
+    let models_json = jsonio::parse(std::str::from_utf8(&models.body).unwrap()).unwrap();
+    let listed = models_json.get("models").and_then(Json::as_array).unwrap();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].get("name").and_then(Json::as_str), Some("knn"));
+    assert_eq!(listed[0].get("kind").and_then(Json::as_str), Some("KNN"));
+
+    // Single-observation form (named model) matches offline predict.
+    let observation = &data.observations()[7];
+    let expected = offline.predict(observation).unwrap();
+    let body = Json::obj([
+        ("model", Json::from("knn")),
+        ("observation", codec::observation_to_json(observation)),
+    ])
+    .to_json_string();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut conn = Conn::new(&stream);
+    let response = post_localize(&mut conn, &stream, body.as_bytes());
+    assert_eq!(response.status, 200);
+    let doc = jsonio::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("prediction").and_then(Json::as_usize),
+        Some(expected)
+    );
+    assert_eq!(doc.get("model").and_then(Json::as_str), Some("knn"));
+
+    // Error surface: unknown model → 404, malformed body → 400, wrong
+    // route → 404, over the same keep-alive connection.
+    let unknown = Json::obj([
+        ("model", Json::from("nope")),
+        ("observation", codec::observation_to_json(observation)),
+    ])
+    .to_json_string();
+    let response = post_localize(&mut conn, &stream, unknown.as_bytes());
+    assert_eq!(response.status, 404);
+    let response = post_localize(&mut conn, &stream, b"{\"not\": \"valid\"}");
+    assert_eq!(response.status, 400);
+    http::write_request(&mut (&stream), Method::Get, "/nope", &[], b"").unwrap();
+    assert_eq!(conn.read_response().unwrap().status, 404);
+
+    // Metrics reflect what happened.
+    let metrics = server.metrics().snapshot_json();
+    assert!(metrics.get("requests_total").unwrap().as_f64().unwrap() >= 5.0);
+    assert!(metrics.get("client_errors").unwrap().as_f64().unwrap() >= 2.0);
+}
+
+/// A localizer whose batches take long enough to deterministically fill a
+/// 1-slot queue behind it.
+struct SlowLocalizer;
+
+impl Localizer for SlowLocalizer {
+    fn name(&self) -> &str {
+        "Slow"
+    }
+    fn fit(&mut self, _: &FingerprintDataset) -> VitalResult<()> {
+        Ok(())
+    }
+    fn predict(&self, _: &FingerprintObservation) -> VitalResult<usize> {
+        std::thread::sleep(Duration::from_millis(400));
+        Ok(0)
+    }
+}
+
+#[test]
+fn full_queue_sheds_load_with_503_and_retry_after() {
+    let source = ModelSource::custom(vec![("slow".into(), "Slow".into())], || {
+        Ok(Registry::from_models(vec![(
+            "slow".into(),
+            Box::new(SlowLocalizer),
+        )]))
+    });
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batcher: BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(1),
+                queue_cap: 1,
+                threads: Some(1),
+            },
+        },
+        source,
+    )
+    .expect("server start");
+    let addr = server.addr();
+
+    let observation = FingerprintObservation {
+        rp_label: 0,
+        device: String::new(),
+        min: vec![-80.0],
+        max: vec![-80.0],
+        mean: vec![-80.0],
+    };
+    let body = codec::localize_request_body(None, std::slice::from_ref(&observation));
+
+    // Two in-flight requests occupy the dispatcher and the single queue
+    // slot; subsequent ones must be shed with 503 + Retry-After. The
+    // occupants start staggered so the first is already *being processed*
+    // (its 400 ms batch) when the second takes the queue slot.
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let body = body.clone();
+            scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut conn = Conn::new(&stream);
+                let response = post_localize(&mut conn, &stream, body.as_bytes());
+                assert_eq!(response.status, 200);
+            });
+            std::thread::sleep(Duration::from_millis(100));
+        }
+
+        let mut saw_busy = false;
+        for _ in 0..10 {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut conn = Conn::new(&stream);
+            let response = post_localize(&mut conn, &stream, body.as_bytes());
+            if response.status == 503 {
+                assert_eq!(response.header("retry-after"), Some("1"));
+                let doc = jsonio::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+                assert!(doc.get("error").is_some());
+                saw_busy = true;
+                break;
+            }
+            // A 200 means the queue drained between probes; try again.
+            assert_eq!(response.status, 200);
+        }
+        assert!(saw_busy, "queue of capacity 1 never shed load with 503");
+    });
+
+    let metrics = server.metrics().snapshot_json();
+    assert!(metrics.get("rejected_busy").unwrap().as_f64().unwrap() >= 1.0);
+    // Backpressure 503s are shedding, not server errors.
+    assert_eq!(metrics.get("server_errors").unwrap().as_f64(), Some(0.0));
+}
+
+#[test]
+fn shutdown_is_idempotent_and_frees_the_port() {
+    let mut server = knn_server(BatcherConfig {
+        threads: Some(1),
+        ..BatcherConfig::default()
+    });
+    let addr = server.addr();
+    assert_eq!(get(addr, "/healthz").status, 200);
+    server.shutdown();
+    server.shutdown(); // second call is a no-op
+    drop(server); // Drop after explicit shutdown must not hang or panic
+}

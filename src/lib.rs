@@ -7,8 +7,10 @@
 pub use autograd;
 pub use baselines;
 pub use fingerprint;
+pub use jsonio;
 pub use nn;
 pub use parallel;
+pub use serve;
 pub use sim_radio;
 pub use tensor;
 pub use vital;

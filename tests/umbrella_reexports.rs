@@ -8,7 +8,9 @@
 //! the tree exercises that path.
 
 use rand::SeedableRng;
-use vital_workspace::{autograd, baselines, fingerprint, nn, sim_radio, tensor, vital};
+use vital_workspace::{
+    autograd, baselines, fingerprint, jsonio, nn, serve, sim_radio, tensor, vital,
+};
 
 #[test]
 fn vital_model_constructs_through_umbrella_paths() {
@@ -62,4 +64,16 @@ fn every_member_crate_is_reachable_via_the_umbrella() {
     fn assert_localizer<L: vital::Localizer>(_l: &L) {}
     let knn = baselines::KnnLocalizer::new(3, baselines::FeatureMode::MeanChannel);
     assert_localizer(&knn);
+
+    // jsonio round-trips through the umbrella path
+    let doc = jsonio::parse(r#"{"ok": true}"#).expect("parse literal JSON");
+    assert_eq!(doc.get("ok").and_then(jsonio::Json::as_bool), Some(true));
+
+    // serve: the HTTP layer parses a request through the umbrella path
+    match serve::http::parse_request(b"GET /healthz HTTP/1.1\r\n\r\n") {
+        Ok(serve::http::Parse::Complete { value, .. }) => {
+            assert_eq!(value.target, "/healthz");
+        }
+        other => panic!("expected a complete request, got {other:?}"),
+    }
 }
