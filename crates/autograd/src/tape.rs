@@ -24,6 +24,19 @@ pub(crate) struct Node {
 ///
 /// A `Tape` is intended to live for exactly one forward/backward pass; build
 /// a fresh tape every training step.
+///
+/// # Ownership and threading
+///
+/// A tape is deliberately a **single-threaded, per-pass** object
+/// (`RefCell` inside, not `Sync`): every inference or training pass builds
+/// its own tape on its own thread and drops it afterwards, so tapes never
+/// cross threads and need no locks. Thread-safety lives one level down —
+/// the [`Tensor`] values recorded on the tape are `Arc`-backed, so pushing
+/// a model weight onto a tape is an `O(1)` snapshot *sharing* storage with
+/// the parameter (and with every other thread's tape), not a copy. That
+/// split — shareable immutable values, thread-local recording state — is
+/// what lets N serve workers run forward passes concurrently against one
+/// set of weights.
 pub struct Tape {
     pub(crate) nodes: RefCell<Vec<Node>>,
     grads: RefCell<Vec<Option<Tensor>>>,

@@ -106,15 +106,59 @@ fn check_serve(gate: &mut Gate, serve: &Json, thresholds: &Json) -> Result<(), S
             .and_then(Json::as_f64)
             .unwrap_or(0.0),
     );
-    if thresholds
+    let require_verified = thresholds
         .get("require_verified")
         .and_then(Json::as_bool)
-        .unwrap_or(false)
-    {
+        .unwrap_or(false);
+    if require_verified {
         gate.require(
             "serve responses bit-identical to offline localize_batch",
             serve.get("verified").and_then(Json::as_bool) == Some(true),
         );
+    }
+
+    // Worker-scaling floor: the report's `worker_sweep` (from
+    // `serve_loadgen --sweep-workers`) must show the 2-worker run
+    // sustaining at least `min_worker_scaling` × the 1-worker throughput —
+    // the regression guard for the shared-weight multi-worker dispatcher.
+    if let Some(min_scaling) = thresholds.get("min_worker_scaling").and_then(Json::as_f64) {
+        let sweep = serve
+            .get("worker_sweep")
+            .and_then(Json::as_array)
+            .ok_or("serve report has no worker_sweep (run serve_loadgen with --sweep-workers)")?;
+        let row_at = |workers: f64| {
+            sweep
+                .iter()
+                .find(|r| r.get("workers").and_then(Json::as_f64) == Some(workers))
+                .ok_or_else(|| format!("worker_sweep has no row for {workers} worker(s)"))
+        };
+        let one = num(row_at(1.0)?, "worker_sweep[workers=1]", "rps")?;
+        let two = num(row_at(2.0)?, "worker_sweep[workers=2]", "rps")?;
+        let scaling = if one > 0.0 { two / one } else { 0.0 };
+        gate.check(
+            "serve 2-worker vs 1-worker throughput scaling",
+            scaling,
+            min_scaling,
+        );
+        for row in sweep {
+            let workers = num(row, "worker_sweep row", "workers")?;
+            gate.check_max(
+                &format!("serve sweep errors at {workers} worker(s)"),
+                num(row, "worker_sweep row", "errors")?,
+                thresholds
+                    .get("max_errors")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            );
+            if require_verified {
+                gate.require(
+                    &format!(
+                        "serve sweep responses bit-identical to offline at {workers} worker(s)"
+                    ),
+                    row.get("verified").and_then(Json::as_bool) == Some(true),
+                );
+            }
+        }
     }
     Ok(())
 }

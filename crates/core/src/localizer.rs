@@ -13,7 +13,13 @@ use crate::{CheckpointError, LocalizationReport, Result, VitalError};
 /// Implemented by [`crate::VitalModel`] and by every comparison framework in
 /// the `baselines` crate (ANVIL, SHERPA, CNNLoc, WiDeep, KNN/SSD/HLF), so the
 /// experiment harness can train and evaluate them uniformly.
-pub trait Localizer {
+///
+/// `Send + Sync` is a supertrait: every localizer must be shareable across
+/// threads, which is what lets the serve layer run one set of weights on N
+/// concurrent dispatch workers. A model that regresses to single-threaded
+/// interior mutability (`Rc`/`RefCell`) stops compiling at its `impl` site
+/// rather than deep inside the server.
+pub trait Localizer: Send + Sync {
     /// Human-readable framework name (used in result tables).
     fn name(&self) -> &str;
 

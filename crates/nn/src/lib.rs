@@ -9,8 +9,11 @@
 //!
 //! # Architecture
 //!
-//! * [`Param`] — a shared, mutable parameter tensor (value + accumulated
-//!   gradient).
+//! * [`Param`] — a shared, thread-safe parameter tensor (value + accumulated
+//!   gradient). Params — and therefore every layer and model built from
+//!   them — are `Send + Sync`: weights are snapshotted lock-free for
+//!   inference while gradient state stays behind a training-only mutex
+//!   (see the `param` module docs for the two paths).
 //! * [`Session`] — wraps an autograd [`autograd::Tape`] for one forward /
 //!   backward pass, registering every parameter used so gradients can be
 //!   copied back after [`Session::backward`].
@@ -48,6 +51,7 @@
 //! [`baselines`]: https://docs.rs/baselines
 
 #![deny(missing_docs)]
+#![deny(clippy::disallowed_types)]
 #![warn(rust_2018_idioms)]
 
 mod attention;
@@ -128,4 +132,20 @@ pub trait Layer {
         }
         Ok(())
     }
+}
+
+/// Compile-time proof that the parameter stack is thread-safe: if [`Param`]
+/// (or any layer built from it) regresses to `Rc`/`RefCell` interior
+/// mutability, this fails the **build** of this crate — long before the
+/// serve layer would notice at its spawn sites.
+#[allow(dead_code)]
+fn _assert_layers_are_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<Param>();
+    assert::<Dense>();
+    assert::<Conv1d>();
+    assert::<LayerNorm>();
+    assert::<Mlp>();
+    assert::<MultiHeadSelfAttention>();
+    assert::<StackedAutoencoder>();
 }

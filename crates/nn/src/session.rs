@@ -17,6 +17,14 @@ use crate::{Param, Result};
 ///   for the optimizer.
 ///
 /// Build a fresh `Session` (and tape) for every batch.
+///
+/// `Session` (with the optimizers in [`crate::optim`]) is the
+/// **training-session handle** of the thread-safe parameter design:
+/// [`Session::param`] takes the lock-free `O(1)` weight snapshot every
+/// reader uses, while [`Session::backward`] is the only place gradients
+/// are deposited into a [`Param`]'s mutex-guarded training state.
+/// Inference paths never construct anything but the tape + session pair on
+/// their own thread, so serving takes no training locks.
 pub struct Session<'t> {
     tape: &'t Tape,
     training: bool,

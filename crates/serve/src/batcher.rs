@@ -1,13 +1,21 @@
 //! The micro-batching scheduler at the heart of the server.
 //!
 //! Connection handler threads enqueue parsed observations as [`Job`]s into
-//! a **bounded** queue; a single dispatcher thread drains up to
-//! `max_batch` observations or waits at most `max_wait` after the first
-//! queued job (whichever comes first), groups the drained jobs by model,
-//! runs **one** `localize_batch` call per model group, and fans the
+//! a **bounded** queue shared by **N dispatch workers**. Each worker drains
+//! up to `max_batch` observations or waits at most `max_wait` after the
+//! first queued job (whichever comes first), groups the drained jobs by
+//! model, runs **one** `localize_batch` call per model group, and fans the
 //! predictions back out over each job's reply channel.
 //!
-//! Two properties matter:
+//! All workers serve from one shared [`Registry`] behind an [`Arc`]: models
+//! are `Send + Sync` with `Arc`-backed weights, so N workers read the same
+//! weight allocations concurrently with no locks and no copies. The queue
+//! is a condvar-based bounded MPMC deque: waiting for jobs releases the
+//! lock, so workers coalesce *and* execute batches fully in parallel — the
+//! lock is only ever held for O(queue length) pops, never for the
+//! `max_wait` window and never during inference.
+//!
+//! Three properties matter:
 //!
 //! * **Backpressure** — the queue is a `sync_channel` of fixed capacity;
 //!   when it is full, [`BatcherClient::submit`] fails immediately with
@@ -16,25 +24,30 @@
 //! * **Bit-identical batching** — coalescing never changes results. The
 //!   GEMM/batched-inference stack guarantees batched execution is
 //!   bit-identical to per-sample execution for any batch size (enforced by
-//!   the tensor/ViT property suites), and the dispatcher preserves
-//!   per-job observation order, so a response is byte-for-byte the same
-//!   whether a request was batched with strangers or served alone. The
+//!   the tensor/ViT property suites), and workers preserve per-job
+//!   observation order, so a response is byte-for-byte the same whether a
+//!   request was batched with strangers or served alone. The
 //!   `server_integration` test asserts this end to end.
+//! * **Worker-count transparency** — which worker executes a batch cannot
+//!   influence its result (shared immutable weights, per-batch tapes), so
+//!   `--workers 1` and `--workers N` produce identical responses; only
+//!   throughput changes. The integration suite runs the bit-exactness
+//!   check at 4 workers.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use fingerprint::FingerprintObservation;
 
 use crate::metrics::Metrics;
-use crate::registry::{ModelSource, Registry};
+use crate::registry::Registry;
 
 /// One queued localize request.
 pub struct Job {
     /// Resolved model name (validated against the catalog before
-    /// enqueueing, so the dispatcher can group by it).
+    /// enqueueing, so the dispatch workers can group by it).
     pub model: String,
     /// Observations to localize, in request order.
     pub observations: Vec<FingerprintObservation>,
@@ -47,13 +60,21 @@ pub struct Job {
 pub struct BatcherConfig {
     /// Maximum observations coalesced into one `localize_batch` call.
     pub max_batch: usize,
-    /// Longest the dispatcher waits after the first queued job before
+    /// Longest a worker waits after the first queued job before
     /// dispatching a partial batch.
     pub max_wait: Duration,
     /// Bounded queue capacity, in jobs; a full queue sheds load with 503.
     pub queue_cap: usize,
-    /// Worker threads for the batched compute (`None` = the `parallel`
-    /// crate's default resolution).
+    /// Dispatch workers pulling from the shared queue, each running its own
+    /// `localize_batch` calls on the shared registry. The `vital-serve`
+    /// binary defaults its `--workers` flag to the machine's available
+    /// cores; the library default stays at 1 so embedded/test servers are
+    /// single-worker unless asked otherwise.
+    pub workers: usize,
+    /// Worker threads for the batched compute *inside* one
+    /// `localize_batch` call (`None` = the `parallel` crate's default
+    /// resolution). With several dispatch workers, pin this low to avoid
+    /// oversubscription: total compute threads ≈ `workers × threads`.
     pub threads: Option<usize>,
 }
 
@@ -63,6 +84,7 @@ impl Default for BatcherConfig {
             max_batch: 32,
             max_wait: Duration::from_micros(2000),
             queue_cap: 256,
+            workers: 1,
             threads: None,
         }
     }
@@ -73,16 +95,184 @@ impl Default for BatcherConfig {
 pub enum SubmitError {
     /// The bounded queue is full — shed load (HTTP 503 + `Retry-After`).
     Busy,
-    /// The dispatcher has shut down.
+    /// Every dispatch worker has shut down.
     Closed,
 }
 
+/// State guarded by the [`JobQueue`] mutex. Keeping `closed` *inside* the
+/// lock (rather than as a separate atomic) makes the "no push can land
+/// after the closing drain, no waiter can check-then-wait past a close"
+/// invariant structural: there is simply no way to observe the flag
+/// without holding the lock.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPMC job queue: handler threads push, N dispatch workers
+/// collect micro-batches.
+///
+/// Built on `Mutex<VecDeque>` + `Condvar` rather than an `mpsc` channel so
+/// that **waiting releases the lock**: several workers can sit inside
+/// their coalescing windows simultaneously, each picking up jobs as they
+/// arrive, instead of serializing the windows through a receiver mutex.
+/// The lock is held only for O(1) pushes and O(batch) pops.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    /// Capacity in jobs; a full queue sheds load.
+    cap: usize,
+    /// Live [`BatcherClient`] handles; the last drop closes the queue.
+    clients: AtomicUsize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+            clients: AtomicUsize::new(1),
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), SubmitError> {
+        let Ok(mut state) = self.state.lock() else {
+            return Err(SubmitError::Closed); // a worker panicked mid-pop
+        };
+        // Closing drains the queue under this same lock, so a push can
+        // never land after the drain and strand a job (its reply sender
+        // would otherwise never be dropped and the handler thread would
+        // wait forever).
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.jobs.len() >= self.cap {
+            return Err(SubmitError::Busy);
+        }
+        state.jobs.push_back(job);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the first job, then coalesces more until `max_batch`
+    /// observations are gathered, a job that would overflow the cap is at
+    /// the front (it stays queued for the next batch), or `max_wait` has
+    /// passed since the first job was taken. Returns `None` once the queue
+    /// is closed **and** drained.
+    ///
+    /// The condvar waits release the lock, so any number of workers can be
+    /// in here concurrently — collecting never blocks another worker's
+    /// collection or execution.
+    fn collect(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Job>> {
+        // A zero cap would collect nothing and spin; treat it as 1 (every
+        // batch is then a single job), the old channel-based behaviour.
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().ok()?;
+        loop {
+            if !state.jobs.is_empty() {
+                break;
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).ok()?;
+        }
+
+        let deadline = Instant::now() + max_wait;
+        let mut batch: Vec<Job> = Vec::new();
+        let mut observations = 0;
+        loop {
+            // Greedy drain. `max_batch` is a hard cap on the dispatch size
+            // (only a single bulk request larger than the cap can exceed
+            // it, since it cannot be split across batches); a job that
+            // would overflow ends the batch and stays queued.
+            let mut full = false;
+            while observations < max_batch {
+                let Some(front) = state.jobs.front() else {
+                    break;
+                };
+                if !batch.is_empty() && observations + front.observations.len() > max_batch {
+                    full = true;
+                    break;
+                }
+                observations += front.observations.len();
+                batch.push(state.jobs.pop_front().expect("front observed above"));
+            }
+            if observations >= max_batch || full || state.closed {
+                break;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let (guard, _timeout) = self.not_empty.wait_timeout(state, remaining).ok()?;
+            state = guard;
+        }
+        // The notify_one that announced a job this worker is now *leaving
+        // behind* (overflow carry-over, or arrivals past the cap) was
+        // already consumed by this worker — re-arm an idle worker so the
+        // leftover is picked up immediately instead of waiting out this
+        // worker's inference pass.
+        if !state.jobs.is_empty() {
+            self.not_empty.notify_one();
+        }
+        Some(batch)
+    }
+
+    /// Closes the queue (last client handle dropped, last worker gone, or
+    /// worker spawning aborted): flag and drain happen under the one state
+    /// lock, so neither can a worker check-then-wait past it nor a push
+    /// land after it. Returns the jobs drained from the queue so the
+    /// caller can fail them (dropping a [`Job`] drops its reply sender,
+    /// which surfaces as an error on the handler thread rather than an
+    /// eternal wait).
+    fn close(&self) -> Vec<Job> {
+        let mut drained = Vec::new();
+        if let Ok(mut state) = self.state.lock() {
+            drained.extend(state.jobs.drain(..));
+            state.closed = true;
+        }
+        // A poisoned lock already means every worker is gone mid-panic;
+        // waiters will observe the poison and exit.
+        self.not_empty.notify_all();
+        drained
+    }
+}
+
 /// Cheap, cloneable handle the connection handlers submit through.
-#[derive(Clone)]
 pub struct BatcherClient {
-    tx: SyncSender<Job>,
+    queue: Arc<JobQueue>,
     metrics: Arc<Metrics>,
-    alive: Arc<AtomicBool>,
+    alive_workers: Arc<AtomicUsize>,
+}
+
+impl Clone for BatcherClient {
+    fn clone(&self) -> Self {
+        self.queue.clients.fetch_add(1, Ordering::Relaxed);
+        BatcherClient {
+            queue: Arc::clone(&self.queue),
+            metrics: Arc::clone(&self.metrics),
+            alive_workers: Arc::clone(&self.alive_workers),
+        }
+    }
+}
+
+impl Drop for BatcherClient {
+    fn drop(&mut self) {
+        if self.queue.clients.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Any jobs still queued at this point have no handler thread
+            // left to answer (handlers hold client clones), so dropping
+            // them is safe; keep the depth gauge consistent anyway.
+            let drained = self.queue.close();
+            self.metrics
+                .queue_depth
+                .fetch_sub(drained.len(), Ordering::Relaxed);
+        }
+    }
 }
 
 impl BatcherClient {
@@ -90,150 +280,150 @@ impl BatcherClient {
     ///
     /// # Errors
     /// [`SubmitError::Busy`] when the queue is at capacity,
-    /// [`SubmitError::Closed`] when the dispatcher is gone.
+    /// [`SubmitError::Closed`] when every dispatch worker is gone.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
-        // Increment *before* the send: the dispatcher can dequeue (and
-        // decrement) the instant try_send succeeds, and increment-after
+        if !self.is_alive() {
+            return Err(SubmitError::Closed);
+        }
+        // Increment *before* the push: a worker can dequeue (and
+        // decrement) the instant the push lands, and increment-after
         // would briefly wrap the depth below zero.
         self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-        match self.tx.try_send(job) {
+        match self.queue.try_push(job) {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                match e {
-                    TrySendError::Full(_) => Err(SubmitError::Busy),
-                    TrySendError::Disconnected(_) => Err(SubmitError::Closed),
-                }
+                Err(e)
             }
         }
     }
 
-    /// Whether the dispatcher thread is still running. `false` means every
-    /// localize request will fail — surfaced by `GET /healthz` so
-    /// orchestrators stop routing to a dead service.
+    /// Whether at least one dispatch worker is still running. `false`
+    /// means every localize request will fail — surfaced by `GET /healthz`
+    /// so orchestrators stop routing to a dead service.
     pub fn is_alive(&self) -> bool {
-        self.alive.load(Ordering::Relaxed)
+        self.alive_workers.load(Ordering::Relaxed) > 0
     }
 }
 
-/// Starts the dispatcher thread: builds the registry from `source` (models
-/// are not `Send`, so they must be born on the dispatcher thread) and
-/// returns the submission handle once loading succeeded.
+/// Starts `config.workers` dispatch workers serving `registry` and returns
+/// the submission handle plus one join handle per worker.
 ///
-/// The dispatcher exits when every [`BatcherClient`] clone is dropped.
+/// The registry is built by the caller on whatever thread it likes —
+/// models are `Send + Sync` — and shared by every worker. Workers exit
+/// when every [`BatcherClient`] clone is dropped.
 ///
 /// # Errors
-/// Registry construction failures (unreadable/corrupt checkpoints), as a
-/// message.
+/// Worker-thread spawn failures, as a message.
 pub fn start(
-    source: ModelSource,
+    registry: Arc<Registry>,
     config: BatcherConfig,
     metrics: Arc<Metrics>,
-) -> Result<(BatcherClient, std::thread::JoinHandle<()>), String> {
-    let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_cap.max(1));
-    let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
-    let dispatcher_metrics = Arc::clone(&metrics);
-    let alive = Arc::new(AtomicBool::new(true));
+) -> Result<(BatcherClient, Vec<std::thread::JoinHandle<()>>), String> {
+    let queue = Arc::new(JobQueue::new(config.queue_cap));
+    let workers = config.workers.max(1);
+    let alive_workers = Arc::new(AtomicUsize::new(workers));
 
-    /// Marks the dispatcher dead when its thread exits — including by
+    /// Decrements the live-worker count when a worker exits — including by
     /// panic — so `/healthz` stops reporting a service that can no longer
-    /// answer.
-    struct AliveGuard(Arc<AtomicBool>);
+    /// answer once the last worker is gone. The **last** worker to exit
+    /// also closes and drains the queue: dropping the stranded jobs drops
+    /// their reply senders, so handler threads blocked on the reply get an
+    /// immediate error (HTTP 500) instead of waiting forever, and further
+    /// submits fail with [`SubmitError::Closed`].
+    struct AliveGuard {
+        alive_workers: Arc<AtomicUsize>,
+        queue: Arc<JobQueue>,
+        metrics: Arc<Metrics>,
+    }
     impl Drop for AliveGuard {
         fn drop(&mut self) {
-            self.0.store(false, Ordering::Relaxed);
+            if self.alive_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let drained = self.queue.close();
+                self.metrics
+                    .queue_depth
+                    .fetch_sub(drained.len(), Ordering::Relaxed);
+            }
         }
     }
-    let guard = AliveGuard(Arc::clone(&alive));
 
-    let handle = std::thread::Builder::new()
-        .name("vital-serve-dispatcher".into())
-        .spawn(move || {
-            let _guard = guard;
-            let registry = match source.build() {
-                Ok(registry) => {
-                    let _ = ready_tx.send(Ok(()));
-                    registry
+    let mut handles = Vec::with_capacity(workers);
+    for worker_id in 0..workers {
+        let guard = AliveGuard {
+            alive_workers: Arc::clone(&alive_workers),
+            queue: Arc::clone(&queue),
+            metrics: Arc::clone(&metrics),
+        };
+        let registry = Arc::clone(&registry);
+        let worker_queue = Arc::clone(&queue);
+        let config = config.clone();
+        let worker_metrics = Arc::clone(&metrics);
+        let spawned = std::thread::Builder::new()
+            .name(format!("vital-serve-worker-{worker_id}"))
+            .spawn(move || {
+                let _guard = guard;
+                dispatch_loop(
+                    worker_id,
+                    &registry,
+                    &worker_queue,
+                    &config,
+                    &worker_metrics,
+                );
+            });
+        match spawned {
+            Ok(handle) => handles.push(handle),
+            Err(e) => {
+                // Unblock the workers already spawned — without a close
+                // they (and the registry they hold) would wait on the
+                // condvar forever, since the BatcherClient owning the
+                // initial client refcount is never constructed.
+                queue.close();
+                for handle in handles {
+                    let _ = handle.join();
                 }
-                Err(e) => {
-                    let _ = ready_tx.send(Err(e));
-                    return;
-                }
-            };
-            dispatch_loop(&registry, &rx, &config, &dispatcher_metrics);
-        })
-        .map_err(|e| format!("cannot spawn dispatcher thread: {e}"))?;
-    match ready_rx.recv() {
-        Ok(Ok(())) => Ok((BatcherClient { tx, metrics, alive }, handle)),
-        Ok(Err(e)) => Err(e),
-        Err(_) => Err("dispatcher thread died during model loading".into()),
+                return Err(format!("cannot spawn dispatch worker {worker_id}: {e}"));
+            }
+        }
     }
+    Ok((
+        BatcherClient {
+            queue,
+            metrics,
+            alive_workers,
+        },
+        handles,
+    ))
 }
 
-/// Drains and executes batches until the channel disconnects.
+/// One worker's loop: collects and executes batches until the queue is
+/// closed and drained.
 fn dispatch_loop(
+    worker_id: usize,
     registry: &Registry,
-    rx: &Receiver<Job>,
+    queue: &JobQueue,
     config: &BatcherConfig,
     metrics: &Metrics,
 ) {
-    // A job dequeued while filling a batch that it would overflow is
-    // carried over to start the next batch instead.
-    let mut carry: Option<Job> = None;
-    loop {
-        // Block for the batch's first job.
-        let first = match carry.take() {
-            Some(job) => job,
-            None => {
-                let Ok(job) = rx.recv() else {
-                    return; // all clients dropped
-                };
-                metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                job
-            }
-        };
-        let deadline = Instant::now() + config.max_wait;
-        let mut jobs = vec![first];
-        let mut queued_observations = jobs[0].observations.len();
-
-        // Coalesce until the batch is full or the wait budget is spent.
-        // `max_batch` is a hard cap on the dispatch size (only a single
-        // bulk request larger than the cap can exceed it, since it cannot
-        // be split across batches).
-        let mut disconnected = false;
-        while queued_observations < config.max_batch {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(remaining) {
-                Ok(job) => {
-                    metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    if queued_observations + job.observations.len() > config.max_batch {
-                        carry = Some(job);
-                        break;
-                    }
-                    queued_observations += job.observations.len();
-                    jobs.push(job);
-                }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => {
-                    disconnected = true;
-                    break;
-                }
-            }
+    while let Some(batch) = queue.collect(config.max_batch, config.max_wait) {
+        if batch.is_empty() {
+            continue;
         }
-
-        execute(registry, jobs, config, metrics);
-        if disconnected {
-            if let Some(job) = carry.take() {
-                execute(registry, vec![job], config, metrics);
-            }
-            return;
-        }
+        metrics
+            .queue_depth
+            .fetch_sub(batch.len(), Ordering::Relaxed);
+        execute(worker_id, registry, batch, config, metrics);
     }
 }
 
 /// Groups `jobs` by model (preserving arrival order within each group),
 /// runs one `localize_batch` per group and fans results back out.
-fn execute(registry: &Registry, jobs: Vec<Job>, config: &BatcherConfig, metrics: &Metrics) {
+fn execute(
+    worker_id: usize,
+    registry: &Registry,
+    jobs: Vec<Job>,
+    config: &BatcherConfig,
+    metrics: &Metrics,
+) {
     let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
     for job in jobs {
         match groups.iter_mut().find(|(model, _)| *model == job.model) {
@@ -255,7 +445,7 @@ fn execute(registry: &Registry, jobs: Vec<Job>, config: &BatcherConfig, metrics:
                 .flat_map(|job| job.observations.drain(..))
                 .collect()
         };
-        metrics.record_batch(batch.len());
+        metrics.record_batch(worker_id, batch.len());
 
         let outcome = match registry.get(Some(&model)) {
             Some(localizer) => {
@@ -267,7 +457,7 @@ fn execute(registry: &Registry, jobs: Vec<Job>, config: &BatcherConfig, metrics:
                 .map_err(|e| format!("model {model:?} failed: {e}"))
                 .and_then(|predictions| {
                     // A short/long result would make the fan-out slicing
-                    // panic the dispatcher; degrade this batch instead.
+                    // panic the worker; degrade this batch instead.
                     if predictions.len() == batch.len() {
                         Ok(predictions)
                     } else {
@@ -348,24 +538,29 @@ mod tests {
         }
     }
 
-    fn echo_source() -> ModelSource {
-        ModelSource::custom(vec![("echo".into(), "Echo".into())], || {
-            Ok(Registry::from_models(vec![(
-                "echo".into(),
-                Box::new(EchoLocalizer),
-            )]))
-        })
+    fn echo_registry() -> Arc<Registry> {
+        Arc::new(Registry::from_models(vec![(
+            "echo".into(),
+            Box::new(EchoLocalizer),
+        )]))
+    }
+
+    fn join_all(handles: Vec<std::thread::JoinHandle<()>>) {
+        for handle in handles {
+            handle.join().expect("dispatch worker must not panic");
+        }
     }
 
     #[test]
     fn jobs_round_trip_with_per_job_slicing() {
         let metrics = Arc::new(Metrics::new());
-        let (client, handle) = start(
-            echo_source(),
+        let (client, handles) = start(
+            echo_registry(),
             BatcherConfig {
                 max_batch: 8,
                 max_wait: Duration::from_millis(20),
                 queue_cap: 16,
+                workers: 1,
                 threads: Some(1),
             },
             Arc::clone(&metrics),
@@ -392,15 +587,15 @@ mod tests {
         assert_eq!(rx_b.recv().unwrap().unwrap(), vec![7]);
 
         drop(client);
-        handle.join().unwrap();
+        join_all(handles);
         assert!(metrics.queue_depth.load(Ordering::Relaxed) == 0);
     }
 
     #[test]
     fn max_batch_is_a_hard_cap_via_carry_over() {
         let metrics = Arc::new(Metrics::new());
-        let (client, handle) = start(
-            echo_source(),
+        let (client, handles) = start(
+            echo_registry(),
             BatcherConfig {
                 max_batch: 4,
                 // A long window guarantees both jobs are drained into the
@@ -408,6 +603,7 @@ mod tests {
                 // not merged past the cap.
                 max_wait: Duration::from_millis(200),
                 queue_cap: 16,
+                workers: 1,
                 threads: Some(1),
             },
             Arc::clone(&metrics),
@@ -432,7 +628,7 @@ mod tests {
         assert_eq!(rx_a.recv().unwrap().unwrap(), vec![1, 2, 3]);
         assert_eq!(rx_b.recv().unwrap().unwrap(), vec![4, 5, 6]);
         drop(client);
-        handle.join().unwrap();
+        join_all(handles);
 
         // Two dispatches of 3 observations — never one of 6.
         let snapshot = metrics.snapshot_json();
@@ -442,6 +638,72 @@ mod tests {
             .filter_map(|b| b.get("size").and_then(jsonio::Json::as_usize))
             .collect();
         assert_eq!(sizes, vec![3], "batch sizes recorded: {sizes:?}");
+        assert_eq!(metrics.total_batches(), 2);
+    }
+
+    #[test]
+    fn many_workers_share_one_model_with_bit_identical_results() {
+        // 4 workers, tiny batches: concurrent submissions from many
+        // threads must all come back exactly as the model computes them,
+        // regardless of which worker served each batch.
+        let metrics = Arc::new(Metrics::with_workers(4));
+        let (client, handles) = start(
+            echo_registry(),
+            BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(200),
+                queue_cap: 256,
+                workers: 4,
+                threads: Some(1),
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+
+        std::thread::scope(|scope| {
+            for submitter in 0..8 {
+                let client = client.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let v = (submitter * 50 + i) as f32;
+                        let (tx, rx) = mpsc::channel();
+                        loop {
+                            match client.submit(Job {
+                                model: "echo".into(),
+                                observations: vec![obs(-v)],
+                                reply: tx.clone(),
+                            }) {
+                                Ok(()) => break,
+                                Err(SubmitError::Busy) => {
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                Err(SubmitError::Closed) => panic!("workers died"),
+                            }
+                        }
+                        assert_eq!(rx.recv().unwrap().unwrap(), vec![v as usize]);
+                    }
+                });
+            }
+        });
+
+        drop(client);
+        join_all(handles);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+        // Every one of the 400 observations was dispatched, and the
+        // per-worker counters account for every batch.
+        let total_obs: u64 = {
+            let snapshot = metrics.snapshot_json();
+            let hist = snapshot.get("batch_size_hist").unwrap().as_array().unwrap();
+            hist.iter()
+                .map(|b| {
+                    let size = b.get("size").and_then(jsonio::Json::as_usize).unwrap() as u64;
+                    let count = b.get("count").and_then(jsonio::Json::as_usize).unwrap() as u64;
+                    size * count
+                })
+                .sum()
+        };
+        assert_eq!(total_obs, 400);
+        assert!(metrics.total_batches() > 0);
     }
 
     /// A batch override that drops the last prediction, simulating a buggy
@@ -467,15 +729,13 @@ mod tests {
     }
 
     #[test]
-    fn short_prediction_vectors_degrade_the_batch_not_the_dispatcher() {
-        let source = ModelSource::custom(vec![("short".into(), "Short".into())], || {
-            Ok(Registry::from_models(vec![(
-                "short".into(),
-                Box::new(ShortLocalizer),
-            )]))
-        });
-        let (client, handle) = start(
-            source,
+    fn short_prediction_vectors_degrade_the_batch_not_the_worker() {
+        let registry = Arc::new(Registry::from_models(vec![(
+            "short".into(),
+            Box::new(ShortLocalizer),
+        )]));
+        let (client, handles) = start(
+            registry,
             BatcherConfig {
                 threads: Some(1),
                 ..BatcherConfig::default()
@@ -493,22 +753,20 @@ mod tests {
             .unwrap();
         let err = rx.recv().unwrap().unwrap_err();
         assert!(err.contains("1 predictions for 2 observations"), "{err}");
-        // The dispatcher survived the bad batch.
+        // The worker survived the bad batch.
         assert!(client.is_alive());
         drop(client);
-        handle.join().expect("dispatcher must not have panicked");
+        join_all(handles);
     }
 
     #[test]
     fn model_errors_fan_out_to_every_job() {
-        let source = ModelSource::custom(vec![("bad".into(), "Failing".into())], || {
-            Ok(Registry::from_models(vec![(
-                "bad".into(),
-                Box::new(FailingLocalizer),
-            )]))
-        });
-        let (client, handle) =
-            start(source, BatcherConfig::default(), Arc::new(Metrics::new())).unwrap();
+        let registry = Arc::new(Registry::from_models(vec![(
+            "bad".into(),
+            Box::new(FailingLocalizer),
+        )]));
+        let (client, handles) =
+            start(registry, BatcherConfig::default(), Arc::new(Metrics::new())).unwrap();
         let (tx, rx) = mpsc::channel();
         client
             .submit(Job {
@@ -520,23 +778,129 @@ mod tests {
         let err = rx.recv().unwrap().unwrap_err();
         assert!(err.contains("bad"), "{err}");
         drop(client);
-        handle.join().unwrap();
+        join_all(handles);
     }
 
     #[test]
-    fn registry_build_failure_propagates_to_start() {
-        let source = ModelSource::custom(vec![], || Err("no such checkpoint".into()));
-        match start(source, BatcherConfig::default(), Arc::new(Metrics::new())) {
-            Err(err) => assert!(err.contains("no such checkpoint")),
-            Ok(_) => panic!("start succeeded despite failing registry builder"),
+    fn zero_max_batch_degrades_to_single_job_batches() {
+        // A zero cap must not spin the worker or strand the job — it
+        // behaves as batches of one job, like the old channel dispatcher.
+        let (client, handles) = start(
+            echo_registry(),
+            BatcherConfig {
+                max_batch: 0,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 4,
+                workers: 1,
+                threads: Some(1),
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let (tx, rx) = mpsc::channel();
+        client
+            .submit(Job {
+                model: "echo".into(),
+                observations: vec![obs(-9.0)],
+                reply: tx,
+            })
+            .unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            vec![9]
+        );
+        drop(client);
+        join_all(handles);
+    }
+
+    /// A localizer whose batch execution panics, killing its worker.
+    struct PanickingLocalizer;
+
+    impl Localizer for PanickingLocalizer {
+        fn name(&self) -> &str {
+            "Panicking"
+        }
+        fn fit(&mut self, _: &fingerprint::FingerprintDataset) -> VitalResult<()> {
+            Ok(())
+        }
+        fn predict(&self, _: &fingerprint::FingerprintObservation) -> VitalResult<usize> {
+            panic!("model blew up");
         }
     }
 
     #[test]
+    fn dead_workers_fail_queued_jobs_instead_of_stranding_them() {
+        let registry = Arc::new(Registry::from_models(vec![(
+            "boom".into(),
+            Box::new(PanickingLocalizer),
+        )]));
+        let metrics = Arc::new(Metrics::new());
+        let (client, handles) = start(
+            registry,
+            BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(1),
+                queue_cap: 8,
+                workers: 1,
+                threads: Some(1),
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+
+        // Several jobs race the (instantly panicking) worker; whether each
+        // was picked up before the crash or drained by the dying worker's
+        // guard, its reply channel must error out — never hang.
+        let mut replies = Vec::new();
+        for _ in 0..4 {
+            let (tx, rx) = mpsc::channel();
+            match client.submit(Job {
+                model: "boom".into(),
+                observations: vec![obs(-1.0)],
+                reply: tx,
+            }) {
+                Ok(()) => replies.push(rx),
+                // The worker may already be gone.
+                Err(SubmitError::Closed) => {}
+                Err(SubmitError::Busy) => panic!("queue of 8 reported Busy"),
+            }
+        }
+        for rx in replies {
+            // Either an explicit error reply or a dropped sender — but an
+            // answer within the timeout, not an eternal wait.
+            match rx.recv_timeout(Duration::from_secs(5)) {
+                Ok(Err(_)) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
+                Ok(Ok(p)) => panic!("panicking model produced predictions {p:?}"),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    panic!("job stranded: no reply 5s after its worker died")
+                }
+            }
+        }
+        for handle in handles {
+            assert!(handle.join().is_err(), "worker should have panicked");
+        }
+        assert!(!client.is_alive());
+        // Post-mortem submits shed immediately.
+        let (tx, _rx) = mpsc::channel();
+        assert_eq!(
+            client.submit(Job {
+                model: "boom".into(),
+                observations: vec![obs(-1.0)],
+                reply: tx,
+            }),
+            Err(SubmitError::Closed)
+        );
+        assert_eq!(
+            metrics.queue_depth.load(Ordering::Relaxed),
+            0,
+            "drained jobs must leave the depth gauge at zero"
+        );
+        drop(client);
+    }
+
+    #[test]
     fn full_queue_reports_busy() {
-        // A dispatcher that never drains: block it by building the registry
-        // from a closure that parks until we release it via channel close…
-        // simpler: fill the queue faster than a slow model drains it.
+        // Fill the queue faster than a slow model drains it.
         struct SlowLocalizer;
         impl Localizer for SlowLocalizer {
             fn name(&self) -> &str {
@@ -550,18 +914,17 @@ mod tests {
                 Ok((-o.mean[0]) as usize)
             }
         }
-        let source = ModelSource::custom(vec![("slow".into(), "Slow".into())], || {
-            Ok(Registry::from_models(vec![(
-                "slow".into(),
-                Box::new(SlowLocalizer),
-            )]))
-        });
-        let (client, handle) = start(
-            source,
+        let registry = Arc::new(Registry::from_models(vec![(
+            "slow".into(),
+            Box::new(SlowLocalizer),
+        )]));
+        let (client, handles) = start(
+            registry,
             BatcherConfig {
                 max_batch: 1,
                 max_wait: Duration::from_micros(1),
                 queue_cap: 1,
+                workers: 1,
                 threads: Some(1),
             },
             Arc::new(Metrics::new()),
@@ -570,7 +933,7 @@ mod tests {
 
         let mut replies = Vec::new();
         let mut saw_busy = false;
-        // First submit is picked up by the dispatcher (slow), the next fills
+        // First submit is picked up by the worker (slow), the next fills
         // the 1-slot queue, and further ones must report Busy.
         for _ in 0..8 {
             let (tx, rx) = mpsc::channel();
@@ -584,7 +947,7 @@ mod tests {
                     saw_busy = true;
                     break;
                 }
-                Err(SubmitError::Closed) => panic!("dispatcher died"),
+                Err(SubmitError::Closed) => panic!("worker died"),
             }
             std::thread::sleep(Duration::from_millis(5));
         }
@@ -593,6 +956,6 @@ mod tests {
             assert_eq!(rx.recv().unwrap().unwrap(), vec![2]);
         }
         drop(client);
-        handle.join().unwrap();
+        join_all(handles);
     }
 }

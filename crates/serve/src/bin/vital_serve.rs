@@ -3,20 +3,27 @@
 //! ```text
 //! vital-serve --checkpoint-dir checkpoints/ [--addr 127.0.0.1:8077]
 //!             [--max-batch 32] [--max-wait-us 2000] [--queue-cap 256]
-//!             [--threads N]
+//!             [--workers N] [--threads N]
 //! ```
 //!
 //! Loads every `*.vckpt` checkpoint in `--checkpoint-dir` (any of the six
-//! localizer kinds), then serves `POST /v1/localize`, `GET /v1/models`,
-//! `GET /healthz` and `GET /metrics` until killed. `--threads` pins the
-//! `parallel` crate's worker count for the batched compute, making runs
-//! deterministic on CI's small runners.
+//! localizer kinds) once, on the main thread, then serves
+//! `POST /v1/localize`, `GET /v1/models`, `GET /healthz` and
+//! `GET /metrics` until killed. `--workers` sets the number of dispatch
+//! workers pulling micro-batches from the shared queue (default: the
+//! machine's available cores); all of them run inference on the same
+//! `Arc`-shared weights, so replication costs no memory. `--threads` pins
+//! the `parallel` crate's worker count for the batched compute *inside*
+//! each `localize_batch` call (total compute threads ≈ workers ×
+//! threads); when omitted with several workers it defaults to
+//! cores ÷ workers so the out-of-the-box configuration never
+//! oversubscribes the machine.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use serve::{cli, BatcherConfig, ModelSource, Server, ServerConfig};
+use serve::{cli, BatcherConfig, Registry, Server, ServerConfig};
 
 struct Args {
     addr: String,
@@ -24,19 +31,37 @@ struct Args {
     max_batch: usize,
     max_wait_us: u64,
     queue_cap: usize,
+    workers: usize,
     threads: Option<usize>,
 }
 
 fn usage() -> String {
     "usage: vital-serve --checkpoint-dir DIR [--addr HOST:PORT] [--max-batch N] \
-     [--max-wait-us N] [--queue-cap N] [--threads N]"
+     [--max-wait-us N] [--queue-cap N] [--workers N] [--threads N]"
         .to_string()
+}
+
+/// Default worker count: one dispatch worker per available core.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let checkpoint_dir = cli::value(args, "--checkpoint-dir")
         .map(PathBuf::from)
         .ok_or_else(usage)?;
+    let workers = cli::parse_usize(args, "--workers", default_workers())?.max(1);
+    // With several dispatch workers and no explicit --threads, split the
+    // cores between them: the unconstrained default would give every
+    // worker's localize_batch a full-machine thread pool, i.e. up to
+    // cores² runnable compute threads thrashing the scheduler.
+    let threads = match cli::parse_threads(args)? {
+        Some(threads) => Some(threads),
+        None if workers > 1 => Some((default_workers() / workers).max(1)),
+        None => None,
+    };
     Ok(Args {
         addr: cli::value(args, "--addr")
             .cloned()
@@ -45,14 +70,15 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         max_batch: cli::parse_usize(args, "--max-batch", 32)?.max(1),
         max_wait_us: cli::parse_usize(args, "--max-wait-us", 2000)? as u64,
         queue_cap: cli::parse_usize(args, "--queue-cap", 256)?.max(1),
-        threads: cli::parse_threads(args)?,
+        workers,
+        threads,
     })
 }
 
 fn run(args: Args) -> Result<(), String> {
-    let source = ModelSource::checkpoint_dir(&args.checkpoint_dir)?;
-    let catalog: Vec<String> = source
-        .catalog
+    let registry = Registry::from_checkpoint_dir(&args.checkpoint_dir)?;
+    let catalog: Vec<String> = registry
+        .catalog()
         .iter()
         .map(|(name, kind)| format!("{name} ({kind})"))
         .collect();
@@ -63,19 +89,21 @@ fn run(args: Args) -> Result<(), String> {
                 max_batch: args.max_batch,
                 max_wait: Duration::from_micros(args.max_wait_us),
                 queue_cap: args.queue_cap,
+                workers: args.workers,
                 threads: args.threads,
             },
         },
-        source,
+        registry,
     )?;
     println!(
         "vital-serve listening on http://{} — models: {}; max_batch={} max_wait_us={} \
-         queue_cap={} threads={}",
+         queue_cap={} workers={} threads={}",
         server.addr(),
         catalog.join(", "),
         args.max_batch,
         args.max_wait_us,
         args.queue_cap,
+        args.workers,
         args.threads
             .map(|t| t.to_string())
             .unwrap_or_else(|| "auto".to_string()),

@@ -3,12 +3,14 @@
 //! This crate turns the offline reproduction into a serving system: a
 //! dependency-free HTTP/1.1 server on [`std::net::TcpListener`] whose hot
 //! path is the **micro-batching scheduler** — concurrent requests are
-//! coalesced into one `Localizer::localize_batch` call over the packed
-//! parallel GEMM, then fanned back out, with bounded-queue backpressure
-//! protecting the dispatcher. Batching is *transparent*: responses are
-//! bit-identical whether a request was served alone or coalesced with
-//! strangers (the batched-inference stack guarantees batch-size
-//! invariance).
+//! coalesced into `Localizer::localize_batch` calls over the packed
+//! parallel GEMM, executed by **N dispatch workers** (`--workers`) that
+//! share one set of model weights, then fanned back out, with
+//! bounded-queue backpressure shedding load. Batching and replication are
+//! both *transparent*: responses are bit-identical whether a request was
+//! served alone or coalesced with strangers, and whichever worker ran it
+//! (the batched-inference stack guarantees batch-size invariance; weights
+//! are immutable `Arc`-shared tensors).
 //!
 //! Layers, bottom to top:
 //!
@@ -16,20 +18,24 @@
 //!   and writing; typed errors, never panics on untrusted bytes.
 //! * [`codec`] — JSON bodies ⇄ [`fingerprint::FingerprintObservation`]s,
 //!   on the shared `jsonio` crate.
-//! * [`batcher`] — the bounded MPSC queue + dispatcher thread that forms
-//!   micro-batches (`max_batch` / `max_wait` knobs) and executes them.
-//! * [`registry`] — checkpoint discovery and model loading via
-//!   `baselines::load_localizer` (any of the six localizer kinds).
+//! * [`batcher`] — the bounded queue + N dispatch workers that form
+//!   micro-batches (`max_batch` / `max_wait` / `workers` knobs) and
+//!   execute them on the shared registry.
+//! * [`registry`] — checkpoint discovery and model loading (any of the six
+//!   localizer kinds); `Send + Sync`, built once on the main thread and
+//!   shared by every worker behind an `Arc`.
 //! * [`server`] — accept loop, routing (`POST /v1/localize`,
 //!   `GET /v1/models`, `GET /healthz`, `GET /metrics`) and lifecycle.
-//! * [`metrics`] — counters, batch-size histogram and latency percentiles
-//!   behind `GET /metrics`.
+//! * [`metrics`] — counters, batch-size histogram, per-worker dispatch
+//!   counters and latency percentiles behind `GET /metrics`.
 //!
 //! The `vital-serve` binary wires these together from the command line;
 //! `serve_loadgen` (in the `bench` crate) drives a running server
-//! closed-loop and writes `BENCH_serve.json` for the CI load gate.
+//! closed-loop — plus an in-process worker-scaling sweep — and writes
+//! `BENCH_serve.json` for the CI load gate.
 
 #![deny(missing_docs)]
+#![deny(clippy::disallowed_types)]
 #![warn(rust_2018_idioms)]
 
 pub mod batcher;
@@ -42,5 +48,5 @@ pub mod server;
 
 pub use batcher::{BatcherConfig, SubmitError};
 pub use metrics::Metrics;
-pub use registry::{ModelSource, Registry};
+pub use registry::Registry;
 pub use server::{Server, ServerConfig};

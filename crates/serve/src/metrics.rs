@@ -1,10 +1,24 @@
 //! Server-side observability: request counters, a batch-size histogram, a
-//! compact latency histogram with p50/p95/p99, and live queue depth —
-//! everything the `GET /metrics` endpoint reports.
+//! compact latency histogram with p50/p95/p99, live queue depth and
+//! per-worker dispatch counters — everything the `GET /metrics` endpoint
+//! reports.
 //!
 //! Counters are lock-free atomics updated on the request path; the
-//! batch-size histogram is a small mutex-guarded map only the dispatcher
-//! thread writes.
+//! batch-size histogram is a small mutex-guarded map written only by the
+//! dispatch workers.
+//!
+//! # Multi-worker semantics
+//!
+//! With N dispatch workers (`--workers`):
+//!
+//! * `queue_depth` is **global** — all workers pull from one shared bounded
+//!   queue, so the reported depth is the number of jobs buffered for the
+//!   whole server, not per worker.
+//! * `batch_size_hist` **aggregates across workers**: every dispatched
+//!   batch lands in the same histogram regardless of which worker ran it.
+//! * `batches_dispatched` is **per worker** (one counter per worker, index
+//!   = worker id) — the visible proof that load actually spreads across
+//!   replicas instead of serializing through one thread.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -109,12 +123,21 @@ pub struct Metrics {
     /// Server-side latency of successful localize requests (parse complete
     /// → response ready).
     pub latency: LatencyHistogram,
+    /// `localize_batch` dispatches per worker (index = worker id).
+    batches_dispatched: Vec<AtomicU64>,
     batch_sizes: Mutex<BTreeMap<usize, u64>>,
 }
 
 impl Metrics {
-    /// Fresh, all-zero metrics anchored at "now".
+    /// Fresh, all-zero metrics anchored at "now", for a single dispatch
+    /// worker.
     pub fn new() -> Self {
+        Metrics::with_workers(1)
+    }
+
+    /// Fresh, all-zero metrics for a server running `workers` dispatch
+    /// workers (one `batches_dispatched` counter each).
+    pub fn with_workers(workers: usize) -> Self {
         Metrics {
             started: Instant::now(),
             requests_total: AtomicU64::new(0),
@@ -124,14 +147,32 @@ impl Metrics {
             server_errors: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             latency: LatencyHistogram::new(),
+            batches_dispatched: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             batch_sizes: Mutex::new(BTreeMap::new()),
         }
     }
 
-    /// Records one `localize_batch` dispatch of `size` observations.
-    pub fn record_batch(&self, size: usize) {
+    /// The number of dispatch workers these metrics were sized for.
+    pub fn workers(&self) -> usize {
+        self.batches_dispatched.len()
+    }
+
+    /// Records one `localize_batch` dispatch of `size` observations by
+    /// `worker` (ids beyond the configured worker count fold into the last
+    /// counter rather than panicking the dispatch path).
+    pub fn record_batch(&self, worker: usize, size: usize) {
+        let slot = worker.min(self.batches_dispatched.len() - 1);
+        self.batches_dispatched[slot].fetch_add(1, Ordering::Relaxed);
         let mut sizes = self.batch_sizes.lock().expect("metrics mutex poisoned");
         *sizes.entry(size).or_insert(0) += 1;
+    }
+
+    /// Total `localize_batch` dispatches across every worker.
+    pub fn total_batches(&self) -> u64 {
+        self.batches_dispatched
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Snapshot of everything as the `/metrics` JSON document.
@@ -153,9 +194,15 @@ impl Metrics {
             ("rejected_busy", load(&self.rejected_busy)),
             ("client_errors", load(&self.client_errors)),
             ("server_errors", load(&self.server_errors)),
+            // Global: every worker pulls from the one shared queue.
             (
                 "queue_depth",
                 Json::from(self.queue_depth.load(Ordering::Relaxed)),
+            ),
+            ("workers", Json::from(self.workers())),
+            (
+                "batches_dispatched",
+                Json::arr(self.batches_dispatched.iter().map(load)),
             ),
             ("batch_size_hist", Json::Arr(batch_hist)),
             (
@@ -227,8 +274,8 @@ mod tests {
     fn snapshot_has_the_documented_fields() {
         let m = Metrics::new();
         m.requests_total.fetch_add(3, Ordering::Relaxed);
-        m.record_batch(4);
-        m.record_batch(4);
+        m.record_batch(0, 4);
+        m.record_batch(0, 4);
         m.latency.record_us(250);
         let snap = m.snapshot_json();
         assert_eq!(snap.get("requests_total").unwrap().as_f64(), Some(3.0));
@@ -236,5 +283,41 @@ mod tests {
         assert_eq!(hist[0].get("size").unwrap().as_f64(), Some(4.0));
         assert_eq!(hist[0].get("count").unwrap().as_f64(), Some(2.0));
         assert!(snap.get("latency_us").unwrap().get("p99").is_some());
+    }
+
+    #[test]
+    fn per_worker_dispatch_counters_aggregate_into_one_histogram() {
+        let m = Metrics::with_workers(3);
+        assert_eq!(m.workers(), 3);
+        m.record_batch(0, 8);
+        m.record_batch(2, 8);
+        m.record_batch(2, 4);
+        assert_eq!(m.total_batches(), 3);
+
+        let snap = m.snapshot_json();
+        assert_eq!(snap.get("workers").unwrap().as_f64(), Some(3.0));
+        let per_worker = snap.get("batches_dispatched").unwrap().as_array().unwrap();
+        let counts: Vec<u64> = per_worker
+            .iter()
+            .map(|c| c.as_f64().unwrap() as u64)
+            .collect();
+        assert_eq!(counts, vec![1, 0, 2]);
+        // The batch-size histogram is global: one entry per size, counted
+        // across every worker.
+        let hist = snap.get("batch_size_hist").unwrap().as_array().unwrap();
+        assert_eq!(hist[0].get("size").unwrap().as_f64(), Some(4.0));
+        assert_eq!(hist[0].get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(hist[1].get("size").unwrap().as_f64(), Some(8.0));
+        assert_eq!(hist[1].get("count").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn out_of_range_worker_ids_fold_into_the_last_counter() {
+        let m = Metrics::with_workers(2);
+        m.record_batch(7, 1);
+        assert_eq!(m.total_batches(), 1);
+        let snap = m.snapshot_json();
+        let per_worker = snap.get("batches_dispatched").unwrap().as_array().unwrap();
+        assert_eq!(per_worker[1].as_f64(), Some(1.0));
     }
 }

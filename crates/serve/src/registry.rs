@@ -1,68 +1,52 @@
-//! Model registry: discovers versioned checkpoints in a directory and
-//! materializes them as [`Localizer`]s.
+//! Model registry: discovers versioned checkpoints in a directory and owns
+//! the loaded [`Localizer`]s.
 //!
-//! Trained models hold `Rc`-based parameters and are **not `Send`**, so the
-//! registry is built *inside* the dispatcher thread (see
-//! [`crate::batcher`]): what crosses threads is only a [`ModelSource`] — a
-//! `Send` recipe (parsed checkpoint envelopes, or a custom factory for
-//! tests) plus a cheap catalog of `(name, kind)` pairs the HTTP handlers
-//! serve from `GET /v1/models`. Each checkpoint file is read and parsed
-//! exactly once, at startup, for both the catalog and the weights.
+//! Localizers are `Send + Sync` (the `Localizer` trait requires it, and
+//! their weights live in `Arc`-backed tensor storage), so the registry is
+//! built **once, on the main thread**, wrapped in an [`std::sync::Arc`],
+//! and shared read-only by every dispatch worker — N workers run
+//! `localize_batch` concurrently against the *same* weight allocations with
+//! no locks, no copies and no per-thread materialization. Each checkpoint
+//! file is read and parsed exactly once, at startup.
 
 use std::path::Path;
 
-use vital::{Checkpoint, Localizer};
+use vital::Localizer;
 
 /// Checkpoint file extension the registry scans for.
 pub const CHECKPOINT_EXT: &str = "vckpt";
 
-/// The loaded models, owned by the dispatcher thread.
+/// The loaded models, shared by every dispatch worker and the HTTP layer.
 pub struct Registry {
-    models: Vec<(String, Box<dyn Localizer>)>,
+    /// `(name, kind, model)`; sorted by name when loaded from a directory.
+    models: Vec<(String, String, Box<dyn Localizer>)>,
 }
 
 impl Registry {
-    /// Wraps already-constructed localizers (tests, embedded use).
+    /// Wraps already-constructed localizers (tests, embedded use). The
+    /// advertised kind is each model's [`Localizer::name`].
     pub fn from_models(models: Vec<(String, Box<dyn Localizer>)>) -> Self {
-        Registry { models }
-    }
-
-    /// Looks a model up by name; `None` selects the server's only model and
-    /// fails when several are hosted.
-    pub fn get(&self, name: Option<&str>) -> Option<&dyn Localizer> {
-        match name {
-            Some(name) => self
-                .models
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, l)| l.as_ref()),
-            None if self.models.len() == 1 => Some(self.models[0].1.as_ref()),
-            None => None,
+        Registry {
+            models: models
+                .into_iter()
+                .map(|(name, model)| {
+                    let kind = model.name().to_string();
+                    (name, kind, model)
+                })
+                .collect(),
         }
     }
-}
 
-/// A `Send` recipe for building a [`Registry`] in the dispatcher thread,
-/// plus the catalog the HTTP layer needs up front.
-pub struct ModelSource {
-    /// `(name, kind)` pairs for `GET /v1/models` and request validation.
-    pub catalog: Vec<(String, String)>,
-    builder: Box<dyn FnOnce() -> Result<Registry, String> + Send>,
-}
-
-impl ModelSource {
-    /// Source backed by a checkpoint directory: every `*.vckpt` file is
-    /// read and parsed once, here; the parsed envelopes travel to the
-    /// dispatcher thread, which materializes the (non-`Send`) models from
-    /// them. Models are served under their file stem, sorted by name.
+    /// Loads every `*.vckpt` checkpoint in `dir` (any of the six localizer
+    /// kinds). Models are served under their file stem, sorted by name.
     ///
     /// # Errors
     /// A readable-English message when the directory cannot be read, a
     /// checkpoint is corrupt, or no checkpoint is found at all.
-    pub fn checkpoint_dir(dir: &Path) -> Result<Self, String> {
+    pub fn from_checkpoint_dir(dir: &Path) -> Result<Self, String> {
         let entries = std::fs::read_dir(dir)
             .map_err(|e| format!("cannot read checkpoint dir {}: {e}", dir.display()))?;
-        let mut checkpoints: Vec<(String, Checkpoint)> = Vec::new();
+        let mut models: Vec<(String, String, Box<dyn Localizer>)> = Vec::new();
         for entry in entries {
             let path = entry
                 .map_err(|e| format!("cannot read checkpoint dir {}: {e}", dir.display()))?
@@ -75,53 +59,61 @@ impl ModelSource {
                 .and_then(|s| s.to_str())
                 .ok_or_else(|| format!("checkpoint {} has no UTF-8 stem", path.display()))?
                 .to_string();
-            let ckpt = Checkpoint::read_from(&path)
+            let ckpt = vital::Checkpoint::read_from(&path)
                 .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
-            checkpoints.push((name, ckpt));
+            let kind = ckpt.kind().as_str().to_string();
+            let localizer = baselines::localizer_from_checkpoint(&ckpt)
+                .map_err(|e| format!("cannot load model {name:?}: {e}"))?;
+            models.push((name, kind, localizer));
         }
-        if checkpoints.is_empty() {
+        if models.is_empty() {
             return Err(format!(
                 "no *.{CHECKPOINT_EXT} checkpoints found in {}",
                 dir.display()
             ));
         }
-        checkpoints.sort_by(|a, b| a.0.cmp(&b.0));
-        let catalog = checkpoints
-            .iter()
-            .map(|(name, ckpt)| (name.clone(), ckpt.kind().as_str().to_string()))
-            .collect();
-        Ok(ModelSource {
-            catalog,
-            builder: Box::new(move || {
-                let mut models = Vec::with_capacity(checkpoints.len());
-                for (name, ckpt) in &checkpoints {
-                    let localizer = baselines::localizer_from_checkpoint(ckpt)
-                        .map_err(|e| format!("cannot load model {name:?}: {e}"))?;
-                    models.push((name.clone(), localizer));
-                }
-                Ok(Registry { models })
-            }),
-        })
+        models.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Registry { models })
     }
 
-    /// Source backed by a factory closure, for tests and embedded servers.
-    /// The closure runs on the dispatcher thread, so the localizers it
-    /// builds never cross threads.
-    pub fn custom(
-        catalog: Vec<(String, String)>,
-        builder: impl FnOnce() -> Result<Registry, String> + Send + 'static,
-    ) -> Self {
-        ModelSource {
-            catalog,
-            builder: Box::new(builder),
+    /// `(name, kind)` pairs for `GET /v1/models` and request validation.
+    pub fn catalog(&self) -> Vec<(String, String)> {
+        self.models
+            .iter()
+            .map(|(name, kind, _)| (name.clone(), kind.clone()))
+            .collect()
+    }
+
+    /// Number of hosted models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Returns `true` when no models are hosted.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Looks a model up by name; `None` selects the server's only model and
+    /// fails when several are hosted.
+    pub fn get(&self, name: Option<&str>) -> Option<&dyn Localizer> {
+        match name {
+            Some(name) => self
+                .models
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, l)| l.as_ref()),
+            None if self.models.len() == 1 => Some(self.models[0].2.as_ref()),
+            None => None,
         }
     }
+}
 
-    /// Consumes the source, building the registry (dispatcher thread only).
-    ///
-    /// # Errors
-    /// Whatever the underlying builder reports.
-    pub fn build(self) -> Result<Registry, String> {
-        (self.builder)()
-    }
+/// Compile-time proof the registry can be shared across dispatch workers.
+/// If a model regresses to `Rc`-based parameters, the build fails *here*,
+/// naming the serve-layer consequence.
+#[allow(dead_code)]
+fn _assert_registry_is_send_sync() {
+    fn assert<T: Send + Sync>() {}
+    assert::<Registry>();
 }

@@ -21,7 +21,7 @@ use crate::batcher::{self, BatcherClient, BatcherConfig, Job, SubmitError};
 use crate::codec;
 use crate::http::{self, Conn, Method, Request, Response};
 use crate::metrics::Metrics;
-use crate::registry::ModelSource;
+use crate::registry::Registry;
 
 /// Idle timeout on connection reads; a peer that goes silent this long is
 /// disconnected so handler threads cannot leak forever.
@@ -60,27 +60,32 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<std::thread::JoinHandle<()>>,
-    dispatcher: Option<std::thread::JoinHandle<()>>,
+    dispatchers: Vec<std::thread::JoinHandle<()>>,
     metrics: Arc<Metrics>,
 }
 
 impl Server {
-    /// Binds, loads the models (failing fast if any checkpoint is
-    /// unreadable) and starts accepting connections.
+    /// Binds, spawns the dispatch workers over the already-loaded
+    /// `registry` (models are `Send + Sync`, so the registry is built once
+    /// — typically on the main thread via [`Registry::from_checkpoint_dir`]
+    /// — and shared by every worker) and starts accepting connections.
     ///
     /// # Errors
-    /// Bind failures and model-loading failures, as a message.
-    pub fn start(config: ServerConfig, source: ModelSource) -> Result<Server, String> {
+    /// Bind failures and worker-spawn failures, as a message.
+    pub fn start(config: ServerConfig, registry: Registry) -> Result<Server, String> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
         let addr = listener
             .local_addr()
             .map_err(|e| format!("cannot resolve bound address: {e}"))?;
 
-        let metrics = Arc::new(Metrics::new());
-        let catalog = source.catalog.clone();
-        let (batcher, dispatcher) =
-            batcher::start(source, config.batcher.clone(), Arc::clone(&metrics))?;
+        let metrics = Arc::new(Metrics::with_workers(config.batcher.workers.max(1)));
+        let catalog = registry.catalog();
+        let (batcher, dispatchers) = batcher::start(
+            Arc::new(registry),
+            config.batcher.clone(),
+            Arc::clone(&metrics),
+        )?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
@@ -98,7 +103,7 @@ impl Server {
             addr,
             shutdown,
             accept: Some(accept),
-            dispatcher: Some(dispatcher),
+            dispatchers,
             metrics,
         })
     }
@@ -119,7 +124,7 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        if let Some(dispatcher) = self.dispatcher.take() {
+        for dispatcher in self.dispatchers.drain(..) {
             let _ = dispatcher.join();
         }
     }
@@ -225,8 +230,9 @@ fn json_response(status: u16, body: &Json) -> Response {
 fn route(request: &Request, shared: &Shared) -> Response {
     match (request.method, request.target.as_str()) {
         (Method::Get, "/healthz") => {
-            // A dead dispatcher means every localize request will fail;
-            // report unhealthy so orchestrators stop routing here.
+            // All dispatch workers dead means every localize request
+            // will fail; report unhealthy so orchestrators stop routing
+            // here.
             if shared.batcher.is_alive() {
                 json_response(
                     200,
@@ -238,7 +244,7 @@ fn route(request: &Request, shared: &Shared) -> Response {
             } else {
                 json_response(
                     503,
-                    &Json::obj([("status", Json::from("dispatcher is dead"))]),
+                    &Json::obj([("status", Json::from("all dispatch workers are dead"))]),
                 )
             }
         }
@@ -266,7 +272,7 @@ fn localize(request: &Request, shared: &Shared) -> Response {
     };
 
     // Resolve the model name against the catalog up front so the
-    // dispatcher only ever sees valid names.
+    // dispatch workers only ever see valid names.
     let model = match &decoded.model {
         Some(name) => match shared.catalog.iter().find(|(n, _)| n == name) {
             Some((name, _)) => name.clone(),
@@ -305,7 +311,7 @@ fn localize(request: &Request, shared: &Shared) -> Response {
             .with_header("retry-after", "1");
         }
         Err(SubmitError::Closed) => {
-            return json_response(500, &codec::error_response("dispatcher is gone"));
+            return json_response(500, &codec::error_response("dispatch workers are gone"));
         }
     }
 
@@ -322,6 +328,9 @@ fn localize(request: &Request, shared: &Shared) -> Response {
             )
         }
         Ok(Err(message)) => json_response(500, &codec::error_response(&message)),
-        Err(_) => json_response(500, &codec::error_response("dispatcher dropped the job")),
+        Err(_) => json_response(
+            500,
+            &codec::error_response("a dispatch worker dropped the job"),
+        ),
     }
 }

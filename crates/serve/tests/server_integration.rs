@@ -2,8 +2,9 @@
 //! requests over keep-alive connections, and the headline guarantee —
 //! responses produced through the micro-batching scheduler are
 //! **bit-identical** to an offline `localize_batch` call on the same
-//! observations. Plus deterministic backpressure (503 + `Retry-After`) and
-//! the error surface of the HTTP API.
+//! observations, with one dispatch worker *and* with four workers sharing
+//! the same weights. Plus deterministic backpressure (503 + `Retry-After`),
+//! multi-worker metrics semantics, and the error surface of the HTTP API.
 
 use std::net::TcpStream;
 use std::time::Duration;
@@ -13,7 +14,7 @@ use fingerprint::{base_devices, DatasetConfig, FingerprintDataset, FingerprintOb
 use jsonio::Json;
 use serve::codec;
 use serve::http::{self, Conn, Method, Response};
-use serve::{BatcherConfig, ModelSource, Registry, Server, ServerConfig};
+use serve::{BatcherConfig, Registry, Server, ServerConfig};
 use sim_radio::building_1;
 use vital::{Localizer, Result as VitalResult};
 
@@ -31,27 +32,25 @@ fn dataset() -> FingerprintDataset {
     )
 }
 
-/// A fitted KNN localizer — deterministic, so building it twice (once
-/// inside the server's dispatcher thread, once offline) yields the same
-/// model.
+/// A fitted KNN localizer — deterministic, so building it twice (once for
+/// the server, once offline) yields the same model.
 fn fitted_knn(data: &FingerprintDataset) -> KnnLocalizer {
     let mut knn = KnnLocalizer::new(3, FeatureMode::Ssd);
     knn.fit(data).expect("fit KNN");
     knn
 }
 
+/// The registry is built on the *test* (main) thread — localizers are
+/// `Send + Sync`, so it moves straight into the server and is shared by
+/// every dispatch worker.
 fn knn_server(batcher: BatcherConfig) -> Server {
-    let source = ModelSource::custom(vec![("knn".into(), "KNN".into())], || {
-        let mut knn = KnnLocalizer::new(3, FeatureMode::Ssd);
-        knn.fit(&dataset()).map_err(|e| e.to_string())?;
-        Ok(Registry::from_models(vec![("knn".into(), Box::new(knn))]))
-    });
+    let registry = Registry::from_models(vec![("knn".into(), Box::new(fitted_knn(&dataset())))]);
     Server::start(
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             batcher,
         },
-        source,
+        registry,
     )
     .expect("server start")
 }
@@ -74,40 +73,27 @@ fn get(addr: std::net::SocketAddr, target: &str) -> Response {
     Conn::new(&stream).read_response().expect("response")
 }
 
-#[test]
-fn concurrent_batched_responses_are_bit_identical_to_offline_localize_batch() {
-    let data = dataset();
-    let observations: Vec<FingerprintObservation> = data.observations().to_vec();
-    let offline = fitted_knn(&data);
-    let expected = offline
-        .localize_batch(&observations)
-        .expect("offline predictions");
-
-    // Encourage real coalescing: a wait window comfortably longer than a
-    // client round-trip, batch larger than any single request.
-    let server = knn_server(BatcherConfig {
-        max_batch: 64,
-        max_wait: Duration::from_millis(5),
-        queue_cap: 256,
-        threads: Some(1),
-    });
-    let addr = server.addr();
-
-    // 4 concurrent clients × several keep-alive bulk requests each, over
-    // disjoint slices of the observation set.
-    const CLIENTS: usize = 4;
-    const BULK: usize = 5;
+/// Fires `CLIENTS` concurrent keep-alive clients at the server, covering
+/// every observation in disjoint bulk slices, and asserts each response is
+/// bit-identical to the offline reference. Returns the total observations
+/// served.
+fn assert_concurrent_bit_exactness(
+    addr: std::net::SocketAddr,
+    observations: &[FingerprintObservation],
+    expected: &[usize],
+    clients: usize,
+    bulk: usize,
+) {
     let results: Vec<(usize, Vec<usize>)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for client in 0..CLIENTS {
-            let observations = &observations;
+        for client in 0..clients {
             handles.push(scope.spawn(move || {
                 let stream = TcpStream::connect(addr).expect("connect");
                 let mut conn = Conn::new(&stream);
                 let mut got = Vec::new();
-                let mut start = client * BULK;
+                let mut start = client * bulk;
                 while start < observations.len() {
-                    let end = (start + BULK).min(observations.len());
+                    let end = (start + bulk).min(observations.len());
                     let body = codec::localize_request_body(None, &observations[start..end]);
                     let response = post_localize(&mut conn, &stream, body.as_bytes());
                     assert_eq!(
@@ -119,7 +105,7 @@ fn concurrent_batched_responses_are_bit_identical_to_offline_localize_batch() {
                     let predictions =
                         codec::parse_predictions(&response.body).expect("parse predictions");
                     got.push((start, predictions));
-                    start += CLIENTS * BULK;
+                    start += clients * bulk;
                 }
                 got
             }));
@@ -142,6 +128,30 @@ fn concurrent_batched_responses_are_bit_identical_to_offline_localize_batch() {
         covered += predictions.len();
     }
     assert_eq!(covered, observations.len(), "every observation was served");
+}
+
+#[test]
+fn concurrent_batched_responses_are_bit_identical_to_offline_localize_batch() {
+    let data = dataset();
+    let observations: Vec<FingerprintObservation> = data.observations().to_vec();
+    let offline = fitted_knn(&data);
+    let expected = offline
+        .localize_batch(&observations)
+        .expect("offline predictions");
+
+    // Encourage real coalescing: a wait window comfortably longer than a
+    // client round-trip, batch larger than any single request.
+    let server = knn_server(BatcherConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(5),
+        queue_cap: 256,
+        workers: 1,
+        threads: Some(1),
+    });
+
+    const CLIENTS: usize = 4;
+    const BULK: usize = 5;
+    assert_concurrent_bit_exactness(server.addr(), &observations, &expected, CLIENTS, BULK);
 
     // The batch-size histogram proves requests were actually coalesced:
     // with 4 clients in flight and a 5 ms window, at least one dispatch
@@ -165,6 +175,66 @@ fn concurrent_batched_responses_are_bit_identical_to_offline_localize_batch() {
 }
 
 #[test]
+fn four_workers_serve_bit_identical_predictions_from_shared_weights() {
+    // The concurrency-determinism guarantee of the `--workers` refactor:
+    // the same observations, dispatched concurrently from many client
+    // threads against 4 dispatch workers sharing ONE model, yield
+    // predictions bit-identical to a sequential offline `localize_batch`.
+    let data = dataset();
+    let observations: Vec<FingerprintObservation> = data.observations().to_vec();
+    let offline = fitted_knn(&data);
+    let expected = offline
+        .localize_batch(&observations)
+        .expect("offline predictions");
+
+    let server = knn_server(BatcherConfig {
+        max_batch: 16,
+        // A short window keeps several batches in flight at once, so the
+        // four workers genuinely overlap.
+        max_wait: Duration::from_micros(500),
+        queue_cap: 256,
+        workers: 4,
+        threads: Some(1),
+    });
+
+    // Two passes over the data from 8 concurrent clients: plenty of
+    // opportunity for worker interleaving to corrupt results if weights
+    // were not safely shared.
+    for _ in 0..2 {
+        assert_concurrent_bit_exactness(server.addr(), &observations, &expected, 8, 3);
+    }
+
+    // Multi-worker metrics semantics: the snapshot reports all 4 workers,
+    // the per-worker dispatch counters account for every recorded batch,
+    // and the drained queue reads depth 0 (global, not per worker).
+    let metrics = server.metrics().snapshot_json();
+    assert_eq!(metrics.get("workers").and_then(Json::as_usize), Some(4));
+    let per_worker: Vec<u64> = metrics
+        .get("batches_dispatched")
+        .and_then(Json::as_array)
+        .expect("batches_dispatched array")
+        .iter()
+        .map(|c| c.as_f64().expect("numeric counter") as u64)
+        .collect();
+    assert_eq!(per_worker.len(), 4);
+    let hist_total: u64 = metrics
+        .get("batch_size_hist")
+        .and_then(Json::as_array)
+        .expect("batch histogram")
+        .iter()
+        .filter_map(|b| b.get("count").and_then(Json::as_usize))
+        .map(|c| c as u64)
+        .sum();
+    assert_eq!(
+        per_worker.iter().sum::<u64>(),
+        hist_total,
+        "per-worker dispatch counters must account for every batch"
+    );
+    assert!(hist_total > 0, "no batches recorded");
+    assert_eq!(metrics.get("queue_depth").and_then(Json::as_usize), Some(0));
+}
+
+#[test]
 fn single_and_bulk_forms_round_trip_and_models_are_listed() {
     let data = dataset();
     let offline = fitted_knn(&data);
@@ -184,7 +254,12 @@ fn single_and_bulk_forms_round_trip_and_models_are_listed() {
     let listed = models_json.get("models").and_then(Json::as_array).unwrap();
     assert_eq!(listed.len(), 1);
     assert_eq!(listed[0].get("name").and_then(Json::as_str), Some("knn"));
-    assert_eq!(listed[0].get("kind").and_then(Json::as_str), Some("KNN"));
+    // `Registry::from_models` advertises each model's `Localizer::name` as
+    // its kind (checkpoint-dir loads advertise the envelope's kind string).
+    assert_eq!(
+        listed[0].get("kind").and_then(Json::as_str),
+        Some("KNN-SSD")
+    );
 
     // Single-observation form (named model) matches offline predict.
     let observation = &data.observations()[7];
@@ -244,12 +319,7 @@ impl Localizer for SlowLocalizer {
 
 #[test]
 fn full_queue_sheds_load_with_503_and_retry_after() {
-    let source = ModelSource::custom(vec![("slow".into(), "Slow".into())], || {
-        Ok(Registry::from_models(vec![(
-            "slow".into(),
-            Box::new(SlowLocalizer),
-        )]))
-    });
+    let registry = Registry::from_models(vec![("slow".into(), Box::new(SlowLocalizer))]);
     let server = Server::start(
         ServerConfig {
             addr: "127.0.0.1:0".into(),
@@ -257,10 +327,11 @@ fn full_queue_sheds_load_with_503_and_retry_after() {
                 max_batch: 1,
                 max_wait: Duration::from_micros(1),
                 queue_cap: 1,
+                workers: 1,
                 threads: Some(1),
             },
         },
-        source,
+        registry,
     )
     .expect("server start");
     let addr = server.addr();
@@ -274,7 +345,7 @@ fn full_queue_sheds_load_with_503_and_retry_after() {
     };
     let body = codec::localize_request_body(None, std::slice::from_ref(&observation));
 
-    // Two in-flight requests occupy the dispatcher and the single queue
+    // Two in-flight requests occupy the worker and the single queue
     // slot; subsequent ones must be shed with 503 + Retry-After. The
     // occupants start staggered so the first is already *being processed*
     // (its 400 ms batch) when the second takes the queue slot.

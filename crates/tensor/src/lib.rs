@@ -6,10 +6,20 @@
 //! multiplication, elementwise arithmetic with simple broadcasting,
 //! reductions, softmax/log-sum-exp helpers, and seeded random initialisers.
 //!
-//! The design goal is *predictability over generality*: every tensor owns a
-//! contiguous `Vec<f32>` and a shape; there are no lazily-evaluated views or
-//! stride tricks, so each operation is easy to audit and to differentiate in
-//! the autograd layer above.
+//! The design goal is *predictability over generality*: every tensor is a
+//! contiguous row-major buffer plus a shape; there are no lazily-evaluated
+//! views or stride tricks, so each operation is easy to audit and to
+//! differentiate in the autograd layer above.
+//!
+//! The buffer lives behind an [`std::sync::Arc`] with **copy-on-write**
+//! mutation: clones are `O(1)` reference bumps, `Tensor` is `Send + Sync`,
+//! and shared weight data is read across threads with no locks — the
+//! storage substrate of the `Send + Sync` model stack and the serve
+//! layer's shared-weight replica workers. Mutation through
+//! [`Tensor::as_mut_slice`] detaches onto a private copy only when the
+//! buffer is actually shared, so freshly built tensors (every kernel
+//! output) are mutated in place at the old cost and results are
+//! bit-identical either way.
 //!
 //! # Example
 //!

@@ -1,12 +1,24 @@
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{Result, Shape, TensorError};
 
-/// A dense, row-major, owned `f32` tensor.
+/// A dense, row-major `f32` tensor with shared, copy-on-write storage.
 ///
 /// `Tensor` is the single numeric container used throughout the VITAL
-/// workspace. It always owns its storage contiguously, which keeps the
-/// autograd layer simple and makes every operation's cost explicit.
+/// workspace. Its buffer is always contiguous (which keeps the autograd
+/// layer simple) and lives behind an [`Arc`], so:
+///
+/// * **Cloning is `O(1)`** — a clone bumps a reference count instead of
+///   copying the data. Model weights snapshotted onto autograd tapes, or
+///   shared between concurrent inference workers, all read the *same*
+///   allocation with no lock and no copy. `Tensor` is `Send + Sync`.
+/// * **Mutation is copy-on-write** — [`Tensor::as_mut_slice`] (and the
+///   in-place helpers built on it) mutate the buffer directly when this
+///   handle is the only owner, and transparently detach onto a private
+///   copy first when it is shared. Freshly created tensors are always
+///   unique, so hot-path kernels that fill a new buffer never pay the
+///   copy; results are bit-identical either way.
 ///
 /// # Example
 /// ```
@@ -24,11 +36,22 @@ use crate::{Result, Shape, TensorError};
 /// followed by the contiguous row-major data, validated on load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
     shape: Shape,
 }
 
 impl Tensor {
+    /// Internal constructor for a freshly built buffer whose length is
+    /// already known to match `shape` (the `Arc` it creates is unique, so
+    /// subsequent in-place writes take the no-copy path).
+    pub(crate) fn from_parts(data: Vec<f32>, shape: Shape) -> Self {
+        debug_assert_eq!(data.len(), shape.volume());
+        Tensor {
+            data: Arc::new(data),
+            shape,
+        }
+    }
+
     /// Creates a tensor from a flat row-major buffer and a shape.
     ///
     /// # Errors
@@ -42,24 +65,19 @@ impl Tensor {
                 expected: shape.volume(),
             });
         }
-        Ok(Tensor { data, shape })
+        Ok(Tensor::from_parts(data, shape))
     }
 
     /// Creates a scalar tensor holding `value`.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            data: vec![value],
-            shape: Shape::scalar(),
-        }
+        Tensor::from_parts(vec![value], Shape::scalar())
     }
 
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Tensor {
-            data: vec![0.0; shape.volume()],
-            shape,
-        }
+        let data = vec![0.0; shape.volume()];
+        Tensor::from_parts(data, shape)
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -70,27 +88,22 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor {
-            data: vec![value; shape.volume()],
-            shape,
-        }
+        let data = vec![value; shape.volume()];
+        Tensor::from_parts(data, shape)
     }
 
     /// Creates a square identity matrix of size `n × n`.
     pub fn eye(n: usize) -> Self {
-        let mut t = Tensor::zeros(&[n, n]);
+        let mut data = vec![0.0; n * n];
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        t
+        Tensor::from_parts(data, Shape::new(&[n, n]))
     }
 
     /// Creates a zero tensor with the same shape as `self`.
     pub fn zeros_like(&self) -> Self {
-        Tensor {
-            data: vec![0.0; self.data.len()],
-            shape: self.shape.clone(),
-        }
+        Tensor::from_parts(vec![0.0; self.data.len()], self.shape.clone())
     }
 
     /// A 1-D tensor containing `n` evenly spaced values from `start` to `end` inclusive.
@@ -104,10 +117,7 @@ impl Tensor {
         }
         let step = (end - start) / (n - 1) as f32;
         let data = (0..n).map(|i| start + step * i as f32).collect();
-        Tensor {
-            data,
-            shape: Shape::new(&[n]),
-        }
+        Tensor::from_parts(data, Shape::new(&[n]))
     }
 
     /// The tensor's shape.
@@ -147,13 +157,20 @@ impl Tensor {
     }
 
     /// Mutable view of the underlying row-major buffer.
+    ///
+    /// Copy-on-write: when the storage is shared with other tensor handles
+    /// (clones are `O(1)` reference bumps), this first detaches onto a
+    /// private copy so the mutation can never be observed through them. A
+    /// uniquely-owned buffer — every freshly created tensor — is mutated in
+    /// place with no copy.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consumes the tensor and returns its buffer.
+    /// Consumes the tensor and returns its buffer (clones only if the
+    /// storage is still shared with another handle).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Element at a 2-D position `(row, col)`.
@@ -194,7 +211,7 @@ impl Tensor {
                 bound: r.max(c),
             });
         }
-        self.data[row * c + col] = value;
+        self.as_mut_slice()[row * c + col] = value;
         Ok(())
     }
 
@@ -211,13 +228,16 @@ impl Tensor {
                 bound: r,
             });
         }
-        Ok(Tensor {
-            data: self.data[row * c..(row + 1) * c].to_vec(),
-            shape: Shape::new(&[c]),
-        })
+        Ok(Tensor::from_parts(
+            self.data[row * c..(row + 1) * c].to_vec(),
+            Shape::new(&[c]),
+        ))
     }
 
     /// Reinterprets the tensor with a new shape of the same volume.
+    ///
+    /// The result *shares* this tensor's storage (`O(1)`, no copy);
+    /// copy-on-write keeps later mutations of either handle private.
     ///
     /// # Errors
     /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
@@ -230,7 +250,7 @@ impl Tensor {
             });
         }
         Ok(Tensor {
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
             shape,
         })
     }
@@ -336,10 +356,10 @@ impl Tensor {
                 bound: r,
             });
         }
-        Ok(Tensor {
-            data: self.data[start * c..end * c].to_vec(),
-            shape: Shape::new(&[end - start, c]),
-        })
+        Ok(Tensor::from_parts(
+            self.data[start * c..end * c].to_vec(),
+            Shape::new(&[end - start, c]),
+        ))
     }
 
     /// Copies columns `[start, end)` into a new matrix.
@@ -360,10 +380,7 @@ impl Tensor {
         for row in 0..r {
             data.extend_from_slice(&self.data[row * c + start..row * c + end]);
         }
-        Ok(Tensor {
-            data,
-            shape: Shape::new(&[r, w]),
-        })
+        Ok(Tensor::from_parts(data, Shape::new(&[r, w])))
     }
 }
 
@@ -488,5 +505,39 @@ mod tests {
         let t = Tensor::zeros(&[10]);
         let s = t.to_string();
         assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.data, &b.data), "clone must not copy");
+        // Mutating the clone detaches it; the original is untouched.
+        b.as_mut_slice()[0] = 9.0;
+        assert!(!Arc::ptr_eq(&a.data, &b.data));
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(b.as_slice(), &[9.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn reshape_shares_storage() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let m = t.reshape(&[2, 2]).unwrap();
+        assert!(Arc::ptr_eq(&t.data, &m.data), "reshape must not copy");
+    }
+
+    #[test]
+    fn into_vec_avoids_copy_when_unique() {
+        let t = Tensor::from_vec(vec![5.0, 6.0], &[2]).unwrap();
+        assert_eq!(t.into_vec(), vec![5.0, 6.0]);
+        let shared = Tensor::ones(&[3]);
+        let _keep = shared.clone();
+        assert_eq!(shared.into_vec(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn tensors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tensor>();
     }
 }
