@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Negative probes for vital-lint: seed one violation per rule class into
+# the working tree, assert the tool fails with the right rule, and restore
+# the tree. A lint pass that cannot fail is worthless — CI runs this after
+# the clean-tree run so a silently-vacuous rule breaks the build.
+#
+# Run from the workspace root on a clean tree. Every mutation is restored
+# via `git checkout --` / `rm` (also on early exit, via the trap).
+
+set -u
+
+fail() {
+    echo "PROBE FAILED: $1" >&2
+    exit 1
+}
+
+restore() {
+    git checkout -- crates/nn/src/param.rs crates/nn/src/lib.rs \
+        crates/tensor/src/matmul.rs 2>/dev/null || true
+    rm -f crates/serve/src/__lint_probe.rs crates/parallel/src/__lint_probe.rs
+}
+trap restore EXIT
+
+[ -f ci/lint-rules.toml ] || fail "run from the workspace root"
+git diff --quiet -- crates/nn crates/tensor || fail "tree is dirty; probes need a clean tree to restore"
+
+cargo build -q -p lint || fail "cannot build vital-lint"
+LINT=target/debug/vital-lint
+
+# Asserts the current tree produces exit 1 and a finding of the given rule.
+expect_rule() {
+    local label="$1" rule="$2" out status
+    out=$("$LINT" --workspace 2>&1)
+    status=$?
+    [ "$status" -eq 1 ] || fail "$label: expected exit 1 (findings), got $status"
+    echo "$out" | grep -q "$rule" || fail "$label: expected a $rule finding, got: $out"
+    echo "probe ok: $label"
+}
+
+# 0. The clean tree passes — otherwise every probe below is meaningless.
+"$LINT" --workspace --quiet || fail "clean tree must have zero findings"
+echo "probe ok: clean tree passes"
+
+# 1. panic-freedom: an unwrap on the serve request path. The scratch file
+#    is never part of the module tree (nothing `mod`s it), so it is lexed
+#    by vital-lint but not compiled by cargo.
+cat > crates/serve/src/__lint_probe.rs <<'EOF'
+fn probe(values: &[u8]) -> u8 {
+    *values.first().unwrap()
+}
+EOF
+expect_rule "panic-freedom catches a seeded unwrap" "panic-freedom"
+rm crates/serve/src/__lint_probe.rs
+
+# 2. lock-order: acquire grad before value — the inverse of the edge
+#    Param::fmt holds (value while taking grad), closing a deadlock cycle.
+cat >> crates/nn/src/param.rs <<'EOF'
+fn __probe_inverted_lock_order(p: &Param) {
+    let grad_guard = p.0.grad.lock().expect("probe");
+    let value_guard = p.0.value.read().expect("probe");
+    drop(value_guard);
+    drop(grad_guard);
+}
+EOF
+expect_rule "lock-order catches the inverted grad->value acquisition" "lock-order"
+git checkout -- crates/nn/src/param.rs
+
+# 3. hot-path-alloc: an allocation inside a function named `microkernel`
+#    in the GEMM translation unit falls inside the configured span.
+cat >> crates/tensor/src/matmul.rs <<'EOF'
+fn microkernel(n: usize) -> Vec<f32> {
+    let scratch: Vec<f32> = Vec::new();
+    scratch
+}
+EOF
+expect_rule "hot-path-alloc catches Vec::new in the microkernel span" "hot-path-alloc"
+git checkout -- crates/tensor/src/matmul.rs
+
+# 4. hygiene: an unbounded channel anywhere in production code.
+cat > crates/parallel/src/__lint_probe.rs <<'EOF'
+fn probe() {
+    let (_tx, _rx) = std::sync::mpsc::channel::<u8>();
+}
+EOF
+expect_rule "hygiene catches an unbounded mpsc::channel" "hygiene"
+rm crates/parallel/src/__lint_probe.rs
+
+# 5. hygiene guard rails: deleting a pinned attribute (here the nn crate's
+#    disallowed-types deny) must fail even though the build would pass.
+sed -i '/#!\[deny(clippy::disallowed_types)\]/d' crates/nn/src/lib.rs
+expect_rule "hygiene catches a deleted guard-rail attribute" "hygiene"
+git checkout -- crates/nn/src/lib.rs
+
+# 6. After all restores the tree is clean again.
+"$LINT" --workspace --quiet || fail "tree must be clean again after probes"
+echo "probe ok: restored tree passes"
+
+echo "all lint probes passed"

@@ -35,6 +35,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(clippy::disallowed_types)]
 #![warn(rust_2018_idioms)]

@@ -211,6 +211,10 @@ fn worker(
                     }
                     503 => {
                         stats.rejected_busy += 1;
+                        // Deliberate client-side backoff after a shed — the
+                        // load generator is the one place pacing by sleeping
+                        // is the point, hence the scoped exemption.
+                        #[allow(clippy::disallowed_methods)]
                         std::thread::sleep(Duration::from_millis(2));
                     }
                     _ => stats.error_responses += 1,

@@ -14,6 +14,7 @@
 //!   in minutes on a laptop CPU,
 //! * `full` — larger training budgets for tighter numbers.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

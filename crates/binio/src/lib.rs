@@ -27,6 +27,7 @@
 //! assert!(back[1].is_nan());
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -219,7 +220,14 @@ impl<'a> BinDeserializer<'a> {
     }
 
     fn take_array<const N: usize>(&mut self) -> Result<[u8; N], BinError> {
-        Ok(self.take(N)?.try_into().expect("exact length slice"))
+        let slice = self.take(N)?;
+        // `take(N)` returned exactly N bytes, so the conversion cannot
+        // fail — but the checkpoint loader must never panic on corrupt
+        // input, so the impossible case maps to an error all the same.
+        slice.try_into().map_err(|_| BinError::UnexpectedEof {
+            needed: N,
+            remaining: slice.len(),
+        })
     }
 }
 
@@ -227,7 +235,8 @@ impl Deserializer for BinDeserializer<'_> {
     type Error = BinError;
 
     fn deserialize_bool(&mut self) -> Result<bool, BinError> {
-        match self.take_array::<1>()?[0] {
+        let [byte] = self.take_array::<1>()?;
+        match byte {
             0 => Ok(false),
             1 => Ok(true),
             other => Err(BinError::InvalidBool(other)),
@@ -235,7 +244,8 @@ impl Deserializer for BinDeserializer<'_> {
     }
 
     fn deserialize_u8(&mut self) -> Result<u8, BinError> {
-        Ok(self.take_array::<1>()?[0])
+        let [byte] = self.take_array::<1>()?;
+        Ok(byte)
     }
 
     fn deserialize_u16(&mut self) -> Result<u16, BinError> {
@@ -288,7 +298,8 @@ impl Deserializer for BinDeserializer<'_> {
     }
 
     fn deserialize_struct(&mut self, name: &'static str, fields: usize) -> Result<(), BinError> {
-        let found = self.take_array::<1>()?[0] as usize;
+        let [count] = self.take_array::<1>()?;
+        let found = count as usize;
         if found != fields {
             return Err(BinError::StructMismatch {
                 name,

@@ -33,6 +33,7 @@
 //! assert!(!dataset.observations().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

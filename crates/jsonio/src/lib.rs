@@ -28,6 +28,7 @@
 //! assert_eq!(parse(&text).unwrap(), doc);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -1,0 +1,86 @@
+//! The `vital-lint` command-line tool.
+//!
+//! ```text
+//! vital-lint --workspace [--root DIR] [--rules PATH] [--json PATH] [--quiet]
+//! ```
+//!
+//! Analyzes every workspace crate against `ci/lint-rules.toml`, prints
+//! human diagnostics, optionally writes the JSON report, and exits with
+//! status 1 when any non-allowlisted finding exists (2 on usage or
+//! configuration errors). CI runs this as the `static-analysis` job;
+//! locally: `cargo run -p lint -- --workspace`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut rules: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--quiet" => quiet = true,
+            "--root" => root = iter.next().map(PathBuf::from),
+            "--rules" => rules = iter.next().map(PathBuf::from),
+            "--json" => json = iter.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("vital-lint: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !workspace {
+        eprintln!("vital-lint: pass --workspace to analyze the workspace\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let root = root
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let rules = rules.unwrap_or_else(|| root.join("ci/lint-rules.toml"));
+
+    let report = match lint::run_workspace(&root, &rules) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("vital-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("vital-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.human());
+        for stale in &report.stale_allows {
+            println!("vital-lint: warning: stale allowlist entry: {stale}");
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "\
+Usage: vital-lint --workspace [options]
+
+Options:
+  --workspace      analyze every workspace crate (required)
+  --root DIR       workspace root (default: current directory)
+  --rules PATH     rules file (default: <root>/ci/lint-rules.toml)
+  --json PATH      also write the machine-readable JSON report
+  --quiet          suppress human diagnostics (exit code only)
+  -h, --help       this help
+";

@@ -1,0 +1,247 @@
+//! Concurrency hygiene: unbounded-channel ban and guard-rail presence.
+//!
+//! Two checks:
+//!
+//! * **No unbounded `mpsc::channel`** in production code, workspace-wide.
+//!   Every queue in the serve path is bounded by design (backpressure is
+//!   what keeps overload a `503` instead of an OOM); an unbounded channel
+//!   anywhere is a buffer that grows until the process dies. Use
+//!   `mpsc::sync_channel` (or the serve `JobQueue`) instead.
+//! * **Guard rails stay present** — the `#![deny(clippy::disallowed_types)]`
+//!   attributes, the compile-time `Send + Sync` assertions from the
+//!   shared-registry refactor, and the `#![forbid(unsafe_code)]` attributes
+//!   are load-bearing: each is verified as a raw-text pattern so deleting
+//!   one fails this lint even though the build would still pass.
+
+use crate::analyze::FileContext;
+use crate::config::RulesConfig;
+use crate::report::{Finding, Rule};
+
+/// Token-level checks (the channel ban) for one file.
+pub fn check(ctx: &FileContext<'_>, config: &RulesConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if !config.ban_unbounded_channel {
+        return findings;
+    }
+    let tokens = &ctx.scoped.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if ctx.scoped.test_mask[i] {
+            continue;
+        }
+        // `mpsc :: channel` — the unbounded constructor. `sync_channel`
+        // is a different identifier, so bounded channels never match. An
+        // optional turbofish (`mpsc::channel::<T>()`) is skipped so it
+        // cannot be used to dodge the ban.
+        if tok.ident() == Some("mpsc")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).and_then(|t| t.ident()) == Some("channel")
+            && tokens
+                .get(skip_turbofish(tokens, i + 4))
+                .is_some_and(|t| t.is_punct('('))
+        {
+            findings.push(
+                ctx.finding(
+                    Rule::Hygiene,
+                    tok,
+                    "unbounded `mpsc::channel` is banned (no backpressure); use \
+                 `mpsc::sync_channel` with an explicit capacity"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    findings
+}
+
+/// Returns the index past an optional `::<...>` turbofish starting at
+/// `start`, tracking angle-bracket depth; `start` itself when absent.
+fn skip_turbofish(tokens: &[crate::lexer::Token], start: usize) -> usize {
+    if !(tokens.get(start).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(start + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(start + 2).is_some_and(|t| t.is_punct('<')))
+    {
+        return start;
+    }
+    let mut depth = 0usize;
+    for (offset, tok) in tokens.iter().enumerate().skip(start + 2) {
+        if tok.is_punct('<') {
+            depth += 1;
+        } else if tok.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return offset + 1;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Raw-text checks for one file: `#![forbid(unsafe_code)]` and the
+/// configured required patterns.
+pub fn file_checks(path: &str, content: &str, config: &RulesConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if config.forbid_unsafe_files.iter().any(|f| f == path)
+        && !content.contains("#![forbid(unsafe_code)]")
+    {
+        findings.push(Finding {
+            rule: Rule::Hygiene,
+            file: path.to_string(),
+            line: 1,
+            col: 1,
+            message: "crate root must carry `#![forbid(unsafe_code)]` (future `unsafe` needs \
+                      an explicit, reviewed opt-out here and in ci/lint-rules.toml)"
+                .to_string(),
+            snippet: String::new(),
+        });
+    }
+    for required in config.required.iter().filter(|r| r.file == path) {
+        if !content.contains(&required.contains) {
+            findings.push(Finding {
+                rule: Rule::Hygiene,
+                file: path.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "guard rail missing: {} must contain `{}` ({})",
+                    path, required.contains, required.why
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+    findings
+}
+
+/// Findings for guard-rail files that were not scanned at all (deleted or
+/// moved — silently losing the file must not silently lose the check).
+pub fn missing_files(scanned: &[String], config: &RulesConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut expected: Vec<&str> = config
+        .forbid_unsafe_files
+        .iter()
+        .map(String::as_str)
+        .collect();
+    expected.extend(config.required.iter().map(|r| r.file.as_str()));
+    expected.sort_unstable();
+    expected.dedup();
+    for file in expected {
+        if !scanned.iter().any(|s| s == file) {
+            findings.push(Finding {
+                rule: Rule::Hygiene,
+                file: file.to_string(),
+                line: 0,
+                col: 0,
+                message: "guard-rail file is named in ci/lint-rules.toml but was not found in \
+                          the workspace"
+                    .to_string(),
+                snippet: String::new(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze::{analyze, SourceFile};
+    use crate::config::RulesConfig;
+
+    fn config() -> RulesConfig {
+        RulesConfig::from_toml(
+            r##"
+[hygiene]
+ban_unbounded_channel = true
+forbid_unsafe_files = ["crates/x/src/lib.rs"]
+
+[[hygiene.required]]
+file = "crates/x/src/lib.rs"
+contains = "#![deny(clippy::disallowed_types)]"
+why = "Rc ban"
+"##,
+        )
+        .expect("test config parses")
+    }
+
+    fn channel_only_config() -> RulesConfig {
+        RulesConfig::from_toml("[hygiene]\nban_unbounded_channel = true\n")
+            .expect("test config parses")
+    }
+
+    #[test]
+    fn unbounded_channel_is_flagged_and_sync_channel_is_not() {
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/x/src/a.rs".into(),
+                content:
+                    "fn f() { let (a, b) = mpsc::channel(); let (c, d) = mpsc::sync_channel(1); }"
+                        .into(),
+            }],
+            &channel_only_config(),
+        );
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert!(report.findings[0].message.contains("unbounded"));
+    }
+
+    #[test]
+    fn turbofish_does_not_dodge_the_channel_ban() {
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/x/src/a.rs".into(),
+                content: "fn f() { let pair = mpsc::channel::<Vec<u8>>(); }".into(),
+            }],
+            &channel_only_config(),
+        );
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    }
+
+    #[test]
+    fn channel_in_test_code_is_exempt() {
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/x/src/a.rs".into(),
+                content: "#[cfg(test)]\nmod tests { fn f() { let (a, b) = mpsc::channel(); } }"
+                    .into(),
+            }],
+            &channel_only_config(),
+        );
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn missing_forbid_and_guard_rail_are_flagged() {
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/x/src/lib.rs".into(),
+                content: "// no attributes".into(),
+            }],
+            &config(),
+        );
+        assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+    }
+
+    #[test]
+    fn present_guard_rails_pass() {
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/x/src/lib.rs".into(),
+                content: "#![forbid(unsafe_code)]\n#![deny(clippy::disallowed_types)]\n".into(),
+            }],
+            &config(),
+        );
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn deleted_guard_rail_file_is_flagged() {
+        let report = analyze(&[], &config());
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("not found")),
+            "{:?}",
+            report.findings
+        );
+    }
+}

@@ -50,6 +50,7 @@
 //! [`vital`]: https://docs.rs/vital
 //! [`baselines`]: https://docs.rs/baselines
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(clippy::disallowed_types)]
 #![warn(rust_2018_idioms)]

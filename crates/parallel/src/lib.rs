@@ -49,6 +49,7 @@
 //! assert_eq!(data[999], 999);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

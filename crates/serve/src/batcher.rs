@@ -51,8 +51,10 @@ pub struct Job {
     pub model: String,
     /// Observations to localize, in request order.
     pub observations: Vec<FingerprintObservation>,
-    /// Where the handler thread waits for the outcome.
-    pub reply: mpsc::Sender<Result<Vec<usize>, String>>,
+    /// Where the handler thread waits for the outcome. Bounded (capacity
+    /// 1): exactly one reply is ever sent per job, so the send never
+    /// blocks, and the workspace-wide unbounded-channel ban holds.
+    pub reply: mpsc::SyncSender<Result<Vec<usize>, String>>,
 }
 
 /// Scheduler knobs (see the README's "Serving" section).
@@ -158,32 +160,42 @@ impl JobQueue {
         Ok(())
     }
 
-    /// Blocks for the first job, then coalesces more until `max_batch`
-    /// observations are gathered, a job that would overflow the cap is at
-    /// the front (it stays queued for the next batch), or `max_wait` has
-    /// passed since the first job was taken. Returns `None` once the queue
-    /// is closed **and** drained.
+    /// Blocks for the first job, then coalesces more into `batch` until
+    /// `max_batch` observations are gathered, a job that would overflow the
+    /// cap is at the front (it stays queued for the next batch), or
+    /// `max_wait` has passed since the first job was taken. Returns `false`
+    /// once the queue is closed **and** drained.
+    ///
+    /// `batch` is cleared and refilled rather than returned so the dispatch
+    /// loop can reuse one buffer for its whole lifetime — the per-batch
+    /// `Vec` allocation this replaces was the only allocator traffic in the
+    /// collect path (enforced by vital-lint's hot-path rule).
     ///
     /// The condvar waits release the lock, so any number of workers can be
     /// in here concurrently — collecting never blocks another worker's
     /// collection or execution.
-    fn collect(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Job>> {
+    fn collect_into(&self, batch: &mut Vec<Job>, max_batch: usize, max_wait: Duration) -> bool {
+        batch.clear();
         // A zero cap would collect nothing and spin; treat it as 1 (every
         // batch is then a single job), the old channel-based behaviour.
         let max_batch = max_batch.max(1);
-        let mut state = self.state.lock().ok()?;
+        let Ok(mut state) = self.state.lock() else {
+            return false;
+        };
         loop {
             if !state.jobs.is_empty() {
                 break;
             }
             if state.closed {
-                return None;
+                return false;
             }
-            state = self.not_empty.wait(state).ok()?;
+            match self.not_empty.wait(state) {
+                Ok(guard) => state = guard,
+                Err(_) => return false,
+            }
         }
 
         let deadline = Instant::now() + max_wait;
-        let mut batch: Vec<Job> = Vec::new();
         let mut observations = 0;
         loop {
             // Greedy drain. `max_batch` is a hard cap on the dispatch size
@@ -195,12 +207,16 @@ impl JobQueue {
                 let Some(front) = state.jobs.front() else {
                     break;
                 };
-                if !batch.is_empty() && observations + front.observations.len() > max_batch {
+                let len = front.observations.len();
+                if !batch.is_empty() && observations + len > max_batch {
                     full = true;
                     break;
                 }
-                observations += front.observations.len();
-                batch.push(state.jobs.pop_front().expect("front observed above"));
+                let Some(job) = state.jobs.pop_front() else {
+                    break;
+                };
+                observations += len;
+                batch.push(job);
             }
             if observations >= max_batch || full || state.closed {
                 break;
@@ -209,8 +225,10 @@ impl JobQueue {
             if remaining.is_zero() {
                 break;
             }
-            let (guard, _timeout) = self.not_empty.wait_timeout(state, remaining).ok()?;
-            state = guard;
+            match self.not_empty.wait_timeout(state, remaining) {
+                Ok((guard, _timeout)) => state = guard,
+                Err(_) => return false,
+            }
         }
         // The notify_one that announced a job this worker is now *leaving
         // behind* (overflow carry-over, or arrivals past the cap) was
@@ -220,7 +238,7 @@ impl JobQueue {
         if !state.jobs.is_empty() {
             self.not_empty.notify_one();
         }
-        Some(batch)
+        true
     }
 
     /// Closes the queue (last client handle dropped, last worker gone, or
@@ -396,7 +414,9 @@ pub fn start(
 }
 
 /// One worker's loop: collects and executes batches until the queue is
-/// closed and drained.
+/// closed and drained. The batch buffer is allocated once, up front, and
+/// reused for every collect/execute round — the loop body itself is
+/// allocation-free (enforced by vital-lint's hot-path rule).
 fn dispatch_loop(
     worker_id: usize,
     registry: &Registry,
@@ -404,31 +424,38 @@ fn dispatch_loop(
     config: &BatcherConfig,
     metrics: &Metrics,
 ) {
-    while let Some(batch) = queue.collect(config.max_batch, config.max_wait) {
+    let mut batch: Vec<Job> = Vec::with_capacity(config.max_batch.max(1));
+    while queue.collect_into(&mut batch, config.max_batch, config.max_wait) {
         if batch.is_empty() {
             continue;
         }
         metrics
             .queue_depth
             .fetch_sub(batch.len(), Ordering::Relaxed);
-        execute(worker_id, registry, batch, config, metrics);
+        execute(worker_id, registry, &mut batch, config, metrics);
     }
 }
 
-/// Groups `jobs` by model (preserving arrival order within each group),
-/// runs one `localize_batch` per group and fans results back out.
+/// Groups the drained `jobs` by model (preserving arrival order within
+/// each group), runs one `localize_batch` per group and fans results back
+/// out. Leaves `jobs` empty so the dispatch loop can refill it.
 fn execute(
     worker_id: usize,
     registry: &Registry,
-    jobs: Vec<Job>,
+    jobs: &mut Vec<Job>,
     config: &BatcherConfig,
     metrics: &Metrics,
 ) {
     let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
-    for job in jobs {
+    for mut job in jobs.drain(..) {
         match groups.iter_mut().find(|(model, _)| *model == job.model) {
             Some((_, group)) => group.push(job),
-            None => groups.push((job.model.clone(), vec![job])),
+            None => {
+                // The group key takes ownership of the first member's model
+                // string — grouping copies nothing.
+                let model = std::mem::take(&mut job.model);
+                groups.push((model, vec![job]));
+            }
         }
     }
 
@@ -437,8 +464,8 @@ fn execute(
         // job, drive the fan-out slicing) — no per-request deep copies on
         // the hot path.
         let lengths: Vec<usize> = group.iter().map(|job| job.observations.len()).collect();
-        let batch: Vec<FingerprintObservation> = if group.len() == 1 {
-            std::mem::take(&mut group[0].observations)
+        let batch: Vec<FingerprintObservation> = if let [only] = group.as_mut_slice() {
+            std::mem::take(&mut only.observations)
         } else {
             group
                 .iter_mut()
@@ -476,11 +503,17 @@ fn execute(
 
         match outcome {
             Ok(predictions) => {
-                let mut offset = 0;
-                for (job, take) in group.iter().zip(lengths) {
-                    let slice = predictions[offset..offset + take].to_vec();
-                    offset += take;
-                    let _ = job.reply.send(Ok(slice));
+                // A single-job group owns the whole prediction vector —
+                // hand it over without the per-job slice copy.
+                if let [only] = group.as_slice() {
+                    let _ = only.reply.send(Ok(predictions));
+                } else {
+                    let mut offset = 0;
+                    for (job, take) in group.iter().zip(lengths) {
+                        let slice = predictions[offset..offset + take].to_vec();
+                        offset += take;
+                        let _ = job.reply.send(Ok(slice));
+                    }
                 }
             }
             Err(message) => {
@@ -493,6 +526,9 @@ fn execute(
 }
 
 #[cfg(test)]
+// Tests pace retries/slow models with real sleeps — exempt from the
+// workspace ban on blocking sleeps in request handling.
+#[allow(clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use vital::{Localizer, Result as VitalResult, VitalError};
@@ -567,8 +603,8 @@ mod tests {
         )
         .unwrap();
 
-        let (tx_a, rx_a) = mpsc::channel();
-        let (tx_b, rx_b) = mpsc::channel();
+        let (tx_a, rx_a) = mpsc::sync_channel(1);
+        let (tx_b, rx_b) = mpsc::sync_channel(1);
         client
             .submit(Job {
                 model: "echo".into(),
@@ -609,8 +645,8 @@ mod tests {
             Arc::clone(&metrics),
         )
         .unwrap();
-        let (tx_a, rx_a) = mpsc::channel();
-        let (tx_b, rx_b) = mpsc::channel();
+        let (tx_a, rx_a) = mpsc::sync_channel(1);
+        let (tx_b, rx_b) = mpsc::sync_channel(1);
         client
             .submit(Job {
                 model: "echo".into(),
@@ -666,7 +702,7 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..50 {
                         let v = (submitter * 50 + i) as f32;
-                        let (tx, rx) = mpsc::channel();
+                        let (tx, rx) = mpsc::sync_channel(1);
                         loop {
                             match client.submit(Job {
                                 model: "echo".into(),
@@ -743,7 +779,7 @@ mod tests {
             Arc::new(Metrics::new()),
         )
         .unwrap();
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(1);
         client
             .submit(Job {
                 model: "short".into(),
@@ -767,7 +803,7 @@ mod tests {
         )]));
         let (client, handles) =
             start(registry, BatcherConfig::default(), Arc::new(Metrics::new())).unwrap();
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(1);
         client
             .submit(Job {
                 model: "bad".into(),
@@ -797,7 +833,7 @@ mod tests {
             Arc::new(Metrics::new()),
         )
         .unwrap();
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(1);
         client
             .submit(Job {
                 model: "echo".into(),
@@ -853,7 +889,7 @@ mod tests {
         // guard, its reply channel must error out — never hang.
         let mut replies = Vec::new();
         for _ in 0..4 {
-            let (tx, rx) = mpsc::channel();
+            let (tx, rx) = mpsc::sync_channel(1);
             match client.submit(Job {
                 model: "boom".into(),
                 observations: vec![obs(-1.0)],
@@ -881,7 +917,7 @@ mod tests {
         }
         assert!(!client.is_alive());
         // Post-mortem submits shed immediately.
-        let (tx, _rx) = mpsc::channel();
+        let (tx, _rx) = mpsc::sync_channel(1);
         assert_eq!(
             client.submit(Job {
                 model: "boom".into(),
@@ -936,7 +972,7 @@ mod tests {
         // First submit is picked up by the worker (slow), the next fills
         // the 1-slot queue, and further ones must report Busy.
         for _ in 0..8 {
-            let (tx, rx) = mpsc::channel();
+            let (tx, rx) = mpsc::sync_channel(1);
             match client.submit(Job {
                 model: "slow".into(),
                 observations: vec![obs(-2.0)],

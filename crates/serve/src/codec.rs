@@ -234,10 +234,10 @@ pub fn predictions_response(model: &str, predictions: &[usize], bulk: bool) -> J
             ("count", Json::from(predictions.len())),
         ])
     } else {
-        Json::obj([
-            ("model", Json::from(model)),
-            ("prediction", Json::from(predictions[0])),
-        ])
+        // Single form: callers pass exactly one prediction; an empty slice
+        // degrades to `null` rather than panicking the worker.
+        let first = predictions.first().map_or(Json::Null, |p| Json::from(*p));
+        Json::obj([("model", Json::from(model)), ("prediction", first)])
     }
 }
 

@@ -34,6 +34,7 @@
 //! closed-loop — plus an in-process worker-scaling sweep — and writes
 //! `BENCH_serve.json` for the CI load gate.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(clippy::disallowed_types)]
 #![warn(rust_2018_idioms)]

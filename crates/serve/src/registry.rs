@@ -103,8 +103,10 @@ impl Registry {
                 .iter()
                 .find(|(n, _, _)| n == name)
                 .map(|(_, _, l)| l.as_ref()),
-            None if self.models.len() == 1 => Some(self.models[0].2.as_ref()),
-            None => None,
+            None => match self.models.as_slice() {
+                [(_, _, only)] => Some(only.as_ref()),
+                _ => None,
+            },
         }
     }
 }

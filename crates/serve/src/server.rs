@@ -283,18 +283,24 @@ fn localize(request: &Request, shared: &Shared) -> Response {
                 )
             }
         },
-        None if shared.catalog.len() == 1 => shared.catalog[0].0.clone(),
-        None => {
-            return json_response(
-                400,
-                &codec::error_response(
-                    "several models are hosted; name one with the \"model\" field",
-                ),
-            )
-        }
+        // With exactly one hosted model the name may be omitted; otherwise
+        // it is required.
+        None => match shared.catalog.as_slice() {
+            [(name, _)] => name.clone(),
+            _ => {
+                return json_response(
+                    400,
+                    &codec::error_response(
+                        "several models are hosted; name one with the \"model\" field",
+                    ),
+                )
+            }
+        },
     };
 
-    let (reply_tx, reply_rx) = mpsc::channel();
+    // Capacity 1 is exact: the dispatch worker sends one reply per job, so
+    // the send never blocks and the channel never buffers unboundedly.
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let submitted = shared.batcher.submit(Job {
         model: model.clone(),
         observations: decoded.observations,

@@ -6,6 +6,10 @@
 //! the same weights. Plus deterministic backpressure (503 + `Retry-After`),
 //! multi-worker metrics semantics, and the error surface of the HTTP API.
 
+// Tests pace retries against a live server with real sleeps — exempt from
+// the workspace ban on blocking sleeps in request handling.
+#![allow(clippy::disallowed_methods)]
+
 use std::net::TcpStream;
 use std::time::Duration;
 

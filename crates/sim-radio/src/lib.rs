@@ -34,6 +34,7 @@
 //! assert!(rssi >= -100.0 && rssi <= 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 

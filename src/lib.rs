@@ -4,10 +4,13 @@
 //! single dependency. Library users should depend on the individual crates
 //! ([`vital`], [`fingerprint`], [`sim_radio`], [`baselines`]) directly.
 
+#![forbid(unsafe_code)]
+
 pub use autograd;
 pub use baselines;
 pub use fingerprint;
 pub use jsonio;
+pub use lint;
 pub use nn;
 pub use parallel;
 pub use serve;

@@ -1,0 +1,116 @@
+//! Tier-1 static-analysis gate: `cargo test` runs the full vital-lint
+//! analysis over the workspace and fails on any finding, which makes a
+//! clean tree a tested invariant rather than a separate CI step someone
+//! has to remember to run. The same analysis also backs the `vital-lint`
+//! binary and the CI `static-analysis` job.
+
+use std::path::Path;
+
+use vital_workspace::lint;
+
+fn workspace_report() -> lint::Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    lint::run_workspace(root, &root.join("ci/lint-rules.toml"))
+        .expect("ci/lint-rules.toml must parse and the tree must be walkable")
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let report = workspace_report();
+    assert!(
+        report.findings.is_empty(),
+        "vital-lint found violations:\n{}",
+        report.human()
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allowlist entries in ci/lint-rules.toml: {:?}",
+        report.stale_allows
+    );
+    // The walk actually covered the workspace — a misconfigured include
+    // list passing vacuously would defeat every rule at once.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned; include list is broken",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn allowlisted_exceptions_all_carry_reasons() {
+    let report = workspace_report();
+    for allowed in &report.allowed {
+        assert!(
+            !allowed.reason.trim().is_empty(),
+            "allowlisted finding without a reason: {:?}",
+            allowed.finding
+        );
+    }
+}
+
+#[test]
+fn lock_graph_models_the_real_lock_topology() {
+    let report = workspace_report();
+    let graph = &report.lock_graph;
+
+    // Every lock site of the shared-weights design is observed: the Param
+    // RwLock/Mutex pair and the batcher's condvar-guarded queue mutex.
+    for class in [
+        "nn::Param::value",
+        "nn::Param::grad",
+        "serve::JobQueue::state",
+        "serve::Metrics::batch_sizes",
+    ] {
+        assert!(
+            graph.acquisitions.iter().any(|a| a.class == class),
+            "lock site {class} not observed; acquisitions: {:#?}",
+            graph.acquisitions
+        );
+    }
+
+    // `Param::fmt` holds the value read guard while taking the grad lock —
+    // the one legitimate hold-while-acquiring edge in the workspace. Its
+    // inverse (grad held while taking value) must NOT exist: together they
+    // would deadlock two debug-printing threads, and the cycle detector
+    // fails the build on exactly that (probed in ci/lint-probes.sh).
+    assert!(
+        graph
+            .edges
+            .iter()
+            .any(|e| e.from == "nn::Param::value" && e.to == "nn::Param::grad"),
+        "expected the Param::fmt value->grad edge; edges: {:#?}",
+        graph.edges
+    );
+    assert!(
+        !graph
+            .edges
+            .iter()
+            .any(|e| e.from == "nn::Param::grad" && e.to == "nn::Param::value"),
+        "inverted grad->value acquisition would close a deadlock cycle; edges: {:#?}",
+        graph.edges
+    );
+
+    // The queue lock is never held while acquiring anything else —
+    // collect/push/close all stay single-lock.
+    assert!(
+        !graph
+            .edges
+            .iter()
+            .any(|e| e.from == "serve::JobQueue::state"),
+        "JobQueue::state must not hold while acquiring; edges: {:#?}",
+        graph.edges
+    );
+}
+
+#[test]
+fn report_json_round_trips_through_the_workspace_parser() {
+    let report = workspace_report();
+    let json = report.to_json();
+    let doc = vital_workspace::jsonio::parse(&json).expect("report JSON must parse");
+    assert_eq!(
+        doc.get("files_scanned")
+            .and_then(vital_workspace::jsonio::Json::as_usize),
+        Some(report.files_scanned)
+    );
+    assert!(doc.get("lock_graph").is_some());
+}

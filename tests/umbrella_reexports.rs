@@ -9,7 +9,7 @@
 
 use rand::SeedableRng;
 use vital_workspace::{
-    autograd, baselines, fingerprint, jsonio, nn, serve, sim_radio, tensor, vital,
+    autograd, baselines, fingerprint, jsonio, lint, nn, serve, sim_radio, tensor, vital,
 };
 
 #[test]
@@ -76,4 +76,8 @@ fn every_member_crate_is_reachable_via_the_umbrella() {
         }
         other => panic!("expected a complete request, got {other:?}"),
     }
+
+    // lint: the static-analysis lexer tokenizes through the umbrella path
+    let tokens = lint::lexer::lex("fn main() {}");
+    assert!(!tokens.is_empty());
 }
