@@ -76,7 +76,33 @@ EOF
 expect_rule "hot-path-alloc catches Vec::new in the microkernel span" "hot-path-alloc"
 git checkout -- crates/tensor/src/matmul.rs
 
-# 4. hygiene: an unbounded channel anywhere in production code.
+# 4. lock-order, drain latch: holding the batcher's queue mutex while
+#    taking the Latch flag and vice versa closes a cycle between the two
+#    serve-crate lock classes added/used by the drain path.
+cat > crates/serve/src/__lint_probe.rs <<'EOF'
+struct ProbeQueue {
+    state: std::sync::Mutex<u8>,
+}
+struct ProbeLatch {
+    flag: std::sync::Mutex<bool>,
+}
+fn probe_queue_then_latch(q: &ProbeQueue, l: &ProbeLatch) {
+    let state_guard = q.state.lock().unwrap_or_else(|p| p.into_inner());
+    let flag_guard = l.flag.lock().unwrap_or_else(|p| p.into_inner());
+    drop(flag_guard);
+    drop(state_guard);
+}
+fn probe_latch_then_queue(q: &ProbeQueue, l: &ProbeLatch) {
+    let flag_guard = l.flag.lock().unwrap_or_else(|p| p.into_inner());
+    let state_guard = q.state.lock().unwrap_or_else(|p| p.into_inner());
+    drop(state_guard);
+    drop(flag_guard);
+}
+EOF
+expect_rule "lock-order catches a queue<->latch cycle on the drain path" "lock-order"
+rm crates/serve/src/__lint_probe.rs
+
+# 5. hygiene: an unbounded channel anywhere in production code.
 cat > crates/parallel/src/__lint_probe.rs <<'EOF'
 fn probe() {
     let (_tx, _rx) = std::sync::mpsc::channel::<u8>();
@@ -85,13 +111,13 @@ EOF
 expect_rule "hygiene catches an unbounded mpsc::channel" "hygiene"
 rm crates/parallel/src/__lint_probe.rs
 
-# 5. hygiene guard rails: deleting a pinned attribute (here the nn crate's
+# 6. hygiene guard rails: deleting a pinned attribute (here the nn crate's
 #    disallowed-types deny) must fail even though the build would pass.
 sed -i '/#!\[deny(clippy::disallowed_types)\]/d' crates/nn/src/lib.rs
 expect_rule "hygiene catches a deleted guard-rail attribute" "hygiene"
 git checkout -- crates/nn/src/lib.rs
 
-# 6. After all restores the tree is clean again.
+# 7. After all restores the tree is clean again.
 "$LINT" --workspace --quiet || fail "tree must be clean again after probes"
 echo "probe ok: restored tree passes"
 

@@ -4,14 +4,19 @@
 //!
 //! ```text
 //! perf_gate [--perf BENCH_perf.json] [--thresholds ci/perf-thresholds.json]
-//!           [--serve BENCH_serve.json] [--serve-only]
+//!           [--serve BENCH_serve.json] [--serve-only] [--chaos]
 //! ```
 //!
 //! The compute floors (`gemm`, `vit`) are checked against `--perf` (from
 //! the `perf_summary` binary). When `--serve` is given, the serving floors
 //! are additionally checked against the `serve_loadgen` report; with
 //! `--serve-only` the compute floors are skipped (the `serve-smoke` CI job
-//! runs the load gate without regenerating the compute report).
+//! runs the load gate without regenerating the compute report). With
+//! `--chaos`, the `--serve` report is a `serve_loadgen --chaos` run and is
+//! held to the `chaos` recovery floors instead of the steady-state serving
+//! floors: bounded time-to-recovery after the injected worker panic,
+//! post-recovery throughput and p99, no stranded clients, a visible
+//! supervisor restart, and a clean drain.
 //!
 //! Threshold schema:
 //!
@@ -20,7 +25,11 @@
 //!   "gemm":  [ {"m": 256, "min_speedup": 1.8} ],
 //!   "vit":   { "batch": 32, "min_speedup": 1.3, "require_agreement": true },
 //!   "serve": { "min_rps": 500, "max_p99_ms": 50, "max_errors": 0,
-//!              "require_verified": true }
+//!              "require_verified": true },
+//!   "chaos": { "max_recovery_ms": 3000, "min_post_rps": 100,
+//!              "max_p99_ms": 200, "max_stranded": 0,
+//!              "min_worker_restarts": 1, "require_verified": true,
+//!              "require_drained": true }
 //! }
 //! ```
 
@@ -163,11 +172,75 @@ fn check_serve(gate: &mut Gate, serve: &Json, thresholds: &Json) -> Result<(), S
     Ok(())
 }
 
+/// Checks the chaos-recovery floors from a `serve_loadgen --chaos` report.
+fn check_chaos(gate: &mut Gate, report: &Json, thresholds: &Json) -> Result<(), String> {
+    let chaos = report
+        .get("chaos")
+        .ok_or("chaos report has no chaos section (run serve_loadgen with --chaos)")?;
+    // A null time_to_recovery means either no hard failure was observed
+    // (the panic never fired — the experiment is broken) or no success
+    // followed the outage (the server never recovered). Both must fail.
+    let recovery_ms = chaos
+        .get("time_to_recovery_ms")
+        .and_then(Json::as_f64)
+        .ok_or("chaos report has no measured time_to_recovery_ms — no outage or no recovery")?;
+    gate.check_max(
+        "chaos time to recovery (ms)",
+        recovery_ms,
+        num(thresholds, "chaos threshold", "max_recovery_ms")?,
+    );
+    gate.check(
+        "chaos post-recovery throughput (req/s)",
+        num(chaos, "chaos report", "post_recovery_rps")?,
+        num(thresholds, "chaos threshold", "min_post_rps")?,
+    );
+    gate.check_max(
+        "chaos post-recovery p99 latency (ms)",
+        num(chaos, "chaos report", "post_recovery_p99_ms")?,
+        num(thresholds, "chaos threshold", "max_p99_ms")?,
+    );
+    gate.check_max(
+        "chaos stranded clients",
+        num(chaos, "chaos report", "stranded")?,
+        thresholds
+            .get("max_stranded")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    );
+    gate.check(
+        "chaos supervisor worker restarts",
+        num(chaos, "chaos report", "worker_restarts")?,
+        num(thresholds, "chaos threshold", "min_worker_restarts")?,
+    );
+    if thresholds
+        .get("require_verified")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        gate.require(
+            "chaos post-fault responses bit-identical to offline localize_batch",
+            chaos.get("verified").and_then(Json::as_bool) == Some(true),
+        );
+    }
+    if thresholds
+        .get("require_drained")
+        .and_then(Json::as_bool)
+        .unwrap_or(false)
+    {
+        gate.require(
+            "chaos server drained cleanly after the run",
+            chaos.get("drained_cleanly").and_then(Json::as_bool) == Some(true),
+        );
+    }
+    Ok(())
+}
+
 fn run(
     perf_path: &Path,
     thresholds_path: &Path,
     serve_path: Option<&Path>,
     serve_only: bool,
+    chaos: bool,
 ) -> Result<Vec<String>, String> {
     let thresholds = load(thresholds_path)?;
     let mut gate = Gate {
@@ -176,12 +249,21 @@ fn run(
 
     if let Some(serve_path) = serve_path {
         let serve = load(serve_path)?;
-        let serve_thresholds = thresholds
-            .get("serve")
-            .ok_or("thresholds file has no serve section")?;
-        check_serve(&mut gate, &serve, serve_thresholds)?;
+        if chaos {
+            let chaos_thresholds = thresholds
+                .get("chaos")
+                .ok_or("thresholds file has no chaos section")?;
+            check_chaos(&mut gate, &serve, chaos_thresholds)?;
+        } else {
+            let serve_thresholds = thresholds
+                .get("serve")
+                .ok_or("thresholds file has no serve section")?;
+            check_serve(&mut gate, &serve, serve_thresholds)?;
+        }
     } else if serve_only {
         return Err("--serve-only requires --serve PATH".into());
+    } else if chaos {
+        return Err("--chaos requires --serve PATH (a serve_loadgen --chaos report)".into());
     }
     if serve_only {
         return Ok(gate.failures);
@@ -254,8 +336,9 @@ fn main() -> ExitCode {
     let thresholds = cli::parse_path(&args, "--thresholds", "ci/perf-thresholds.json");
     let serve = cli::value(&args, "--serve").map(PathBuf::from);
     let serve_only = cli::has_flag(&args, "--serve-only");
+    let chaos = cli::has_flag(&args, "--chaos");
 
-    match run(&perf, &thresholds, serve.as_deref(), serve_only) {
+    match run(&perf, &thresholds, serve.as_deref(), serve_only, chaos) {
         Ok(failures) if failures.is_empty() => {
             println!("perf gate: all thresholds met");
             ExitCode::SUCCESS

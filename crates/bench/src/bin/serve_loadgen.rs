@@ -4,7 +4,7 @@
 //! serve_loadgen [--addr 127.0.0.1:8077] [--connections 8] [--duration-s 10]
 //!               [--bulk 8] [--model NAME] [--quick] [--threads N]
 //!               [--checkpoint PATH] [--verify]
-//!               [--sweep-workers 1,2,4] [--out BENCH_serve.json]
+//!               [--sweep-workers 1,2,4] [--chaos] [--out BENCH_serve.json]
 //! ```
 //!
 //! Each connection thread replays bulk `POST /v1/localize` requests built
@@ -23,6 +23,16 @@
 //! weights actually scale — and each sweep run is verified when `--verify`
 //! is given.
 //!
+//! `--chaos` is a different experiment entirely: it boots an in-process
+//! single-worker server from `--checkpoint` with the deterministic
+//! fault-injection harness armed (`worker_panic=N`), drives it with an
+//! oversized closed loop, and records the **outage-and-recovery
+//! timeline** — when the injected panic's hard failures happened, how
+//! long until the supervisor's restarted worker served the next success
+//! (`time_to_recovery_ms`), and the post-recovery throughput/p99. The
+//! report's `chaos` section is what `perf_gate --chaos` holds to the
+//! committed recovery floors.
+//!
 //! The run is summarized to `BENCH_serve.json` (throughput, exact latency
 //! percentiles, error counts, the server's own `/metrics` snapshot, the
 //! sweep), which the `perf_gate --serve` CI step checks against committed
@@ -35,13 +45,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use bench::smoke::smoke_dataset;
 use fingerprint::FingerprintObservation;
 use jsonio::Json;
 use serve::cli;
 use serve::codec;
 use serve::http::{self, Conn, Method};
-use serve::{BatcherConfig, Registry, Server, ServerConfig};
+use serve::{BatcherConfig, FaultPlan, Registry, Server, ServerConfig};
 
 struct Args {
     addr: String,
@@ -54,6 +66,7 @@ struct Args {
     checkpoint: Option<PathBuf>,
     verify: bool,
     sweep_workers: Vec<usize>,
+    chaos: bool,
     out: PathBuf,
 }
 
@@ -80,6 +93,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
             counts
         }
     };
+    let chaos = cli::has_flag(args, "--chaos");
+    if chaos && checkpoint.is_none() {
+        return Err("--chaos requires --checkpoint PATH".into());
+    }
     let default_out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_serve.json");
@@ -96,6 +113,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         checkpoint,
         verify,
         sweep_workers,
+        chaos,
         out: cli::value(args, "--out")
             .map(PathBuf::from)
             .unwrap_or(default_out),
@@ -108,6 +126,8 @@ struct WorkerStats {
     latencies_us: Vec<u64>,
     ok: u64,
     rejected_busy: u64,
+    /// 504s — jobs the server shed because their deadline lapsed queued.
+    expired: u64,
     error_responses: u64,
     transport_errors: u64,
     verify_ok: bool,
@@ -217,6 +237,13 @@ fn worker(
                         #[allow(clippy::disallowed_methods)]
                         std::thread::sleep(Duration::from_millis(2));
                     }
+                    504 => {
+                        stats.expired += 1;
+                        // Deadline shedding is backpressure too: back off
+                        // like a 503 rather than hammering a stale queue.
+                        #[allow(clippy::disallowed_methods)]
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
                     _ => stats.error_responses += 1,
                 }
             }
@@ -250,6 +277,7 @@ struct LoadSummary {
     latencies_us: Vec<u64>, // sorted
     ok: u64,
     rejected: u64,
+    expired: u64,
     error_responses: u64,
     transport: u64,
     /// `None` when not verifying, otherwise whether every response matched.
@@ -311,6 +339,7 @@ fn run_load(
         latencies_us: latencies,
         ok: stats.iter().map(|s| s.ok).sum(),
         rejected: stats.iter().map(|s| s.rejected_busy).sum(),
+        expired: stats.iter().map(|s| s.expired).sum(),
         error_responses: stats.iter().map(|s| s.error_responses).sum(),
         transport: stats.iter().map(|s| s.transport_errors).sum(),
         verified: expected.map(|_| stats.iter().all(|s| s.verify_ok)),
@@ -336,7 +365,7 @@ fn sweep_run(
         .unwrap_or("model")
         .to_string();
     let registry = Registry::from_models(vec![(name, localizer)]);
-    let server = Server::start(
+    let mut server = Server::start(
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             batcher: BatcherConfig {
@@ -344,16 +373,415 @@ fn sweep_run(
                 threads: args.threads,
                 ..BatcherConfig::default()
             },
+            ..ServerConfig::default()
         },
         registry,
     )?;
     let addr = server.addr().to_string();
     let summary = run_load(&addr, connections, args.duration, chunks, None, expected);
-    drop(server);
+    // Graceful teardown between back-to-back sweep servers: drain the
+    // queue and join every worker/supervisor/accept thread, so the next
+    // worker count's run never shares the machine with this one's
+    // stragglers (a plain drop only stops the accept loop).
+    if !server.drain(Duration::from_secs(30)) {
+        eprintln!(
+            "serve_loadgen: WARNING: sweep server ({workers} workers) did not drain within 30 s"
+        );
+    }
     Ok(summary)
 }
 
+/// How a chaos-phase request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventClass {
+    /// 200 with predictions.
+    Ok,
+    /// 503 — queue backpressure (intentional shedding).
+    Busy,
+    /// 504 — deadline shed (intentional shedding).
+    Expired,
+    /// Any other error status; the injected panic's victims show up here
+    /// as 500s.
+    ErrorResp,
+    /// Connection-level failure.
+    Transport,
+    /// A transport failure after ~the full read timeout: the request was
+    /// neither answered nor shed — the worst outcome, a stranded client.
+    Stranded,
+}
+
+impl EventClass {
+    /// Hard failures disrupt clients; `Busy`/`Expired` are the server
+    /// *protecting* clients and do not count against recovery.
+    fn is_hard_failure(self) -> bool {
+        matches!(
+            self,
+            EventClass::ErrorResp | EventClass::Transport | EventClass::Stranded
+        )
+    }
+}
+
+/// One completed chaos-phase request, on the shared run timeline.
+struct ChaosEvent {
+    /// Completion time as an offset from the run start.
+    offset_us: u64,
+    class: EventClass,
+    latency_us: u64,
+}
+
+/// Read timeout for chaos connections, and the cutoff above which a
+/// transport failure counts as a stranded client rather than a reconnect
+/// blip.
+const CHAOS_READ_TIMEOUT: Duration = Duration::from_secs(5);
+const CHAOS_STRANDED_CUTOFF: Duration = Duration::from_millis(4_500);
+
+/// Closed-loop chaos worker: same request stream as [`worker`], but every
+/// completion is recorded as a timeline event for the recovery analysis.
+fn chaos_worker(
+    addr: &str,
+    run_start: Instant,
+    deadline: Instant,
+    chunks: &[Vec<FingerprintObservation>],
+    chunk_stride: (usize, usize),
+    expected: Option<&[Vec<usize>]>,
+) -> (Vec<ChaosEvent>, bool, Option<String>) {
+    let mut events = Vec::new();
+    let mut verify_ok = true;
+    let mut verify_message = None;
+    let connect = || -> Option<TcpStream> {
+        let stream = TcpStream::connect(addr).ok()?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(CHAOS_READ_TIMEOUT));
+        Some(stream)
+    };
+    let Some(mut stream) = connect() else {
+        return (events, verify_ok, verify_message);
+    };
+    let mut conn = Conn::new(stream.try_clone().expect("clone TCP stream"));
+    let (first, stride) = chunk_stride;
+    let mut index = first;
+    let bodies: Vec<String> = chunks
+        .iter()
+        .map(|observations| codec::localize_request_body(None, observations))
+        .collect();
+
+    while Instant::now() < deadline {
+        let chunk = index % chunks.len();
+        index += stride;
+        let started = Instant::now();
+        let sent = http::write_request(
+            &mut (&stream),
+            Method::Post,
+            "/v1/localize",
+            &[("host", addr), ("content-type", "application/json")],
+            bodies[chunk].as_bytes(),
+        );
+        let response = match sent {
+            Ok(()) => conn.read_response(),
+            Err(e) => Err(e.into()),
+        };
+        let elapsed = started.elapsed();
+        let latency_us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let offset_us = run_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let class = match response {
+            Ok(response) => match response.status {
+                200 => {
+                    if let Some(expected) = expected {
+                        match codec::parse_predictions(&response.body) {
+                            Ok(got) if got == expected[chunk] => {}
+                            Ok(got) => {
+                                verify_ok = false;
+                                verify_message.get_or_insert_with(|| {
+                                    format!(
+                                        "chunk {chunk}: server said {got:?}, offline \
+                                         localize_batch said {:?}",
+                                        expected[chunk]
+                                    )
+                                });
+                            }
+                            Err(e) => {
+                                verify_ok = false;
+                                verify_message.get_or_insert_with(|| format!("chunk {chunk}: {e}"));
+                            }
+                        }
+                    }
+                    EventClass::Ok
+                }
+                503 => EventClass::Busy,
+                504 => EventClass::Expired,
+                _ => EventClass::ErrorResp,
+            },
+            Err(_) => {
+                let class = if elapsed >= CHAOS_STRANDED_CUTOFF {
+                    EventClass::Stranded
+                } else {
+                    EventClass::Transport
+                };
+                match connect() {
+                    Some(new_stream) => {
+                        stream = new_stream;
+                        conn = Conn::new(stream.try_clone().expect("clone TCP stream"));
+                    }
+                    None => {
+                        events.push(ChaosEvent {
+                            offset_us,
+                            class,
+                            latency_us,
+                        });
+                        break;
+                    }
+                }
+                class
+            }
+        };
+        if matches!(class, EventClass::Busy | EventClass::Expired) {
+            // Backpressure: pace the retry like the main loadgen does.
+            #[allow(clippy::disallowed_methods)]
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        events.push(ChaosEvent {
+            offset_us,
+            class,
+            latency_us,
+        });
+    }
+    (events, verify_ok, verify_message)
+}
+
+/// The chaos experiment: boot a single-worker in-process server with a
+/// deterministic worker panic armed, overload it, and measure the
+/// outage-and-recovery timeline. Returns `Ok(verified)` like [`run`].
+fn run_chaos(args: &Args) -> Result<bool, String> {
+    let checkpoint = args
+        .checkpoint
+        .as_deref()
+        .expect("checked by parse_args: --chaos requires --checkpoint");
+    let dataset = smoke_dataset();
+    let chunks: Vec<Vec<FingerprintObservation>> = dataset
+        .observations()
+        .chunks(args.bulk)
+        .map(|c| c.to_vec())
+        .collect();
+
+    let expected: Option<Vec<Vec<usize>>> = if args.verify {
+        let localizer = baselines::load_localizer(checkpoint)
+            .map_err(|e| format!("cannot load {} for --verify: {e}", checkpoint.display()))?;
+        let run_batch = || {
+            chunks
+                .iter()
+                .map(|observations| localizer.localize_batch(observations))
+                .collect::<Result<Vec<_>, _>>()
+        };
+        let predictions = match args.threads {
+            Some(threads) => parallel::with_threads(threads, run_batch),
+            None => run_batch(),
+        }
+        .map_err(|e| format!("offline localize_batch failed: {e}"))?;
+        Some(predictions)
+    } else {
+        None
+    };
+
+    // Panic late enough that the server is demonstrably under load when it
+    // dies, early enough that the recovery window dominates the run.
+    let panic_at = if args.quick { 25 } else { 60 };
+    let fault_spec = format!("worker_panic={panic_at}");
+    let faults = Arc::new(FaultPlan::parse(&fault_spec)?);
+
+    let localizer = baselines::load_localizer(checkpoint)
+        .map_err(|e| format!("cannot load {} for --chaos: {e}", checkpoint.display()))?;
+    let name = checkpoint
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("model")
+        .to_string();
+    let registry = Registry::from_models(vec![(name, localizer)]);
+    // ONE worker, so the injected panic is a real outage; a 500 ms default
+    // deadline, so jobs queued across it are shed rather than stranded.
+    let mut server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batcher: BatcherConfig {
+                max_batch: 8,
+                queue_cap: 32,
+                workers: 1,
+                threads: args.threads,
+                faults: Some(faults),
+                ..BatcherConfig::default()
+            },
+            default_deadline: Some(Duration::from_millis(500)),
+        },
+        registry,
+    )?;
+    let addr = server.addr().to_string();
+    let connections = (args.connections * 2).max(8);
+    eprintln!(
+        "serve_loadgen: CHAOS — {} connections × bulk {} against in-process {} for {:.1}s, \
+         fault {fault_spec}",
+        connections,
+        args.bulk,
+        addr,
+        args.duration.as_secs_f64(),
+    );
+
+    let run_start = Instant::now();
+    let deadline = run_start + args.duration;
+    let results: Vec<(Vec<ChaosEvent>, bool, Option<String>)> = std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let chunks = chunks.as_slice();
+        let expected = expected.as_deref();
+        let handles: Vec<_> = (0..connections)
+            .map(|worker_id| {
+                scope.spawn(move || {
+                    chaos_worker(
+                        addr,
+                        run_start,
+                        deadline,
+                        chunks,
+                        (worker_id, connections),
+                        expected,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos worker panicked"))
+            .collect()
+    });
+    let elapsed_s = run_start.elapsed().as_secs_f64();
+
+    let verified = expected
+        .as_ref()
+        .map(|_| results.iter().all(|(_, ok, _)| *ok));
+    if let Some(message) = results.iter().find_map(|(_, _, m)| m.clone()) {
+        eprintln!("serve_loadgen: VERIFY MISMATCH — {message}");
+    }
+    let mut events: Vec<ChaosEvent> = results.into_iter().flat_map(|(e, _, _)| e).collect();
+    events.sort_unstable_by_key(|e| e.offset_us);
+
+    let count = |class: EventClass| events.iter().filter(|e| e.class == class).count() as u64;
+    let requests_ok = count(EventClass::Ok);
+    let failed_500 = count(EventClass::ErrorResp);
+    let stranded = count(EventClass::Stranded);
+    let first_failure_us = events
+        .iter()
+        .find(|e| e.class.is_hard_failure())
+        .map(|e| e.offset_us);
+    let last_failure_us = events
+        .iter()
+        .rev()
+        .find(|e| e.class.is_hard_failure())
+        .map(|e| e.offset_us);
+    // Recovery: the first success after the last hard failure. Time to
+    // recovery is measured from the moment the outage began.
+    let recovery_us = last_failure_us.and_then(|last| {
+        events
+            .iter()
+            .find(|e| e.class == EventClass::Ok && e.offset_us > last)
+            .map(|e| e.offset_us)
+    });
+    let time_to_recovery_ms = match (first_failure_us, recovery_us) {
+        (Some(first), Some(recovered)) => Some((recovered - first) as f64 / 1e3),
+        _ => None,
+    };
+    // Post-recovery health: everything after the recovery point.
+    let post: Vec<&ChaosEvent> = match recovery_us {
+        Some(at) => events.iter().filter(|e| e.offset_us >= at).collect(),
+        None => Vec::new(),
+    };
+    let post_ok = post.iter().filter(|e| e.class == EventClass::Ok).count() as u64;
+    let post_window_s = recovery_us
+        .map(|at| elapsed_s - at as f64 / 1e6)
+        .unwrap_or(0.0);
+    let post_rps = if post_window_s > 0.0 {
+        post_ok as f64 / post_window_s
+    } else {
+        0.0
+    };
+    let mut post_latencies: Vec<u64> = post
+        .iter()
+        .filter(|e| e.class == EventClass::Ok)
+        .map(|e| e.latency_us)
+        .collect();
+    post_latencies.sort_unstable();
+
+    let metrics = server.metrics();
+    let worker_restarts = metrics
+        .worker_restarts
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let live_workers = metrics
+        .live_workers
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let drained_cleanly = server.drain(Duration::from_secs(30));
+
+    let round = |x: f64| (x * 1e3).round() / 1e3;
+    let chaos = Json::obj([
+        ("fault", Json::from(fault_spec.as_str())),
+        ("connections", Json::from(connections)),
+        ("duration_s", Json::from(args.duration.as_secs_f64())),
+        ("elapsed_s", Json::from(round(elapsed_s))),
+        ("requests_ok", Json::from(requests_ok)),
+        ("rejected_busy", Json::from(count(EventClass::Busy))),
+        ("expired_504", Json::from(count(EventClass::Expired))),
+        ("failed_500", Json::from(failed_500)),
+        ("transport_errors", Json::from(count(EventClass::Transport))),
+        ("stranded", Json::from(stranded)),
+        (
+            "first_failure_ms",
+            match first_failure_us {
+                Some(us) => Json::from(round(us as f64 / 1e3)),
+                None => Json::Null,
+            },
+        ),
+        (
+            "time_to_recovery_ms",
+            match time_to_recovery_ms {
+                Some(ms) => Json::from(round(ms)),
+                None => Json::Null,
+            },
+        ),
+        ("post_recovery_ok", Json::from(post_ok)),
+        ("post_recovery_rps", Json::from(round(post_rps))),
+        (
+            "post_recovery_p99_ms",
+            Json::from(round(percentile_ms(&post_latencies, 0.99))),
+        ),
+        ("worker_restarts", Json::from(worker_restarts)),
+        ("live_workers", Json::from(live_workers)),
+        ("drained_cleanly", Json::from(drained_cleanly)),
+        (
+            "verified",
+            match verified {
+                Some(v) => Json::from(v),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    let report = Json::obj([
+        ("quick", Json::from(args.quick)),
+        ("mode", Json::from("chaos")),
+        ("bulk", Json::from(args.bulk)),
+        ("chaos", chaos),
+    ]);
+    std::fs::write(&args.out, report.to_json_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", args.out.display()))?;
+    println!("{report}");
+    eprintln!(
+        "serve_loadgen: CHAOS — {requests_ok} ok, {failed_500} failed (500), {stranded} \
+         stranded, restarts {worker_restarts}, recovery {} — wrote {}",
+        time_to_recovery_ms
+            .map(|ms| format!("{ms:.1} ms"))
+            .unwrap_or_else(|| "n/a (no hard failure observed)".to_string()),
+        args.out.display()
+    );
+    Ok(verified != Some(false))
+}
+
 fn run(args: &Args) -> Result<bool, String> {
+    if args.chaos {
+        return run_chaos(args);
+    }
     let dataset = smoke_dataset();
     let observations = dataset.observations();
 
@@ -502,6 +930,7 @@ fn run(args: &Args) -> Result<bool, String> {
         ("elapsed_s", Json::from(round(summary.elapsed_s))),
         ("requests_ok", Json::from(summary.ok)),
         ("rejected_busy", Json::from(summary.rejected)),
+        ("expired_504", Json::from(summary.expired)),
         (
             "errors",
             Json::from(summary.error_responses + summary.transport),

@@ -15,12 +15,12 @@
 //! lock is only ever held for O(queue length) pops, never for the
 //! `max_wait` window and never during inference.
 //!
-//! Three properties matter:
+//! Five properties matter:
 //!
-//! * **Backpressure** — the queue is a `sync_channel` of fixed capacity;
-//!   when it is full, [`BatcherClient::submit`] fails immediately with
-//!   [`SubmitError::Busy`] and the HTTP layer answers `503` +
-//!   `Retry-After` instead of buffering without bound.
+//! * **Backpressure** — the queue is bounded; when it is full,
+//!   [`BatcherClient::submit`] fails immediately with [`SubmitError::Busy`]
+//!   and the HTTP layer answers `503` + `Retry-After` instead of buffering
+//!   without bound.
 //! * **Bit-identical batching** — coalescing never changes results. The
 //!   GEMM/batched-inference stack guarantees batched execution is
 //!   bit-identical to per-sample execution for any batch size (enforced by
@@ -33,14 +33,32 @@
 //!   `--workers 1` and `--workers N` produce identical responses; only
 //!   throughput changes. The integration suite runs the bit-exactness
 //!   check at 4 workers.
+//! * **Fault containment** — each model group runs under `catch_unwind`,
+//!   so a panicking model fails only its own batch (typed
+//!   [`JobFailure::Failed`] replies, `jobs_failed` metric) and the worker
+//!   keeps serving. A worker killed outright (e.g. by the fault-injection
+//!   harness) is restarted by the supervisor thread with capped
+//!   exponential backoff; `worker_restarts` and `live_workers` make the
+//!   degradation and recovery observable.
+//! * **Staleness shedding** — every job carries its admission time and an
+//!   optional deadline; a worker answers already-expired jobs with
+//!   [`JobFailure::Expired`] (HTTP `504`) at dispatch time instead of
+//!   burning model time on responses nobody is waiting for.
+//!
+//! Shutdown comes in two flavours: `JobQueue::close` (last client handle
+//! dropped — queued jobs are failed immediately) and the **graceful
+//! drain** ([`BatcherClient::drain`]) which refuses new submissions but
+//! lets the workers finish everything already queued before they exit;
+//! [`BatcherClient::await_drained`] observes completion.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use fingerprint::FingerprintObservation;
 
+use crate::faultinject::FaultPlan;
 use crate::metrics::Metrics;
 use crate::registry::Registry;
 
@@ -51,10 +69,37 @@ pub struct Job {
     pub model: String,
     /// Observations to localize, in request order.
     pub observations: Vec<FingerprintObservation>,
+    /// When the request was admitted (deadlines are measured from here;
+    /// also the base for queue-delay accounting).
+    pub admitted: Instant,
+    /// Optional deadline: a job still queued past this instant is shed
+    /// with [`JobFailure::Expired`] at dispatch time instead of served
+    /// late.
+    pub deadline: Option<Instant>,
     /// Where the handler thread waits for the outcome. Bounded (capacity
     /// 1): exactly one reply is ever sent per job, so the send never
     /// blocks, and the workspace-wide unbounded-channel ban holds.
-    pub reply: mpsc::SyncSender<Result<Vec<usize>, String>>,
+    pub reply: mpsc::SyncSender<Result<Vec<usize>, JobFailure>>,
+}
+
+/// Why a dispatched job did not produce predictions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFailure {
+    /// The job's deadline passed while it sat in the queue; the HTTP
+    /// layer answers `504` + `Retry-After`.
+    Expired,
+    /// The model errored or panicked (message attached); the HTTP layer
+    /// answers `500`.
+    Failed(String),
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Expired => write!(f, "deadline exceeded before dispatch"),
+            JobFailure::Failed(message) => write!(f, "{message}"),
+        }
+    }
 }
 
 /// Scheduler knobs (see the README's "Serving" section).
@@ -78,6 +123,15 @@ pub struct BatcherConfig {
     /// resolution). With several dispatch workers, pin this low to avoid
     /// oversubscription: total compute threads ≈ `workers × threads`.
     pub threads: Option<usize>,
+    /// First restart delay after a worker dies; doubles per consecutive
+    /// crash of the same worker slot.
+    pub restart_backoff: Duration,
+    /// Ceiling on the per-worker restart backoff. A worker that stays up
+    /// longer than this earns its base backoff back.
+    pub restart_backoff_cap: Duration,
+    /// Deterministic fault-injection plan (`None` in production: the only
+    /// cost is this `Option` check per batch).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for BatcherConfig {
@@ -88,6 +142,9 @@ impl Default for BatcherConfig {
             queue_cap: 256,
             workers: 1,
             threads: None,
+            restart_backoff: Duration::from_millis(50),
+            restart_backoff_cap: Duration::from_secs(5),
+            faults: None,
         }
     }
 }
@@ -97,7 +154,7 @@ impl Default for BatcherConfig {
 pub enum SubmitError {
     /// The bounded queue is full — shed load (HTTP 503 + `Retry-After`).
     Busy,
-    /// Every dispatch worker has shut down.
+    /// The queue is closed (drain in progress or the batcher is gone).
     Closed,
 }
 
@@ -125,7 +182,7 @@ struct JobQueue {
     /// Capacity in jobs; a full queue sheds load.
     cap: usize,
     /// Live [`BatcherClient`] handles; the last drop closes the queue.
-    clients: AtomicUsize,
+    clients: std::sync::atomic::AtomicUsize,
 }
 
 impl JobQueue {
@@ -137,7 +194,7 @@ impl JobQueue {
             }),
             not_empty: Condvar::new(),
             cap: cap.max(1),
-            clients: AtomicUsize::new(1),
+            clients: std::sync::atomic::AtomicUsize::new(1),
         }
     }
 
@@ -241,13 +298,12 @@ impl JobQueue {
         true
     }
 
-    /// Closes the queue (last client handle dropped, last worker gone, or
-    /// worker spawning aborted): flag and drain happen under the one state
-    /// lock, so neither can a worker check-then-wait past it nor a push
-    /// land after it. Returns the jobs drained from the queue so the
-    /// caller can fail them (dropping a [`Job`] drops its reply sender,
-    /// which surfaces as an error on the handler thread rather than an
-    /// eternal wait).
+    /// Closes the queue (last client handle dropped, or worker spawning
+    /// aborted): flag and drain happen under the one state lock, so
+    /// neither can a worker check-then-wait past it nor a push land after
+    /// it. Returns the jobs drained from the queue so the caller can fail
+    /// them (dropping a [`Job`] drops its reply sender, which surfaces as
+    /// an error on the handler thread rather than an eternal wait).
     fn close(&self) -> Vec<Job> {
         let mut drained = Vec::new();
         if let Ok(mut state) = self.state.lock() {
@@ -259,13 +315,86 @@ impl JobQueue {
         self.not_empty.notify_all();
         drained
     }
+
+    /// Closes the queue for new submissions but **keeps** the queued jobs:
+    /// the dispatch workers drain them to completion and then exit
+    /// (`collect_into` keeps returning batches from a closed queue until
+    /// it is empty). This is the graceful-shutdown half; [`close`] is the
+    /// abandon-ship half.
+    ///
+    /// [`close`]: JobQueue::close
+    fn drain_close(&self) {
+        if let Ok(mut state) = self.state.lock() {
+            state.closed = true;
+        }
+        self.not_empty.notify_all();
+    }
+
+    /// Whether the queue has been closed (gracefully or not). A poisoned
+    /// lock counts as closed — nothing can be pushed through it anyway.
+    fn is_closed(&self) -> bool {
+        self.state.lock().map(|state| state.closed).unwrap_or(true)
+    }
+}
+
+/// One-shot completion latch: the supervisor sets it after the last
+/// worker has exited with the queue fully drained, and drain callers
+/// block on it with a timeout. A dedicated latch (rather than joining
+/// thread handles) lets any number of `BatcherClient` clones await the
+/// drain concurrently.
+struct Latch {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            flag: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn set(&self) {
+        if let Ok(mut done) = self.flag.lock() {
+            *done = true;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits up to `timeout` for the latch; returns whether it was set.
+    fn wait_timeout(&self, timeout: Duration) -> bool {
+        // Clamp so the deadline arithmetic cannot overflow on
+        // `Duration::MAX`-style inputs.
+        let timeout = timeout.min(Duration::from_secs(86_400 * 365));
+        let deadline = Instant::now() + timeout;
+        let Ok(mut done) = self.flag.lock() else {
+            return false;
+        };
+        while !*done {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return false;
+            }
+            match self.cv.wait_timeout(done, remaining) {
+                Ok((guard, _timeout)) => done = guard,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
 }
 
 /// Cheap, cloneable handle the connection handlers submit through.
 pub struct BatcherClient {
     queue: Arc<JobQueue>,
     metrics: Arc<Metrics>,
-    alive_workers: Arc<AtomicUsize>,
+    /// True while the supervisor thread is running (it restarts dead
+    /// workers, so the batcher is alive even at a momentary zero live
+    /// workers).
+    supervised: Arc<AtomicBool>,
+    drained: Arc<Latch>,
+    workers: usize,
 }
 
 impl Clone for BatcherClient {
@@ -274,7 +403,9 @@ impl Clone for BatcherClient {
         BatcherClient {
             queue: Arc::clone(&self.queue),
             metrics: Arc::clone(&self.metrics),
-            alive_workers: Arc::clone(&self.alive_workers),
+            supervised: Arc::clone(&self.supervised),
+            drained: Arc::clone(&self.drained),
+            workers: self.workers,
         }
     }
 }
@@ -285,10 +416,10 @@ impl Drop for BatcherClient {
             // Any jobs still queued at this point have no handler thread
             // left to answer (handlers hold client clones), so dropping
             // them is safe; keep the depth gauge consistent anyway.
-            let drained = self.queue.close();
+            let dropped = self.queue.close();
             self.metrics
                 .queue_depth
-                .fetch_sub(drained.len(), Ordering::Relaxed);
+                .fetch_sub(dropped.len(), Ordering::Relaxed);
         }
     }
 }
@@ -298,7 +429,8 @@ impl BatcherClient {
     ///
     /// # Errors
     /// [`SubmitError::Busy`] when the queue is at capacity,
-    /// [`SubmitError::Closed`] when every dispatch worker is gone.
+    /// [`SubmitError::Closed`] when the queue is closed or the batcher is
+    /// gone.
     pub fn submit(&self, job: Job) -> Result<(), SubmitError> {
         if !self.is_alive() {
             return Err(SubmitError::Closed);
@@ -316,23 +448,252 @@ impl BatcherClient {
         }
     }
 
-    /// Whether at least one dispatch worker is still running. `false`
-    /// means every localize request will fail — surfaced by `GET /healthz`
-    /// so orchestrators stop routing to a dead service.
+    /// Whether the batcher can still make progress: either a dispatch
+    /// worker is running, or the supervisor is alive and will restart one.
+    /// `false` means every localize request will fail — surfaced by
+    /// `GET /healthz` so orchestrators stop routing to a dead service.
     pub fn is_alive(&self) -> bool {
-        self.alive_workers.load(Ordering::Relaxed) > 0
+        self.supervised.load(Ordering::SeqCst)
+            || self.metrics.live_workers.load(Ordering::Relaxed) > 0
+    }
+
+    /// Dispatch workers currently running (a momentarily lower number than
+    /// [`configured_workers`] means the supervisor is mid-restart).
+    ///
+    /// [`configured_workers`]: BatcherClient::configured_workers
+    pub fn live_workers(&self) -> usize {
+        self.metrics.live_workers.load(Ordering::Relaxed)
+    }
+
+    /// How many dispatch workers this batcher was started with.
+    pub fn configured_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Begins a graceful drain: new submissions fail with
+    /// [`SubmitError::Closed`] immediately, while everything already
+    /// queued is dispatched to completion, after which the workers and
+    /// the supervisor exit. Use [`await_drained`] to observe completion.
+    ///
+    /// [`await_drained`]: BatcherClient::await_drained
+    pub fn drain(&self) {
+        self.queue.drain_close();
+    }
+
+    /// Blocks until the drain has fully completed — every queued job
+    /// answered, every worker and the supervisor exited — or `timeout`
+    /// passed. Returns whether the drain completed.
+    pub fn await_drained(&self, timeout: Duration) -> bool {
+        self.drained.wait_timeout(timeout)
     }
 }
 
-/// Starts `config.workers` dispatch workers serving `registry` and returns
-/// the submission handle plus one join handle per worker.
+/// A worker thread announcing its own death (through the guard's `Drop`,
+/// so a panic cannot skip it).
+struct WorkerExit {
+    worker_id: usize,
+    panicked: bool,
+}
+
+/// Runs inside each worker thread: decrements the live-worker gauge and
+/// reports the exit to the supervisor however the worker ends — clean
+/// drain or panic (`thread::panicking()` tells them apart).
+struct AliveGuard {
+    worker_id: usize,
+    metrics: Arc<Metrics>,
+    exits: mpsc::SyncSender<WorkerExit>,
+}
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.metrics.live_workers.fetch_sub(1, Ordering::AcqRel);
+        let _ = self.exits.send(WorkerExit {
+            worker_id: self.worker_id,
+            panicked: std::thread::panicking(),
+        });
+    }
+}
+
+/// Spawns one dispatch worker. The live-worker gauge is incremented
+/// *before* the spawn and decremented by the in-thread guard (or the
+/// error path), so it never over-reports across a spawn failure.
+fn spawn_worker(
+    worker_id: usize,
+    registry: &Arc<Registry>,
+    queue: &Arc<JobQueue>,
+    config: &BatcherConfig,
+    metrics: &Arc<Metrics>,
+    exits: &mpsc::SyncSender<WorkerExit>,
+) -> Result<std::thread::JoinHandle<()>, String> {
+    let registry = Arc::clone(registry);
+    let queue = Arc::clone(queue);
+    let config = config.clone();
+    let metrics = Arc::clone(metrics);
+    let gauge = Arc::clone(&metrics);
+    let exits = exits.clone();
+    gauge.live_workers.fetch_add(1, Ordering::AcqRel);
+    std::thread::Builder::new()
+        .name(format!("vital-serve-worker-{worker_id}"))
+        .spawn(move || {
+            // Constructed inside the thread: a failed spawn never creates
+            // the guard, so it cannot send a phantom exit event.
+            let _guard = AliveGuard {
+                worker_id,
+                metrics: Arc::clone(&metrics),
+                exits,
+            };
+            dispatch_loop(worker_id, &registry, &queue, &config, &metrics);
+        })
+        .map_err(|e| {
+            gauge.live_workers.fetch_sub(1, Ordering::AcqRel);
+            format!("cannot spawn dispatch worker {worker_id}: {e}")
+        })
+}
+
+/// The supervisor thread: restarts panicked workers with capped
+/// exponential backoff, joins the dead, and fires the drained latch once
+/// the queue is closed and every worker has exited.
+struct Supervisor {
+    registry: Arc<Registry>,
+    queue: Arc<JobQueue>,
+    config: BatcherConfig,
+    metrics: Arc<Metrics>,
+    exit_rx: mpsc::Receiver<WorkerExit>,
+    /// Kept so respawned workers can report their own exits; also keeps
+    /// `exit_rx` from ever disconnecting while the supervisor runs.
+    exit_tx: mpsc::SyncSender<WorkerExit>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    supervised: Arc<AtomicBool>,
+    drained: Arc<Latch>,
+}
+
+impl Supervisor {
+    fn run(mut self) {
+        let workers = self.handles.len();
+        let mut running = vec![true; workers];
+        let mut backoff = vec![self.config.restart_backoff; workers];
+        let mut spawned_at = vec![Instant::now(); workers];
+        // Scheduled (worker, due-time) restarts not yet fired.
+        let mut pending: Vec<(usize, Instant)> = Vec::new();
+        // Upper bound on each wait so a queue close is noticed promptly
+        // even with no exit events and no pending restarts.
+        const POLL: Duration = Duration::from_millis(200);
+
+        loop {
+            let now = Instant::now();
+            let wait = pending
+                .iter()
+                .map(|(_, due)| due.saturating_duration_since(now))
+                .min()
+                .unwrap_or(POLL)
+                .min(POLL);
+            let event = match self.exit_rx.recv_timeout(wait) {
+                Ok(event) => Some(event),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                // Unreachable while `exit_tx` lives on self; treat like a
+                // timeout so the loop still converges on close.
+                Err(mpsc::RecvTimeoutError::Disconnected) => None,
+            };
+
+            if let Some(exit) = event {
+                let id = exit.worker_id;
+                if let Some(slot) = running.get_mut(id) {
+                    *slot = false;
+                }
+                if let Some(handle) = self.handles.get_mut(id).and_then(Option::take) {
+                    let _ = handle.join();
+                }
+                if exit.panicked && !self.queue.is_closed() {
+                    if let Some(step) = backoff.get_mut(id) {
+                        // A worker that stayed up past the cap has proven
+                        // itself healthy: charge it the base backoff, not
+                        // its crash-loop history.
+                        let uptime = spawned_at.get(id).map(Instant::elapsed).unwrap_or_default();
+                        if uptime >= self.config.restart_backoff_cap {
+                            *step = self.config.restart_backoff;
+                        }
+                        let delay = *step;
+                        *step = step.saturating_mul(2).min(self.config.restart_backoff_cap);
+                        pending.push((id, Instant::now() + delay));
+                    }
+                }
+            }
+
+            if self.queue.is_closed() {
+                // Drain or shutdown in progress: dead workers stay dead.
+                pending.clear();
+            } else {
+                let now = Instant::now();
+                let mut i = 0;
+                while i < pending.len() {
+                    if pending[i].1 > now {
+                        i += 1;
+                        continue;
+                    }
+                    let (id, _) = pending.swap_remove(i);
+                    match spawn_worker(
+                        id,
+                        &self.registry,
+                        &self.queue,
+                        &self.config,
+                        &self.metrics,
+                        &self.exit_tx,
+                    ) {
+                        Ok(handle) => {
+                            if let Some(slot) = self.handles.get_mut(id) {
+                                *slot = Some(handle);
+                            }
+                            if let Some(slot) = running.get_mut(id) {
+                                *slot = true;
+                            }
+                            if let Some(slot) = spawned_at.get_mut(id) {
+                                *slot = Instant::now();
+                            }
+                            self.metrics.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // Spawn failure (resource exhaustion): retry on
+                            // the next backoff step rather than giving up
+                            // the worker slot forever.
+                            let delay = backoff
+                                .get(id)
+                                .copied()
+                                .unwrap_or(self.config.restart_backoff_cap);
+                            if let Some(step) = backoff.get_mut(id) {
+                                *step = step.saturating_mul(2).min(self.config.restart_backoff_cap);
+                            }
+                            pending.push((id, now + delay));
+                        }
+                    }
+                }
+            }
+
+            if self.queue.is_closed() && pending.is_empty() && running.iter().all(|r| !*r) {
+                break;
+            }
+        }
+
+        // `running` only goes false through an observed exit event, so by
+        // here every worker has sent its event; join any stragglers.
+        for handle in self.handles.iter_mut().filter_map(Option::take) {
+            let _ = handle.join();
+        }
+        self.supervised.store(false, Ordering::SeqCst);
+        self.drained.set();
+    }
+}
+
+/// Starts `config.workers` dispatch workers serving `registry`, plus a
+/// supervisor thread that restarts any worker that dies, and returns the
+/// submission handle plus the supervisor's join handle.
 ///
 /// The registry is built by the caller on whatever thread it likes —
 /// models are `Send + Sync` — and shared by every worker. Workers exit
-/// when every [`BatcherClient`] clone is dropped.
+/// when every [`BatcherClient`] clone is dropped or a drain completes;
+/// the supervisor exits after the workers.
 ///
 /// # Errors
-/// Worker-thread spawn failures, as a message.
+/// Thread spawn failures, as a message.
 pub fn start(
     registry: Arc<Registry>,
     config: BatcherConfig,
@@ -340,76 +701,62 @@ pub fn start(
 ) -> Result<(BatcherClient, Vec<std::thread::JoinHandle<()>>), String> {
     let queue = Arc::new(JobQueue::new(config.queue_cap));
     let workers = config.workers.max(1);
-    let alive_workers = Arc::new(AtomicUsize::new(workers));
+    // Bounded (hygiene: no unbounded channels), but comfortably larger
+    // than the worker count; the supervisor drains it continuously, so
+    // sends never block in practice.
+    let (exit_tx, exit_rx) = mpsc::sync_channel(workers * 2 + 2);
 
-    /// Decrements the live-worker count when a worker exits — including by
-    /// panic — so `/healthz` stops reporting a service that can no longer
-    /// answer once the last worker is gone. The **last** worker to exit
-    /// also closes and drains the queue: dropping the stranded jobs drops
-    /// their reply senders, so handler threads blocked on the reply get an
-    /// immediate error (HTTP 500) instead of waiting forever, and further
-    /// submits fail with [`SubmitError::Closed`].
-    struct AliveGuard {
-        alive_workers: Arc<AtomicUsize>,
-        queue: Arc<JobQueue>,
-        metrics: Arc<Metrics>,
-    }
-    impl Drop for AliveGuard {
-        fn drop(&mut self) {
-            if self.alive_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let drained = self.queue.close();
-                self.metrics
-                    .queue_depth
-                    .fetch_sub(drained.len(), Ordering::Relaxed);
-            }
-        }
-    }
-
-    let mut handles = Vec::with_capacity(workers);
+    let mut handles: Vec<Option<std::thread::JoinHandle<()>>> = Vec::with_capacity(workers);
     for worker_id in 0..workers {
-        let guard = AliveGuard {
-            alive_workers: Arc::clone(&alive_workers),
-            queue: Arc::clone(&queue),
-            metrics: Arc::clone(&metrics),
-        };
-        let registry = Arc::clone(&registry);
-        let worker_queue = Arc::clone(&queue);
-        let config = config.clone();
-        let worker_metrics = Arc::clone(&metrics);
-        let spawned = std::thread::Builder::new()
-            .name(format!("vital-serve-worker-{worker_id}"))
-            .spawn(move || {
-                let _guard = guard;
-                dispatch_loop(
-                    worker_id,
-                    &registry,
-                    &worker_queue,
-                    &config,
-                    &worker_metrics,
-                );
-            });
-        match spawned {
-            Ok(handle) => handles.push(handle),
+        match spawn_worker(worker_id, &registry, &queue, &config, &metrics, &exit_tx) {
+            Ok(handle) => handles.push(Some(handle)),
             Err(e) => {
                 // Unblock the workers already spawned — without a close
                 // they (and the registry they hold) would wait on the
                 // condvar forever, since the BatcherClient owning the
                 // initial client refcount is never constructed.
                 queue.close();
-                for handle in handles {
+                for handle in handles.into_iter().flatten() {
                     let _ = handle.join();
                 }
-                return Err(format!("cannot spawn dispatch worker {worker_id}: {e}"));
+                return Err(e);
             }
         }
     }
+
+    let supervised = Arc::new(AtomicBool::new(true));
+    let drained = Arc::new(Latch::new());
+    let supervisor = Supervisor {
+        registry,
+        queue: Arc::clone(&queue),
+        config,
+        metrics: Arc::clone(&metrics),
+        exit_rx,
+        exit_tx,
+        handles,
+        supervised: Arc::clone(&supervised),
+        drained: Arc::clone(&drained),
+    };
+    let handle = std::thread::Builder::new()
+        .name("vital-serve-supervisor".into())
+        .spawn(move || supervisor.run())
+        .map_err(|e| {
+            // The workers exit on their own once the queue closes; their
+            // handles were consumed by the failed closure, so they cannot
+            // be joined here.
+            queue.close();
+            format!("cannot spawn batcher supervisor: {e}")
+        })?;
+
     Ok((
         BatcherClient {
             queue,
             metrics,
-            alive_workers,
+            supervised,
+            drained,
+            workers,
         },
-        handles,
+        vec![handle],
     ))
 }
 
@@ -432,13 +779,22 @@ fn dispatch_loop(
         metrics
             .queue_depth
             .fetch_sub(batch.len(), Ordering::Relaxed);
+        if let Some(faults) = &config.faults {
+            // An injected worker panic fires here, outside the per-group
+            // catch_unwind in `execute`: the whole collected batch drops
+            // (handlers observe disconnected replies → 500) and the
+            // supervisor restarts this worker — exactly the failure mode
+            // the chaos suite drives.
+            faults.on_batch_collected();
+        }
         execute(worker_id, registry, &mut batch, config, metrics);
     }
 }
 
 /// Groups the drained `jobs` by model (preserving arrival order within
-/// each group), runs one `localize_batch` per group and fans results back
-/// out. Leaves `jobs` empty so the dispatch loop can refill it.
+/// each group), sheds expired jobs, runs one `localize_batch` per group
+/// under `catch_unwind` and fans results back out. Leaves `jobs` empty so
+/// the dispatch loop can refill it.
 fn execute(
     worker_id: usize,
     registry: &Registry,
@@ -446,8 +802,17 @@ fn execute(
     config: &BatcherConfig,
     metrics: &Metrics,
 ) {
+    // One clock read for the whole batch: deadline shedding answers
+    // already-expired jobs with 504 instead of spending model time on
+    // responses nobody is waiting for.
+    let now = Instant::now();
     let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
     for mut job in jobs.drain(..) {
+        if job.deadline.is_some_and(|deadline| deadline <= now) {
+            metrics.jobs_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(JobFailure::Expired));
+            continue;
+        }
         match groups.iter_mut().find(|(model, _)| *model == job.model) {
             Some((_, group)) => group.push(job),
             None => {
@@ -460,6 +825,9 @@ fn execute(
     }
 
     for (model, mut group) in groups {
+        if let Some(faults) = &config.faults {
+            faults.on_group_dispatch(&model);
+        }
         // Move the observations out of the jobs (their lengths, kept per
         // job, drive the fan-out slicing) — no per-request deep copies on
         // the hot path.
@@ -474,34 +842,7 @@ fn execute(
         };
         metrics.record_batch(worker_id, batch.len());
 
-        let outcome = match registry.get(Some(&model)) {
-            Some(localizer) => {
-                let run = || localizer.localize_batch(&batch);
-                match config.threads {
-                    Some(threads) => parallel::with_threads(threads, run),
-                    None => run(),
-                }
-                .map_err(|e| format!("model {model:?} failed: {e}"))
-                .and_then(|predictions| {
-                    // A short/long result would make the fan-out slicing
-                    // panic the worker; degrade this batch instead.
-                    if predictions.len() == batch.len() {
-                        Ok(predictions)
-                    } else {
-                        Err(format!(
-                            "model {model:?} returned {} predictions for {} observations",
-                            predictions.len(),
-                            batch.len()
-                        ))
-                    }
-                })
-            }
-            // Unreachable in practice: names are validated against the
-            // catalog before enqueueing.
-            None => Err(format!("model {model:?} is not loaded")),
-        };
-
-        match outcome {
+        match run_model(registry, &model, &batch, config) {
             Ok(predictions) => {
                 // A single-job group owns the whole prediction vector —
                 // hand it over without the per-job slice copy.
@@ -517,11 +858,73 @@ fn execute(
                 }
             }
             Err(message) => {
+                metrics
+                    .jobs_failed
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                let failure = JobFailure::Failed(message);
                 for job in &group {
-                    let _ = job.reply.send(Err(message.clone()));
+                    let _ = job.reply.send(Err(failure.clone()));
                 }
             }
         }
+    }
+}
+
+/// Runs one model group under `catch_unwind`: a panicking model — poisoned
+/// weights, a bug in a localizer — fails only this batch with a typed
+/// error instead of killing the dispatch worker. `AssertUnwindSafe` is
+/// sound here because nothing crossing the boundary is observed after an
+/// unwind: the batch is dropped, the registry's models are immutable
+/// shared weights, and the metrics are atomics.
+fn run_model(
+    registry: &Registry,
+    model: &str,
+    batch: &[FingerprintObservation],
+    config: &BatcherConfig,
+) -> Result<Vec<usize>, String> {
+    // Unreachable in practice: names are validated against the catalog
+    // before enqueueing.
+    let Some(localizer) = registry.get(Some(model)) else {
+        return Err(format!("model {model:?} is not loaded"));
+    };
+    let run = || localizer.localize_batch(batch);
+    let executed =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match config.threads {
+            Some(threads) => parallel::with_threads(threads, run),
+            None => run(),
+        }));
+    match executed {
+        Ok(outcome) => outcome
+            .map_err(|e| format!("model {model:?} failed: {e}"))
+            .and_then(|predictions| {
+                // A short/long result would make the fan-out slicing panic
+                // the worker; degrade this batch instead.
+                if predictions.len() == batch.len() {
+                    Ok(predictions)
+                } else {
+                    Err(format!(
+                        "model {model:?} returned {} predictions for {} observations",
+                        predictions.len(),
+                        batch.len()
+                    ))
+                }
+            }),
+        Err(payload) => Err(format!(
+            "model {model:?} panicked: {}",
+            panic_message(payload.as_ref())
+        )),
+    }
+}
+
+/// Best-effort readable text from a panic payload (`&str` and `String`
+/// cover every panic the workspace can produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -574,6 +977,21 @@ mod tests {
         }
     }
 
+    /// A test job with no deadline, admitted now.
+    fn job(
+        model: &str,
+        observations: Vec<FingerprintObservation>,
+        reply: mpsc::SyncSender<Result<Vec<usize>, JobFailure>>,
+    ) -> Job {
+        Job {
+            model: model.into(),
+            observations,
+            admitted: Instant::now(),
+            deadline: None,
+            reply,
+        }
+    }
+
     fn echo_registry() -> Arc<Registry> {
         Arc::new(Registry::from_models(vec![(
             "echo".into(),
@@ -583,7 +1001,7 @@ mod tests {
 
     fn join_all(handles: Vec<std::thread::JoinHandle<()>>) {
         for handle in handles {
-            handle.join().expect("dispatch worker must not panic");
+            handle.join().expect("batcher thread must not panic");
         }
     }
 
@@ -598,6 +1016,7 @@ mod tests {
                 queue_cap: 16,
                 workers: 1,
                 threads: Some(1),
+                ..BatcherConfig::default()
             },
             Arc::clone(&metrics),
         )
@@ -606,19 +1025,9 @@ mod tests {
         let (tx_a, rx_a) = mpsc::sync_channel(1);
         let (tx_b, rx_b) = mpsc::sync_channel(1);
         client
-            .submit(Job {
-                model: "echo".into(),
-                observations: vec![obs(-3.0), obs(-5.0)],
-                reply: tx_a,
-            })
+            .submit(job("echo", vec![obs(-3.0), obs(-5.0)], tx_a))
             .unwrap();
-        client
-            .submit(Job {
-                model: "echo".into(),
-                observations: vec![obs(-7.0)],
-                reply: tx_b,
-            })
-            .unwrap();
+        client.submit(job("echo", vec![obs(-7.0)], tx_b)).unwrap();
         assert_eq!(rx_a.recv().unwrap().unwrap(), vec![3, 5]);
         assert_eq!(rx_b.recv().unwrap().unwrap(), vec![7]);
 
@@ -641,6 +1050,7 @@ mod tests {
                 queue_cap: 16,
                 workers: 1,
                 threads: Some(1),
+                ..BatcherConfig::default()
             },
             Arc::clone(&metrics),
         )
@@ -648,18 +1058,10 @@ mod tests {
         let (tx_a, rx_a) = mpsc::sync_channel(1);
         let (tx_b, rx_b) = mpsc::sync_channel(1);
         client
-            .submit(Job {
-                model: "echo".into(),
-                observations: vec![obs(-1.0), obs(-2.0), obs(-3.0)],
-                reply: tx_a,
-            })
+            .submit(job("echo", vec![obs(-1.0), obs(-2.0), obs(-3.0)], tx_a))
             .unwrap();
         client
-            .submit(Job {
-                model: "echo".into(),
-                observations: vec![obs(-4.0), obs(-5.0), obs(-6.0)],
-                reply: tx_b,
-            })
+            .submit(job("echo", vec![obs(-4.0), obs(-5.0), obs(-6.0)], tx_b))
             .unwrap();
         assert_eq!(rx_a.recv().unwrap().unwrap(), vec![1, 2, 3]);
         assert_eq!(rx_b.recv().unwrap().unwrap(), vec![4, 5, 6]);
@@ -691,6 +1093,7 @@ mod tests {
                 queue_cap: 256,
                 workers: 4,
                 threads: Some(1),
+                ..BatcherConfig::default()
             },
             Arc::clone(&metrics),
         )
@@ -704,11 +1107,7 @@ mod tests {
                         let v = (submitter * 50 + i) as f32;
                         let (tx, rx) = mpsc::sync_channel(1);
                         loop {
-                            match client.submit(Job {
-                                model: "echo".into(),
-                                observations: vec![obs(-v)],
-                                reply: tx.clone(),
-                            }) {
+                            match client.submit(job("echo", vec![obs(-v)], tx.clone())) {
                                 Ok(()) => break,
                                 Err(SubmitError::Busy) => {
                                     std::thread::sleep(Duration::from_micros(50));
@@ -781,14 +1180,13 @@ mod tests {
         .unwrap();
         let (tx, rx) = mpsc::sync_channel(1);
         client
-            .submit(Job {
-                model: "short".into(),
-                observations: vec![obs(-1.0), obs(-2.0)],
-                reply: tx,
-            })
+            .submit(job("short", vec![obs(-1.0), obs(-2.0)], tx))
             .unwrap();
         let err = rx.recv().unwrap().unwrap_err();
-        assert!(err.contains("1 predictions for 2 observations"), "{err}");
+        assert!(
+            err.to_string().contains("1 predictions for 2 observations"),
+            "{err}"
+        );
         // The worker survived the bad batch.
         assert!(client.is_alive());
         drop(client);
@@ -801,18 +1199,14 @@ mod tests {
             "bad".into(),
             Box::new(FailingLocalizer),
         )]));
+        let metrics = Arc::new(Metrics::new());
         let (client, handles) =
-            start(registry, BatcherConfig::default(), Arc::new(Metrics::new())).unwrap();
+            start(registry, BatcherConfig::default(), Arc::clone(&metrics)).unwrap();
         let (tx, rx) = mpsc::sync_channel(1);
-        client
-            .submit(Job {
-                model: "bad".into(),
-                observations: vec![obs(-1.0)],
-                reply: tx,
-            })
-            .unwrap();
+        client.submit(job("bad", vec![obs(-1.0)], tx)).unwrap();
         let err = rx.recv().unwrap().unwrap_err();
-        assert!(err.contains("bad"), "{err}");
+        assert!(err.to_string().contains("bad"), "{err}");
+        assert_eq!(metrics.jobs_failed.load(Ordering::Relaxed), 1);
         drop(client);
         join_all(handles);
     }
@@ -829,18 +1223,13 @@ mod tests {
                 queue_cap: 4,
                 workers: 1,
                 threads: Some(1),
+                ..BatcherConfig::default()
             },
             Arc::new(Metrics::new()),
         )
         .unwrap();
         let (tx, rx) = mpsc::sync_channel(1);
-        client
-            .submit(Job {
-                model: "echo".into(),
-                observations: vec![obs(-9.0)],
-                reply: tx,
-            })
-            .unwrap();
+        client.submit(job("echo", vec![obs(-9.0)], tx)).unwrap();
         assert_eq!(
             rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
             vec![9]
@@ -849,7 +1238,7 @@ mod tests {
         join_all(handles);
     }
 
-    /// A localizer whose batch execution panics, killing its worker.
+    /// A localizer whose every prediction panics.
     struct PanickingLocalizer;
 
     impl Localizer for PanickingLocalizer {
@@ -865,73 +1254,209 @@ mod tests {
     }
 
     #[test]
-    fn dead_workers_fail_queued_jobs_instead_of_stranding_them() {
-        let registry = Arc::new(Registry::from_models(vec![(
-            "boom".into(),
-            Box::new(PanickingLocalizer),
-        )]));
+    fn panicking_model_fails_its_batch_but_the_worker_survives() {
+        let registry = Arc::new(Registry::from_models(vec![
+            ("boom".into(), Box::new(PanickingLocalizer) as _),
+            ("echo".into(), Box::new(EchoLocalizer) as _),
+        ]));
         let metrics = Arc::new(Metrics::new());
         let (client, handles) = start(
             registry,
             BatcherConfig {
-                max_batch: 1,
-                max_wait: Duration::from_micros(1),
-                queue_cap: 8,
+                max_batch: 4,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 16,
                 workers: 1,
                 threads: Some(1),
+                ..BatcherConfig::default()
             },
             Arc::clone(&metrics),
         )
         .unwrap();
 
-        // Several jobs race the (instantly panicking) worker; whether each
-        // was picked up before the crash or drained by the dying worker's
-        // guard, its reply channel must error out — never hang.
-        let mut replies = Vec::new();
-        for _ in 0..4 {
-            let (tx, rx) = mpsc::sync_channel(1);
-            match client.submit(Job {
-                model: "boom".into(),
-                observations: vec![obs(-1.0)],
-                reply: tx,
-            }) {
-                Ok(()) => replies.push(rx),
-                // The worker may already be gone.
-                Err(SubmitError::Closed) => {}
-                Err(SubmitError::Busy) => panic!("queue of 8 reported Busy"),
-            }
-        }
-        for rx in replies {
-            // Either an explicit error reply or a dropped sender — but an
-            // answer within the timeout, not an eternal wait.
-            match rx.recv_timeout(Duration::from_secs(5)) {
-                Ok(Err(_)) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
-                Ok(Ok(p)) => panic!("panicking model produced predictions {p:?}"),
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    panic!("job stranded: no reply 5s after its worker died")
-                }
-            }
-        }
-        for handle in handles {
-            assert!(handle.join().is_err(), "worker should have panicked");
-        }
-        assert!(!client.is_alive());
-        // Post-mortem submits shed immediately.
-        let (tx, _rx) = mpsc::sync_channel(1);
+        // The panic is contained to the batch: a typed 500-class reply,
+        // not a dropped channel.
+        let (tx, rx) = mpsc::sync_channel(1);
+        client.submit(job("boom", vec![obs(-1.0)], tx)).unwrap();
+        let err = rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
+        assert!(err.to_string().contains("model blew up"), "{err}");
+
+        // The same worker keeps serving other models afterwards — no
+        // restart was needed.
+        let (tx, rx) = mpsc::sync_channel(1);
+        client.submit(job("echo", vec![obs(-6.0)], tx)).unwrap();
         assert_eq!(
-            client.submit(Job {
-                model: "boom".into(),
-                observations: vec![obs(-1.0)],
-                reply: tx,
-            }),
-            Err(SubmitError::Closed)
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            vec![6]
         );
+        assert!(client.is_alive());
+        assert_eq!(client.live_workers(), 1);
+        assert_eq!(metrics.jobs_failed.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.worker_restarts.load(Ordering::Relaxed), 0);
+        drop(client);
+        join_all(handles);
+    }
+
+    #[test]
+    fn injected_worker_panic_restarts_the_worker_and_recovers() {
+        let metrics = Arc::new(Metrics::new());
+        let (client, handles) = start(
+            echo_registry(),
+            BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 16,
+                workers: 1,
+                threads: Some(1),
+                restart_backoff: Duration::from_millis(5),
+                restart_backoff_cap: Duration::from_millis(50),
+                faults: Some(Arc::new(
+                    FaultPlan::parse("worker_panic=1").expect("spec parses"),
+                )),
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+
+        // The first collected batch kills the whole worker (the injection
+        // fires outside the model catch_unwind), so this job's reply
+        // channel disconnects — the HTTP layer maps that to 500.
+        let (tx, rx) = mpsc::sync_channel(1);
+        client.submit(job("echo", vec![obs(-1.0)], tx)).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(mpsc::RecvTimeoutError::Disconnected),
+            "the batch collected by the dying worker must fail, not hang"
+        );
+
+        // The batcher stays alive (the supervisor is restarting), new
+        // submissions are accepted, and the restarted worker serves them.
+        assert!(client.is_alive(), "supervised batcher must report alive");
+        let (tx, rx) = mpsc::sync_channel(1);
+        client.submit(job("echo", vec![obs(-4.0)], tx)).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            vec![4]
+        );
+        assert_eq!(metrics.worker_restarts.load(Ordering::Relaxed), 1);
+        assert_eq!(client.live_workers(), 1);
+        drop(client);
+        join_all(handles);
         assert_eq!(
             metrics.queue_depth.load(Ordering::Relaxed),
             0,
-            "drained jobs must leave the depth gauge at zero"
+            "the dropped batch must leave the depth gauge at zero"
+        );
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_with_a_typed_expiry() {
+        let metrics = Arc::new(Metrics::new());
+        let (client, handles) = start(
+            echo_registry(),
+            BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 16,
+                workers: 1,
+                threads: Some(1),
+                ..BatcherConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+
+        // A deadline of "now" is guaranteed to have passed by dispatch
+        // time, whenever that is.
+        let (tx, rx) = mpsc::sync_channel(1);
+        client
+            .submit(Job {
+                model: "echo".into(),
+                observations: vec![obs(-2.0)],
+                admitted: Instant::now(),
+                deadline: Some(Instant::now()),
+                reply: tx,
+            })
+            .unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Err(JobFailure::Expired)
+        );
+        assert_eq!(metrics.jobs_expired.load(Ordering::Relaxed), 1);
+
+        // A generous deadline is not shed.
+        let (tx, rx) = mpsc::sync_channel(1);
+        client
+            .submit(Job {
+                model: "echo".into(),
+                observations: vec![obs(-3.0)],
+                admitted: Instant::now(),
+                deadline: Some(Instant::now() + Duration::from_secs(30)),
+                reply: tx,
+            })
+            .unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            vec![3]
         );
         drop(client);
+        join_all(handles);
+    }
+
+    #[test]
+    fn drain_completes_queued_jobs_then_refuses_new_ones() {
+        let metrics = Arc::new(Metrics::new());
+        let (client, handles) = start(
+            echo_registry(),
+            BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(50),
+                queue_cap: 16,
+                workers: 2,
+                threads: Some(1),
+                ..BatcherConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+
+        let mut replies = Vec::new();
+        for i in 1..=6 {
+            let (tx, rx) = mpsc::sync_channel(1);
+            client
+                .submit(job("echo", vec![obs(-(i as f32))], tx))
+                .unwrap();
+            replies.push((i, rx));
+        }
+        client.drain();
+
+        // New work is refused immediately...
+        let (tx, _rx) = mpsc::sync_channel(1);
+        assert_eq!(
+            client.submit(job("echo", vec![obs(-9.0)], tx)),
+            Err(SubmitError::Closed)
+        );
+        // ...while everything already queued completes.
+        for (i, rx) in replies {
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+                vec![i],
+                "queued job {i} must be served, not dropped, by the drain"
+            );
+        }
+        assert!(
+            client.await_drained(Duration::from_secs(5)),
+            "drain must complete once the queue is empty"
+        );
+        assert_eq!(client.live_workers(), 0);
+        assert!(!client.is_alive(), "a drained batcher is done");
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+        drop(client);
+        join_all(handles);
     }
 
     #[test]
@@ -962,6 +1487,7 @@ mod tests {
                 queue_cap: 1,
                 workers: 1,
                 threads: Some(1),
+                ..BatcherConfig::default()
             },
             Arc::new(Metrics::new()),
         )
@@ -973,11 +1499,7 @@ mod tests {
         // the 1-slot queue, and further ones must report Busy.
         for _ in 0..8 {
             let (tx, rx) = mpsc::sync_channel(1);
-            match client.submit(Job {
-                model: "slow".into(),
-                observations: vec![obs(-2.0)],
-                reply: tx,
-            }) {
+            match client.submit(job("slow", vec![obs(-2.0)], tx)) {
                 Ok(()) => replies.push(rx),
                 Err(SubmitError::Busy) => {
                     saw_busy = true;

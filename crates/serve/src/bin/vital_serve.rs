@@ -3,27 +3,51 @@
 //! ```text
 //! vital-serve --checkpoint-dir checkpoints/ [--addr 127.0.0.1:8077]
 //!             [--max-batch 32] [--max-wait-us 2000] [--queue-cap 256]
-//!             [--workers N] [--threads N]
+//!             [--workers N] [--threads N] [--default-deadline-ms N]
+//!             [--faults SPEC]
 //! ```
 //!
 //! Loads every `*.vckpt` checkpoint in `--checkpoint-dir` (any of the six
 //! localizer kinds) once, on the main thread, then serves
-//! `POST /v1/localize`, `GET /v1/models`, `GET /healthz` and
-//! `GET /metrics` until killed. `--workers` sets the number of dispatch
-//! workers pulling micro-batches from the shared queue (default: the
-//! machine's available cores); all of them run inference on the same
+//! `POST /v1/localize`, `GET /v1/models`, `GET /healthz`, `GET /metrics`
+//! and `POST /admin/drain` until stopped. `--workers` sets the number of
+//! dispatch workers pulling micro-batches from the shared queue (default:
+//! the machine's available cores); all of them run inference on the same
 //! `Arc`-shared weights, so replication costs no memory. `--threads` pins
 //! the `parallel` crate's worker count for the batched compute *inside*
 //! each `localize_batch` call (total compute threads ≈ workers ×
 //! threads); when omitted with several workers it defaults to
 //! cores ÷ workers so the out-of-the-box configuration never
 //! oversubscribes the machine.
+//!
+//! Fault tolerance:
+//!
+//! * A checkpoint that fails to load degrades that one model (warned here,
+//!   reported by `GET /v1/models`) instead of aborting the boot.
+//! * `--default-deadline-ms N` sheds jobs still queued after N ms with
+//!   `504` (0 disables; requests can override with their own
+//!   `deadline_ms` field).
+//! * SIGINT/SIGTERM trigger a graceful drain: stop admitting, finish the
+//!   queued jobs, then exit — same path as `POST /admin/drain`.
+//! * `--faults SPEC` (or the `VITAL_FAULTS` env var) arms the
+//!   deterministic fault-injection harness — e.g.
+//!   `worker_panic=100,latency=knn:50:10,corrupt=mlp` — for chaos drills;
+//!   never set it in production.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
-use serve::{cli, BatcherConfig, Registry, Server, ServerConfig};
+use serve::{cli, BatcherConfig, FaultPlan, Registry, Server, ServerConfig};
+
+/// Upper bound on `--default-deadline-ms`, mirroring the codec's cap on
+/// per-request deadlines (24 h).
+const MAX_DEADLINE_MS: usize = 86_400_000;
+
+/// How long a signal-triggered drain waits for queued jobs before the
+/// server exits anyway.
+const SIGNAL_DRAIN_GRACE: Duration = Duration::from_secs(600);
 
 struct Args {
     addr: String,
@@ -33,11 +57,14 @@ struct Args {
     queue_cap: usize,
     workers: usize,
     threads: Option<usize>,
+    default_deadline: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 fn usage() -> String {
     "usage: vital-serve --checkpoint-dir DIR [--addr HOST:PORT] [--max-batch N] \
-     [--max-wait-us N] [--queue-cap N] [--workers N] [--threads N]"
+     [--max-wait-us N] [--queue-cap N] [--workers N] [--threads N] \
+     [--default-deadline-ms N] [--faults SPEC]"
         .to_string()
 }
 
@@ -62,6 +89,11 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         None if workers > 1 => Some((default_workers() / workers).max(1)),
         None => None,
     };
+    let deadline_ms = cli::parse_usize(args, "--default-deadline-ms", 0)?.min(MAX_DEADLINE_MS);
+    let faults = match cli::value(args, "--faults") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => FaultPlan::from_env()?,
+    };
     Ok(Args {
         addr: cli::value(args, "--addr")
             .cloned()
@@ -72,11 +104,54 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         queue_cap: cli::parse_usize(args, "--queue-cap", 256)?.max(1),
         workers,
         threads,
+        default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms as u64)),
+        faults: faults.map(Arc::new),
     })
 }
 
+/// SIGINT/SIGTERM → graceful drain. Raw libc `signal(2)` via an FFI
+/// declaration (the workspace is dependency-free); the handler only flips
+/// an atomic — a watcher thread does the actual drain, because nothing
+/// non-async-signal-safe may run inside a signal handler.
+#[cfg(unix)]
+mod drain_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler, polled by the watcher thread.
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn note(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the flag-setting handler for SIGINT and SIGTERM.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, note);
+            signal(SIGTERM, note);
+        }
+    }
+}
+
 fn run(args: Args) -> Result<(), String> {
-    let registry = Registry::from_checkpoint_dir(&args.checkpoint_dir)?;
+    let registry =
+        Registry::from_checkpoint_dir_with_faults(&args.checkpoint_dir, args.faults.as_deref())?;
+    for (name, error) in registry.degraded() {
+        eprintln!("vital-serve: WARNING: model {name:?} degraded at boot: {error}");
+    }
+    if let Some(plan) = &args.faults {
+        eprintln!(
+            "vital-serve: WARNING: fault injection ACTIVE ({}) — not for production",
+            plan.spec()
+        );
+    }
     let catalog: Vec<String> = registry
         .catalog()
         .iter()
@@ -91,13 +166,16 @@ fn run(args: Args) -> Result<(), String> {
                 queue_cap: args.queue_cap,
                 workers: args.workers,
                 threads: args.threads,
+                faults: args.faults.clone(),
+                ..BatcherConfig::default()
             },
+            default_deadline: args.default_deadline,
         },
         registry,
     )?;
     println!(
         "vital-serve listening on http://{} — models: {}; max_batch={} max_wait_us={} \
-         queue_cap={} workers={} threads={}",
+         queue_cap={} workers={} threads={} default_deadline_ms={}",
         server.addr(),
         catalog.join(", "),
         args.max_batch,
@@ -107,8 +185,36 @@ fn run(args: Args) -> Result<(), String> {
         args.threads
             .map(|t| t.to_string())
             .unwrap_or_else(|| "auto".to_string()),
+        args.default_deadline
+            .map(|d| d.as_millis().to_string())
+            .unwrap_or_else(|| "off".to_string()),
     );
+
+    #[cfg(unix)]
+    {
+        use std::sync::atomic::Ordering;
+        drain_signal::install();
+        let trigger = server.drain_trigger();
+        let watcher = std::thread::Builder::new()
+            .name("vital-serve-signal".into())
+            .spawn(move || loop {
+                if drain_signal::REQUESTED.load(Ordering::SeqCst) {
+                    eprintln!("vital-serve: signal received — draining (finishing queued jobs)");
+                    let drained = trigger.drain(SIGNAL_DRAIN_GRACE);
+                    if !drained {
+                        eprintln!("vital-serve: drain grace expired with jobs still queued");
+                    }
+                    return;
+                }
+                std::thread::park_timeout(Duration::from_millis(200));
+            });
+        if let Err(error) = watcher {
+            eprintln!("vital-serve: WARNING: cannot spawn signal watcher: {error}");
+        }
+    }
+
     server.join();
+    println!("vital-serve: stopped");
     Ok(())
 }
 

@@ -28,6 +28,11 @@ use jsonio::{Json, JsonError};
 /// request can pin while queued.
 pub const MAX_BULK_OBSERVATIONS: usize = 1024;
 
+/// Upper bound on a request's `deadline_ms` (24 h) — far beyond any
+/// plausible wait, and small enough that deadline arithmetic on the
+/// admission `Instant` can never overflow.
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
+
 /// Typed failures turning a request body into observations. All map to
 /// HTTP 400.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +70,10 @@ pub struct LocalizeRequest {
     /// Whether the bulk (`observations`) form was used — controls the
     /// response shape.
     pub bulk: bool,
+    /// Per-request deadline in milliseconds from admission (`None` = use
+    /// the server's `--default-deadline-ms`). A job still queued past its
+    /// deadline is shed with HTTP 504 instead of served late.
+    pub deadline_ms: Option<u64>,
 }
 
 fn schema(msg: impl Into<String>) -> CodecError {
@@ -155,6 +164,21 @@ pub fn parse_localize_request(body: &[u8]) -> Result<LocalizeRequest, CodecError
                 .to_string(),
         ),
     };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(value) => {
+            let ms = value
+                .as_usize()
+                .map(|ms| ms as u64)
+                .filter(|ms| (1..=MAX_DEADLINE_MS).contains(ms))
+                .ok_or_else(|| {
+                    schema(format!(
+                        "\"deadline_ms\" must be an integer between 1 and {MAX_DEADLINE_MS}"
+                    ))
+                })?;
+            Some(ms)
+        }
+    };
     match (doc.get("observation"), doc.get("observations")) {
         (Some(_), Some(_)) => Err(schema(
             "send either \"observation\" or \"observations\", not both",
@@ -163,6 +187,7 @@ pub fn parse_localize_request(body: &[u8]) -> Result<LocalizeRequest, CodecError
             model,
             observations: vec![observation_from_json(single, "observation")?],
             bulk: false,
+            deadline_ms,
         }),
         (None, Some(many)) => {
             let items = many
@@ -186,6 +211,7 @@ pub fn parse_localize_request(body: &[u8]) -> Result<LocalizeRequest, CodecError
                 model,
                 observations,
                 bulk: true,
+                deadline_ms,
             })
         }
         (None, None) => Err(schema("missing \"observation\" or \"observations\"")),
@@ -211,9 +237,21 @@ pub fn localize_request_body(
     model: Option<&str>,
     observations: &[FingerprintObservation],
 ) -> String {
+    localize_request_body_with_deadline(model, None, observations)
+}
+
+/// [`localize_request_body`] with an optional per-request `deadline_ms`.
+pub fn localize_request_body_with_deadline(
+    model: Option<&str>,
+    deadline_ms: Option<u64>,
+    observations: &[FingerprintObservation],
+) -> String {
     let mut members = Vec::new();
     if let Some(model) = model {
         members.push(("model", Json::from(model)));
+    }
+    if let Some(ms) = deadline_ms {
+        members.push(("deadline_ms", Json::from(ms)));
     }
     members.push((
         "observations",
@@ -355,6 +393,38 @@ mod tests {
             parse_localize_request(b"{not json"),
             Err(CodecError::Json(_))
         ));
+    }
+
+    #[test]
+    fn deadline_ms_round_trips_and_is_validated() {
+        let body = localize_request_body_with_deadline(
+            Some("vital"),
+            Some(250),
+            std::slice::from_ref(&obs(0.0)),
+        );
+        let req = parse_localize_request(body.as_bytes()).unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+
+        // Omitted → None (server default applies downstream).
+        let body = localize_request_body(Some("vital"), std::slice::from_ref(&obs(0.0)));
+        let req = parse_localize_request(body.as_bytes()).unwrap();
+        assert_eq!(req.deadline_ms, None);
+
+        // Zero, negative, fractional and absurd values are 400s.
+        for bad in [
+            r#"{"deadline_ms": 0, "observation": {"mean": [1]}}"#,
+            r#"{"deadline_ms": -5, "observation": {"mean": [1]}}"#,
+            r#"{"deadline_ms": 1.5, "observation": {"mean": [1]}}"#,
+            r#"{"deadline_ms": 86400001, "observation": {"mean": [1]}}"#,
+            r#"{"deadline_ms": "soon", "observation": {"mean": [1]}}"#,
+        ] {
+            match parse_localize_request(bad.as_bytes()) {
+                Err(CodecError::Schema(msg)) => {
+                    assert!(msg.contains("deadline_ms"), "{msg:?} for {bad}")
+                }
+                other => panic!("expected schema error for {bad}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -25,14 +25,28 @@
 //!   localizer kinds); `Send + Sync`, built once on the main thread and
 //!   shared by every worker behind an `Arc`.
 //! * [`server`] — accept loop, routing (`POST /v1/localize`,
-//!   `GET /v1/models`, `GET /healthz`, `GET /metrics`) and lifecycle.
+//!   `GET /v1/models`, `GET /healthz`, `GET /metrics`,
+//!   `POST /admin/drain`) and lifecycle.
 //! * [`metrics`] — counters, batch-size histogram, per-worker dispatch
 //!   counters and latency percentiles behind `GET /metrics`.
+//! * [`faultinject`] — deterministic, seeded fault injection (worker
+//!   panics, latency spikes, checkpoint corruption) for the chaos tests
+//!   and the loadgen's `--chaos` recovery benchmark; zero-cost when no
+//!   plan is configured.
+//!
+//! The stack is **fault tolerant by construction**: each batch executes
+//! under `catch_unwind`, so a panicking model fails only its own jobs
+//! (typed 500s) while the worker survives; a worker killed outside that
+//! guard is respawned by a supervisor thread with capped exponential
+//! backoff; jobs carry deadlines and are shed (`504`) at dispatch once
+//! stale; and a graceful drain (`POST /admin/drain`, SIGINT/SIGTERM, or
+//! [`Server::drain`]) completes queued work before the server exits.
 //!
 //! The `vital-serve` binary wires these together from the command line;
 //! `serve_loadgen` (in the `bench` crate) drives a running server
-//! closed-loop — plus an in-process worker-scaling sweep — and writes
-//! `BENCH_serve.json` for the CI load gate.
+//! closed-loop — plus an in-process worker-scaling sweep and a `--chaos`
+//! overload-and-recovery phase — and writes `BENCH_serve.json` for the CI
+//! load gate.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -42,12 +56,14 @@
 pub mod batcher;
 pub mod cli;
 pub mod codec;
+pub mod faultinject;
 pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 
-pub use batcher::{BatcherConfig, SubmitError};
+pub use batcher::{BatcherConfig, JobFailure, SubmitError};
+pub use faultinject::FaultPlan;
 pub use metrics::Metrics;
 pub use registry::Registry;
-pub use server::{Server, ServerConfig};
+pub use server::{DrainTrigger, Server, ServerConfig};

@@ -116,8 +116,21 @@ pub struct Metrics {
     pub rejected_busy: AtomicU64,
     /// Requests answered with a 4xx.
     pub client_errors: AtomicU64,
-    /// Requests answered with a 5xx other than backpressure 503s.
+    /// Requests answered with a 5xx other than backpressure 503s and
+    /// deadline 504s.
     pub server_errors: AtomicU64,
+    /// Jobs whose model errored or panicked at dispatch (each answered
+    /// with a typed failure → HTTP 500).
+    pub jobs_failed: AtomicU64,
+    /// Jobs shed at dispatch because their deadline had already passed
+    /// (each answered with HTTP 504).
+    pub jobs_expired: AtomicU64,
+    /// Dispatch workers respawned by the supervisor after a panic.
+    pub worker_restarts: AtomicU64,
+    /// Dispatch workers currently running. Dips below the configured
+    /// count while the supervisor is mid-restart; `/healthz` reports the
+    /// gap as degraded.
+    pub live_workers: AtomicUsize,
     /// Jobs currently buffered in the dispatch queue.
     pub queue_depth: AtomicUsize,
     /// Server-side latency of successful localize requests (parse complete
@@ -145,6 +158,10 @@ impl Metrics {
             rejected_busy: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             server_errors: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_expired: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
+            live_workers: AtomicUsize::new(0),
             queue_depth: AtomicUsize::new(0),
             latency: LatencyHistogram::new(),
             batches_dispatched: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
@@ -163,7 +180,14 @@ impl Metrics {
     pub fn record_batch(&self, worker: usize, size: usize) {
         let slot = worker.min(self.batches_dispatched.len() - 1);
         self.batches_dispatched[slot].fetch_add(1, Ordering::Relaxed);
-        let mut sizes = self.batch_sizes.lock().expect("metrics mutex poisoned");
+        // A worker that panicked between the map lookup and the increment
+        // can only have left a valid (at worst momentarily stale) count
+        // behind — recover the histogram instead of cascading the panic
+        // into every later recorder.
+        let mut sizes = self
+            .batch_sizes
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         *sizes.entry(size).or_insert(0) += 1;
     }
 
@@ -178,7 +202,12 @@ impl Metrics {
     /// Snapshot of everything as the `/metrics` JSON document.
     pub fn snapshot_json(&self) -> Json {
         let batch_hist: Vec<Json> = {
-            let sizes = self.batch_sizes.lock().expect("metrics mutex poisoned");
+            // Same poison recovery as `record_batch`: a reader must keep
+            // reporting through (and after) a worker panic.
+            let sizes = self
+                .batch_sizes
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             sizes
                 .iter()
                 .map(|(size, count)| {
@@ -194,6 +223,13 @@ impl Metrics {
             ("rejected_busy", load(&self.rejected_busy)),
             ("client_errors", load(&self.client_errors)),
             ("server_errors", load(&self.server_errors)),
+            ("jobs_failed", load(&self.jobs_failed)),
+            ("jobs_expired", load(&self.jobs_expired)),
+            ("worker_restarts", load(&self.worker_restarts)),
+            (
+                "live_workers",
+                Json::from(self.live_workers.load(Ordering::Relaxed)),
+            ),
             // Global: every worker pulls from the one shared queue.
             (
                 "queue_depth",
@@ -309,6 +345,41 @@ mod tests {
         assert_eq!(hist[0].get("count").unwrap().as_f64(), Some(1.0));
         assert_eq!(hist[1].get("size").unwrap().as_f64(), Some(8.0));
         assert_eq!(hist[1].get("count").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn snapshot_reports_the_fault_tolerance_counters() {
+        let m = Metrics::new();
+        m.jobs_failed.fetch_add(2, Ordering::Relaxed);
+        m.jobs_expired.fetch_add(5, Ordering::Relaxed);
+        m.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        m.live_workers.fetch_add(3, Ordering::Relaxed);
+        let snap = m.snapshot_json();
+        assert_eq!(snap.get("jobs_failed").unwrap().as_f64(), Some(2.0));
+        assert_eq!(snap.get("jobs_expired").unwrap().as_f64(), Some(5.0));
+        assert_eq!(snap.get("worker_restarts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(snap.get("live_workers").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn batch_histogram_survives_a_poisoned_mutex() {
+        let m = std::sync::Arc::new(Metrics::new());
+        m.record_batch(0, 4);
+        // Poison the histogram mutex by panicking while holding it.
+        let poisoner = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.batch_sizes.lock().unwrap();
+            panic!("poison the metrics mutex");
+        })
+        .join();
+        assert!(m.batch_sizes.lock().is_err(), "mutex must be poisoned");
+        // Recording and reporting both recover the data instead of
+        // panicking the dispatch worker / metrics endpoint.
+        m.record_batch(0, 4);
+        let snap = m.snapshot_json();
+        let hist = snap.get("batch_size_hist").unwrap().as_array().unwrap();
+        assert_eq!(hist[0].get("size").unwrap().as_f64(), Some(4.0));
+        assert_eq!(hist[0].get("count").unwrap().as_f64(), Some(2.0));
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::path::Path;
 
 use vital::Localizer;
 
+use crate::faultinject::FaultPlan;
+
 /// Checkpoint file extension the registry scans for.
 pub const CHECKPOINT_EXT: &str = "vckpt";
 
@@ -20,6 +22,10 @@ pub const CHECKPOINT_EXT: &str = "vckpt";
 pub struct Registry {
     /// `(name, kind, model)`; sorted by name when loaded from a directory.
     models: Vec<(String, String, Box<dyn Localizer>)>,
+    /// `(name, error)` for checkpoints that failed to load. A corrupt
+    /// checkpoint degrades that one model — reported by `GET /v1/models`
+    /// and warned at boot — instead of aborting the whole server.
+    degraded: Vec<(String, String)>,
 }
 
 impl Registry {
@@ -34,19 +40,43 @@ impl Registry {
                     (name, kind, model)
                 })
                 .collect(),
+            degraded: Vec::new(),
         }
     }
 
     /// Loads every `*.vckpt` checkpoint in `dir` (any of the six localizer
     /// kinds). Models are served under their file stem, sorted by name.
     ///
+    /// A checkpoint that cannot be read or parsed **degrades that model**
+    /// (recorded in [`degraded`], skipped from serving) rather than
+    /// aborting the boot — one corrupt file must not take down the models
+    /// that are fine.
+    ///
+    /// [`degraded`]: Registry::degraded
+    ///
     /// # Errors
-    /// A readable-English message when the directory cannot be read, a
-    /// checkpoint is corrupt, or no checkpoint is found at all.
+    /// A readable-English message when the directory cannot be read, no
+    /// checkpoint is found at all, or *every* checkpoint failed to load.
     pub fn from_checkpoint_dir(dir: &Path) -> Result<Self, String> {
+        Registry::from_checkpoint_dir_with_faults(dir, None)
+    }
+
+    /// [`from_checkpoint_dir`] with an optional fault-injection plan: a
+    /// plan targeting a checkpoint name corrupts its bytes after the read,
+    /// exercising the degraded-boot path deterministically.
+    ///
+    /// [`from_checkpoint_dir`]: Registry::from_checkpoint_dir
+    ///
+    /// # Errors
+    /// As [`from_checkpoint_dir`].
+    pub fn from_checkpoint_dir_with_faults(
+        dir: &Path,
+        faults: Option<&FaultPlan>,
+    ) -> Result<Self, String> {
         let entries = std::fs::read_dir(dir)
             .map_err(|e| format!("cannot read checkpoint dir {}: {e}", dir.display()))?;
         let mut models: Vec<(String, String, Box<dyn Localizer>)> = Vec::new();
+        let mut degraded: Vec<(String, String)> = Vec::new();
         for entry in entries {
             let path = entry
                 .map_err(|e| format!("cannot read checkpoint dir {}: {e}", dir.display()))?
@@ -54,26 +84,44 @@ impl Registry {
             if path.extension().and_then(|e| e.to_str()) != Some(CHECKPOINT_EXT) {
                 continue;
             }
-            let name = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .ok_or_else(|| format!("checkpoint {} has no UTF-8 stem", path.display()))?
-                .to_string();
-            let ckpt = vital::Checkpoint::read_from(&path)
-                .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
-            let kind = ckpt.kind().as_str().to_string();
-            let localizer = baselines::localizer_from_checkpoint(&ckpt)
-                .map_err(|e| format!("cannot load model {name:?}: {e}"))?;
-            models.push((name, kind, localizer));
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(String::from) else {
+                degraded.push((
+                    path.display().to_string(),
+                    "checkpoint file has no UTF-8 stem to serve it under".to_string(),
+                ));
+                continue;
+            };
+            match load_checkpoint(&path, &name, faults) {
+                Ok((kind, localizer)) => models.push((name, kind, localizer)),
+                Err(error) => degraded.push((name, error)),
+            }
         }
-        if models.is_empty() {
+        if models.is_empty() && degraded.is_empty() {
             return Err(format!(
                 "no *.{CHECKPOINT_EXT} checkpoints found in {}",
                 dir.display()
             ));
         }
+        if models.is_empty() {
+            let failures: Vec<String> = degraded
+                .iter()
+                .map(|(name, error)| format!("{name}: {error}"))
+                .collect();
+            return Err(format!(
+                "every checkpoint in {} failed to load — {}",
+                dir.display(),
+                failures.join("; ")
+            ));
+        }
         models.sort_by(|a, b| a.0.cmp(&b.0));
-        Ok(Registry { models })
+        degraded.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Registry { models, degraded })
+    }
+
+    /// `(name, error)` for checkpoints that failed to load — surfaced in
+    /// `GET /v1/models` and as boot warnings.
+    pub fn degraded(&self) -> &[(String, String)] {
+        &self.degraded
     }
 
     /// `(name, kind)` pairs for `GET /v1/models` and request validation.
@@ -108,6 +156,31 @@ impl Registry {
                 _ => None,
             },
         }
+    }
+}
+
+/// Reads, optionally fault-corrupts, parses and instantiates one
+/// checkpoint. Every failure comes back as a message so the caller can
+/// degrade the single model instead of the whole boot.
+fn load_checkpoint(
+    path: &Path,
+    name: &str,
+    faults: Option<&FaultPlan>,
+) -> Result<(String, Box<dyn Localizer>), String> {
+    let mut bytes = std::fs::read(path).map_err(|e| format!("cannot read checkpoint file: {e}"))?;
+    let injected = faults.is_some_and(|plan| plan.corrupt_checkpoint(name, &mut bytes));
+    let result = vital::Checkpoint::from_bytes(&bytes)
+        .map_err(|e| format!("cannot parse checkpoint: {e}"))
+        .and_then(|ckpt| {
+            let kind = ckpt.kind().as_str().to_string();
+            baselines::localizer_from_checkpoint(&ckpt)
+                .map(|localizer| (kind, localizer))
+                .map_err(|e| format!("cannot instantiate model: {e}"))
+        });
+    match result {
+        Ok(loaded) => Ok(loaded),
+        Err(error) if injected => Err(format!("{error} (bytes corrupted by fault injection)")),
+        Err(error) => Err(error),
     }
 }
 

@@ -5,10 +5,18 @@
 //!
 //! | route | behaviour |
 //! |---|---|
-//! | `POST /v1/localize` | decode → enqueue on the micro-batcher → wait for the batch's predictions (`503` + `Retry-After` when the queue is full) |
-//! | `GET /v1/models` | the catalog of hosted models (name + kind) |
-//! | `GET /healthz` | liveness: `{"status":"ok"}` once the registry is loaded |
-//! | `GET /metrics` | counters, batch-size histogram, latency percentiles, queue depth |
+//! | `POST /v1/localize` | decode → enqueue on the micro-batcher → wait for the batch's predictions (`503` + `Retry-After` when the queue is full, `504` + `Retry-After` when the job's deadline passed in the queue) |
+//! | `POST /admin/drain` | begin graceful shutdown: stop admitting (`503`), finish queued jobs, then stop accepting |
+//! | `GET /v1/models` | the catalog of hosted models (name + kind), including checkpoints that failed to load (status `degraded`) |
+//! | `GET /healthz` | liveness: `ok` / `degraded` (some workers down or some models failed to load) / `503` while draining or with zero live workers |
+//! | `GET /metrics` | counters, batch-size histogram, latency percentiles, queue depth, fault-tolerance counters |
+//!
+//! The server degrades instead of dying: a panicking model fails only its
+//! batch (500s for those jobs), a killed worker is respawned by the
+//! batcher's supervisor (visible as `worker_restarts`), and a corrupt
+//! checkpoint at boot skips that one model. `/healthz` tracks each state
+//! so orchestrators can route around a degraded replica and return once
+//! it recovers.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -17,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use jsonio::Json;
 
-use crate::batcher::{self, BatcherClient, BatcherConfig, Job, SubmitError};
+use crate::batcher::{self, BatcherClient, BatcherConfig, Job, JobFailure, SubmitError};
 use crate::codec;
 use crate::http::{self, Conn, Method, Request, Response};
 use crate::metrics::Metrics;
@@ -27,6 +35,16 @@ use crate::registry::Registry;
 /// disconnected so handler threads cannot leak forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Backstop on how long a handler waits for its job's reply before
+/// answering 500. Orders of magnitude above the slowest plausible batch —
+/// it exists so a wedged dispatch layer cannot strand connections forever,
+/// not as a serving deadline (that is what `deadline_ms` is for).
+const REPLY_WAIT_CAP: Duration = Duration::from_secs(120);
+
+/// How long the `/admin/drain` finisher thread waits for queued jobs
+/// before stopping the accept loop anyway.
+const DRAIN_GRACE: Duration = Duration::from_secs(600);
+
 /// Everything needed to start a server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -34,6 +52,11 @@ pub struct ServerConfig {
     pub addr: String,
     /// Micro-batching knobs.
     pub batcher: BatcherConfig,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms` (`None` = no default): jobs still queued past it are
+    /// shed with `504` at dispatch time, so overload sheds stale work
+    /// instead of serving it late.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +64,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             batcher: BatcherConfig::default(),
+            default_deadline: None,
         }
     }
 }
@@ -51,14 +75,47 @@ struct Shared {
     batcher: BatcherClient,
     /// `(name, kind)` catalog for `/v1/models` and request validation.
     catalog: Vec<(String, String)>,
+    /// `(name, error)` for checkpoints that failed to load at boot.
+    degraded: Vec<(String, String)>,
+    /// Accept-loop stop flag.
     shutdown: Arc<AtomicBool>,
+    /// Graceful-drain flag: set before `shutdown`, refuses new localize
+    /// admissions while queued work completes.
+    draining: AtomicBool,
+    default_deadline: Option<Duration>,
+    addr: SocketAddr,
+}
+
+/// A handle that can initiate a graceful drain from outside the server —
+/// the `vital-serve` signal watcher, tests, embedded callers.
+#[derive(Clone)]
+pub struct DrainTrigger {
+    shared: Arc<Shared>,
+}
+
+impl DrainTrigger {
+    /// Runs the drain sequence: stop admitting (new localize requests get
+    /// `503`), let the dispatch workers finish everything queued, then
+    /// stop the accept loop. Blocks up to `grace` for the queued jobs;
+    /// returns whether the drain completed in time (the accept loop is
+    /// stopped either way).
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.batcher.drain();
+        let drained = self.shared.batcher.await_drained(grace);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect(self.shared.addr);
+        drained
+    }
 }
 
 /// A running server. Dropping it (or calling [`Server::shutdown`]) stops
 /// the accept loop; in-flight connections finish their current request.
+/// [`Server::drain`] is the graceful variant: queued jobs complete first.
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     dispatchers: Vec<std::thread::JoinHandle<()>>,
     metrics: Arc<Metrics>,
@@ -81,6 +138,7 @@ impl Server {
 
         let metrics = Arc::new(Metrics::with_workers(config.batcher.workers.max(1)));
         let catalog = registry.catalog();
+        let degraded = registry.degraded().to_vec();
         let (batcher, dispatchers) = batcher::start(
             Arc::new(registry),
             config.batcher.clone(),
@@ -92,16 +150,21 @@ impl Server {
             metrics: Arc::clone(&metrics),
             batcher,
             catalog,
-            shutdown: Arc::clone(&shutdown),
+            degraded,
+            shutdown,
+            draining: AtomicBool::new(false),
+            default_deadline: config.default_deadline,
+            addr,
         });
+        let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("vital-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &shared))
+            .spawn(move || accept_loop(&listener, &accept_shared))
             .map_err(|e| format!("cannot spawn accept thread: {e}"))?;
 
         Ok(Server {
             addr,
-            shutdown,
+            shared,
             accept: Some(accept),
             dispatchers,
             metrics,
@@ -118,8 +181,17 @@ impl Server {
         Arc::clone(&self.metrics)
     }
 
-    /// Blocks until the accept loop exits (it only exits on
-    /// [`Server::shutdown`], so this is "serve forever" for the binary).
+    /// A cloneable handle for initiating graceful drains from other
+    /// threads (the binary's signal watcher uses this).
+    pub fn drain_trigger(&self) -> DrainTrigger {
+        DrainTrigger {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Blocks until the accept loop exits (on [`Server::shutdown`] or a
+    /// completed drain — "serve until stopped" for the binary), then joins
+    /// the batcher threads.
     pub fn join(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
@@ -129,12 +201,31 @@ impl Server {
         }
     }
 
-    /// Stops accepting connections and joins the accept loop. Handler
-    /// threads drain naturally as their connections close.
-    pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
+    /// Graceful in-process shutdown: stop admitting, complete everything
+    /// queued (up to `grace`), then stop the accept loop and join every
+    /// server thread. Returns whether the queue fully drained in time.
+    ///
+    /// This is the teardown the loadgen worker sweep uses between
+    /// back-to-back in-process servers: when it returns, no worker,
+    /// supervisor or accept thread from this server is still running, so
+    /// the next server cannot race it for the port or CPU.
+    pub fn drain(&mut self, grace: Duration) -> bool {
+        let drained = self.drain_trigger().drain(grace);
+        self.shutdown();
+        for dispatcher in self.dispatchers.drain(..) {
+            let _ = dispatcher.join();
         }
+        drained
+    }
+
+    /// Stops accepting connections and joins the accept loop. Handler
+    /// threads drain naturally as their connections close. Queued jobs are
+    /// **not** waited for — use [`Server::drain`] for that.
+    pub fn shutdown(&mut self) {
+        // No early-out on an already-set flag: a drain sets the flag
+        // before the accept loop has necessarily exited, and this must
+        // still join it. Idempotence comes from `accept.take()`.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept() with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(accept) = self.accept.take() {
@@ -169,7 +260,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut conn = Conn::new(&stream);
@@ -213,9 +304,10 @@ fn count_status(metrics: &Metrics, status: u16) {
         400..=499 => {
             metrics.client_errors.fetch_add(1, Ordering::Relaxed);
         }
-        // Backpressure 503s are intentional shedding, tracked separately in
-        // `rejected_busy` — only other 5xx count as server errors.
-        500..=599 if status != 503 => {
+        // Backpressure 503s and deadline 504s are intentional shedding,
+        // tracked separately (`rejected_busy` / `jobs_expired`) — only
+        // other 5xx count as server errors.
+        500..=599 if status != 503 && status != 504 => {
             metrics.server_errors.fetch_add(1, Ordering::Relaxed);
         }
         _ => {}
@@ -227,44 +319,112 @@ fn json_response(status: u16, body: &Json) -> Response {
         .with_header("content-type", "application/json")
 }
 
-fn route(request: &Request, shared: &Shared) -> Response {
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
     match (request.method, request.target.as_str()) {
-        (Method::Get, "/healthz") => {
-            // All dispatch workers dead means every localize request
-            // will fail; report unhealthy so orchestrators stop routing
-            // here.
-            if shared.batcher.is_alive() {
-                json_response(
-                    200,
-                    &Json::obj([
-                        ("status", Json::from("ok")),
-                        ("models", Json::from(shared.catalog.len())),
-                    ]),
-                )
-            } else {
-                json_response(
-                    503,
-                    &Json::obj([("status", Json::from("all dispatch workers are dead"))]),
-                )
-            }
-        }
+        (Method::Get, "/healthz") => healthz(shared),
         (Method::Get, "/v1/models") => {
-            let models = Json::arr(shared.catalog.iter().map(|(name, kind)| {
+            let mut entries: Vec<Json> = shared
+                .catalog
+                .iter()
+                .map(|(name, kind)| {
+                    Json::obj([
+                        ("name", Json::from(name.as_str())),
+                        ("kind", Json::from(kind.as_str())),
+                        ("status", Json::from("ok")),
+                    ])
+                })
+                .collect();
+            // Checkpoints that failed to load are listed too — a fleet
+            // controller diffing /v1/models against its rollout plan must
+            // see the hole, not silently shortened output.
+            entries.extend(shared.degraded.iter().map(|(name, error)| {
                 Json::obj([
                     ("name", Json::from(name.as_str())),
-                    ("kind", Json::from(kind.as_str())),
+                    ("status", Json::from("degraded")),
+                    ("error", Json::from(error.as_str())),
                 ])
             }));
-            json_response(200, &Json::obj([("models", models)]))
+            json_response(200, &Json::obj([("models", Json::Arr(entries))]))
         }
         (Method::Get, "/metrics") => json_response(200, &shared.metrics.snapshot_json()),
         (Method::Post, "/v1/localize") => localize(request, shared),
+        (Method::Post, "/admin/drain") => admin_drain(shared),
         (Method::Get, _) => json_response(404, &codec::error_response("no such endpoint")),
         (Method::Post, _) => json_response(404, &codec::error_response("no such endpoint")),
     }
 }
 
+/// Liveness with degradation states (see the module table). The body
+/// always carries `status`, model counts and worker gauges so probes can
+/// alert on partial degradation, not just the status code.
+fn healthz(shared: &Shared) -> Response {
+    let live = shared.batcher.live_workers();
+    let workers = shared.batcher.configured_workers();
+    let degraded_models = shared.degraded.len();
+    let body = |status: &str| {
+        Json::obj([
+            ("status", Json::from(status)),
+            ("models", Json::from(shared.catalog.len())),
+            ("degraded_models", Json::from(degraded_models)),
+            ("workers", Json::from(workers)),
+            ("live_workers", Json::from(live)),
+        ])
+    };
+    if shared.draining.load(Ordering::SeqCst) {
+        return json_response(503, &body("draining"));
+    }
+    if !shared.batcher.is_alive() {
+        return json_response(503, &body("dead"));
+    }
+    if live == 0 {
+        // Every worker is momentarily down but the supervisor is
+        // restarting them: shed routing, hint a quick retry.
+        return json_response(503, &body("restarting")).with_header("retry-after", "1");
+    }
+    if live < workers || degraded_models > 0 {
+        return json_response(200, &body("degraded"));
+    }
+    json_response(200, &body("ok"))
+}
+
+/// `POST /admin/drain`: flips the server into draining mode and answers
+/// immediately with `202`; a detached finisher thread waits for the queue
+/// to empty and then stops the accept loop. Idempotent — repeat calls
+/// observe `already_draining`.
+fn admin_drain(shared: &Arc<Shared>) -> Response {
+    let already = shared.draining.swap(true, Ordering::SeqCst);
+    if !already {
+        shared.batcher.drain();
+        let finisher = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("vital-serve-drain".into())
+            .spawn(move || {
+                let _ = finisher.batcher.await_drained(DRAIN_GRACE);
+                finisher.shutdown.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(finisher.addr);
+            });
+    }
+    json_response(
+        202,
+        &Json::obj([
+            ("status", Json::from("draining")),
+            (
+                "queued",
+                Json::from(shared.metrics.queue_depth.load(Ordering::Relaxed)),
+            ),
+            ("already_draining", Json::from(already)),
+        ]),
+    )
+}
+
 fn localize(request: &Request, shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return json_response(
+            503,
+            &codec::error_response("server is draining; retry against another replica"),
+        )
+        .with_header("retry-after", "1");
+    }
     let started = Instant::now();
     let decoded = match codec::parse_localize_request(&request.body) {
         Ok(decoded) => decoded,
@@ -298,12 +458,22 @@ fn localize(request: &Request, shared: &Shared) -> Response {
         },
     };
 
+    // Per-request deadline beats the server default; both are capped by
+    // the codec at 24 h, so the Instant arithmetic cannot overflow.
+    let deadline = decoded
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.default_deadline)
+        .and_then(|budget| started.checked_add(budget));
+
     // Capacity 1 is exact: the dispatch worker sends one reply per job, so
     // the send never blocks and the channel never buffers unboundedly.
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let submitted = shared.batcher.submit(Job {
         model: model.clone(),
         observations: decoded.observations,
+        admitted: started,
+        deadline,
         reply: reply_tx,
     });
     match submitted {
@@ -321,7 +491,7 @@ fn localize(request: &Request, shared: &Shared) -> Response {
         }
     }
 
-    match reply_rx.recv() {
+    match reply_rx.recv_timeout(REPLY_WAIT_CAP) {
         Ok(Ok(predictions)) => {
             shared.metrics.localize_ok.fetch_add(1, Ordering::Relaxed);
             shared
@@ -333,10 +503,23 @@ fn localize(request: &Request, shared: &Shared) -> Response {
                 &codec::predictions_response(&model, &predictions, decoded.bulk),
             )
         }
-        Ok(Err(message)) => json_response(500, &codec::error_response(&message)),
-        Err(_) => json_response(
+        Ok(Err(JobFailure::Expired)) => json_response(
+            504,
+            &codec::error_response(
+                "deadline exceeded while queued; the server is shedding stale work",
+            ),
+        )
+        .with_header("retry-after", "1"),
+        Ok(Err(JobFailure::Failed(message))) => {
+            json_response(500, &codec::error_response(&message))
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => json_response(
             500,
             &codec::error_response("a dispatch worker dropped the job"),
+        ),
+        Err(mpsc::RecvTimeoutError::Timeout) => json_response(
+            500,
+            &codec::error_response("timed out waiting for a dispatch worker"),
         ),
     }
 }

@@ -53,6 +53,7 @@ fn knn_server(batcher: BatcherConfig) -> Server {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             batcher,
+            ..ServerConfig::default()
         },
         registry,
     )
@@ -151,6 +152,7 @@ fn concurrent_batched_responses_are_bit_identical_to_offline_localize_batch() {
         queue_cap: 256,
         workers: 1,
         threads: Some(1),
+        ..BatcherConfig::default()
     });
 
     const CLIENTS: usize = 4;
@@ -199,6 +201,7 @@ fn four_workers_serve_bit_identical_predictions_from_shared_weights() {
         queue_cap: 256,
         workers: 4,
         threads: Some(1),
+        ..BatcherConfig::default()
     });
 
     // Two passes over the data from 8 concurrent clients: plenty of
@@ -333,7 +336,9 @@ fn full_queue_sheds_load_with_503_and_retry_after() {
                 queue_cap: 1,
                 workers: 1,
                 threads: Some(1),
+                ..BatcherConfig::default()
             },
+            ..ServerConfig::default()
         },
         registry,
     )
@@ -400,4 +405,201 @@ fn shutdown_is_idempotent_and_frees_the_port() {
     server.shutdown();
     server.shutdown(); // second call is a no-op
     drop(server); // Drop after explicit shutdown must not hang or panic
+}
+
+#[test]
+fn stale_deadlines_are_shed_with_504_and_retry_after() {
+    // One slow worker, one queue slot: an occupant's 400 ms batch
+    // guarantees the next job waits in the queue long past a 50 ms
+    // deadline and is shed at dispatch time.
+    let registry = Registry::from_models(vec![("slow".into(), Box::new(SlowLocalizer))]);
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batcher: BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(1),
+                queue_cap: 4,
+                workers: 1,
+                threads: Some(1),
+                ..BatcherConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("server start");
+    let addr = server.addr();
+
+    let observation = FingerprintObservation {
+        rp_label: 0,
+        device: String::new(),
+        min: vec![-80.0],
+        max: vec![-80.0],
+        mean: vec![-80.0],
+    };
+    let no_deadline = codec::localize_request_body(None, std::slice::from_ref(&observation));
+    let with_deadline = codec::localize_request_body_with_deadline(
+        None,
+        Some(50),
+        std::slice::from_ref(&observation),
+    );
+
+    std::thread::scope(|scope| {
+        // Occupant: keeps the worker busy for 400 ms.
+        let occupant_body = no_deadline.clone();
+        scope.spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut conn = Conn::new(&stream);
+            let response = post_localize(&mut conn, &stream, occupant_body.as_bytes());
+            assert_eq!(response.status, 200);
+        });
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The deadlined request queues behind the occupant and expires.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut conn = Conn::new(&stream);
+        let response = post_localize(&mut conn, &stream, with_deadline.as_bytes());
+        assert_eq!(
+            response.status,
+            504,
+            "body: {}",
+            String::from_utf8_lossy(&response.body)
+        );
+        assert_eq!(response.header("retry-after"), Some("1"));
+        let doc = jsonio::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert!(doc.get("error").is_some());
+    });
+
+    let metrics = server.metrics().snapshot_json();
+    assert!(metrics.get("jobs_expired").unwrap().as_f64().unwrap() >= 1.0);
+    // Deadline 504s are intentional shedding, not server errors.
+    assert_eq!(metrics.get("server_errors").unwrap().as_f64(), Some(0.0));
+}
+
+#[test]
+fn admin_drain_completes_queued_work_then_stops_accepting() {
+    let registry = Registry::from_models(vec![("slow".into(), Box::new(SlowLocalizer))]);
+    let server = Server::start(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batcher: BatcherConfig {
+                max_batch: 1,
+                max_wait: Duration::from_micros(1),
+                queue_cap: 8,
+                workers: 1,
+                threads: Some(1),
+                ..BatcherConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("server start");
+    let addr = server.addr();
+
+    let observation = FingerprintObservation {
+        rp_label: 0,
+        device: String::new(),
+        min: vec![-80.0],
+        max: vec![-80.0],
+        mean: vec![-80.0],
+    };
+    let body = codec::localize_request_body(None, std::slice::from_ref(&observation));
+
+    std::thread::scope(|scope| {
+        // An in-flight occupant that must still complete through the drain.
+        let occupant_body = body.clone();
+        let occupant = scope.spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut conn = Conn::new(&stream);
+            post_localize(&mut conn, &stream, occupant_body.as_bytes())
+        });
+        std::thread::sleep(Duration::from_millis(100));
+
+        // Trigger the drain over HTTP.
+        let stream = TcpStream::connect(addr).expect("connect");
+        http::write_request(&mut (&stream), Method::Post, "/admin/drain", &[], b"").expect("send");
+        let response = Conn::new(&stream).read_response().expect("response");
+        assert_eq!(response.status, 202);
+        let doc = jsonio::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("draining"));
+        assert_eq!(
+            doc.get("already_draining").and_then(Json::as_bool),
+            Some(false)
+        );
+
+        // New work is refused while draining; health reports it.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut conn = Conn::new(&stream);
+        let refused = post_localize(&mut conn, &stream, body.as_bytes());
+        assert_eq!(refused.status, 503);
+        let health = get(addr, "/healthz");
+        assert_eq!(health.status, 503);
+        let health_json = jsonio::parse(std::str::from_utf8(&health.body).unwrap()).unwrap();
+        assert_eq!(
+            health_json.get("status").and_then(Json::as_str),
+            Some("draining")
+        );
+
+        // A second drain call is idempotent.
+        let stream = TcpStream::connect(addr).expect("connect");
+        http::write_request(&mut (&stream), Method::Post, "/admin/drain", &[], b"").expect("send");
+        let response = Conn::new(&stream).read_response().expect("response");
+        assert_eq!(response.status, 202);
+        let doc = jsonio::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("already_draining").and_then(Json::as_bool),
+            Some(true)
+        );
+
+        // The occupant admitted before the drain still gets its answer.
+        let occupant_response = occupant.join().expect("occupant thread");
+        assert_eq!(occupant_response.status, 200);
+    });
+
+    // Once the queue drains the finisher stops the accept loop: new
+    // connections are eventually refused (or at least no longer answered).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Err(_) => break,
+            Ok(_) if std::time::Instant::now() >= deadline => {
+                panic!("accept loop still running 10 s after the queue drained")
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[test]
+fn drain_api_finishes_queued_jobs_and_joins_every_thread() {
+    let mut server = knn_server(BatcherConfig {
+        workers: 2,
+        threads: Some(1),
+        ..BatcherConfig::default()
+    });
+    let addr = server.addr();
+    let data = dataset();
+    let observation = &data.observations()[0];
+    let body = codec::localize_request_body(Some("knn"), std::slice::from_ref(observation));
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut conn = Conn::new(&stream);
+    assert_eq!(
+        post_localize(&mut conn, &stream, body.as_bytes()).status,
+        200
+    );
+
+    assert!(
+        server.drain(Duration::from_secs(5)),
+        "an idle server must drain within the grace period"
+    );
+    assert!(TcpStream::connect(addr).is_err(), "port must be released");
+    let metrics = server.metrics().snapshot_json();
+    assert_eq!(metrics.get("queue_depth").and_then(Json::as_usize), Some(0));
+    assert_eq!(
+        metrics.get("live_workers").and_then(Json::as_usize),
+        Some(0),
+        "drain must join every dispatch worker"
+    );
 }

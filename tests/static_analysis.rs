@@ -54,12 +54,14 @@ fn lock_graph_models_the_real_lock_topology() {
     let graph = &report.lock_graph;
 
     // Every lock site of the shared-weights design is observed: the Param
-    // RwLock/Mutex pair and the batcher's condvar-guarded queue mutex.
+    // RwLock/Mutex pair, the batcher's condvar-guarded queue mutex, and
+    // the drain latch added with the fault-tolerance work.
     for class in [
         "nn::Param::value",
         "nn::Param::grad",
         "serve::JobQueue::state",
         "serve::Metrics::batch_sizes",
+        "serve::Latch::flag",
     ] {
         assert!(
             graph.acquisitions.iter().any(|a| a.class == class),
@@ -98,6 +100,17 @@ fn lock_graph_models_the_real_lock_topology() {
             .iter()
             .any(|e| e.from == "serve::JobQueue::state"),
         "JobQueue::state must not hold while acquiring; edges: {:#?}",
+        graph.edges
+    );
+
+    // Likewise the drain latch: set/wait never nest inside another lock,
+    // so the drain path cannot deadlock against the queue or metrics.
+    assert!(
+        !graph
+            .edges
+            .iter()
+            .any(|e| e.from == "serve::Latch::flag" || e.to == "serve::Latch::flag"),
+        "Latch::flag must stay isolated in the lock graph; edges: {:#?}",
         graph.edges
     );
 }
