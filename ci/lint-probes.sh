@@ -16,13 +16,19 @@ fail() {
 
 restore() {
     git checkout -- crates/nn/src/param.rs crates/nn/src/lib.rs \
-        crates/tensor/src/matmul.rs 2>/dev/null || true
-    rm -f crates/serve/src/__lint_probe.rs crates/parallel/src/__lint_probe.rs
+        crates/tensor/src/matmul.rs crates/baselines/src/wideep.rs 2>/dev/null || true
+    rm -f crates/serve/src/__lint_probe.rs crates/parallel/src/__lint_probe.rs \
+        crates/graph/src/__lint_probe.rs
 }
-trap restore EXIT
 
 [ -f ci/lint-rules.toml ] || fail "run from the workspace root"
-git diff --quiet -- crates/nn crates/tensor || fail "tree is dirty; probes need a clean tree to restore"
+# The clean-tree check MUST precede installing the restore trap: restore()
+# reverts the probed files via `git checkout --`, which on a dirty tree
+# would silently destroy unrelated uncommitted work instead of probe
+# residue.
+git diff --quiet -- crates/nn crates/tensor crates/baselines crates/graph \
+    || fail "tree is dirty; probes need a clean tree to restore"
+trap restore EXIT
 
 cargo build -q -p lint || fail "cannot build vital-lint"
 LINT=target/debug/vital-lint
@@ -117,7 +123,45 @@ sed -i '/#!\[deny(clippy::disallowed_types)\]/d' crates/nn/src/lib.rs
 expect_rule "hygiene catches a deleted guard-rail attribute" "hygiene"
 git checkout -- crates/nn/src/lib.rs
 
-# 7. After all restores the tree is clean again.
+# 7. closure-map: an opaque tensor closure inside a compiled-inference
+#    span function (`encode_matrix` in the WiDeep translation unit) must
+#    fail — stages there have to stay expressed as named fusable ops.
+cat >> crates/baselines/src/wideep.rs <<'EOF'
+fn encode_matrix(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+EOF
+expect_rule "closure-map catches an opaque closure in a compiled span" "closure-map"
+git checkout -- crates/baselines/src/wideep.rs
+
+# 8. lock-order, graph crate: holding the plan cache's `plans` mutex while
+#    taking the arena pool's `arenas` mutex and vice versa closes a cycle
+#    between the two graph-crate lock classes registered for the compiled
+#    plan runtime (the real code builds plans outside the lock).
+cat > crates/graph/src/__lint_probe.rs <<'EOF'
+struct ProbeCache {
+    plans: std::sync::Mutex<u8>,
+}
+struct ProbePool {
+    arenas: std::sync::Mutex<u8>,
+}
+fn probe_plans_then_arenas(c: &ProbeCache, p: &ProbePool) {
+    let plans_guard = c.plans.lock().unwrap_or_else(|e| e.into_inner());
+    let arenas_guard = p.arenas.lock().unwrap_or_else(|e| e.into_inner());
+    drop(arenas_guard);
+    drop(plans_guard);
+}
+fn probe_arenas_then_plans(c: &ProbeCache, p: &ProbePool) {
+    let arenas_guard = p.arenas.lock().unwrap_or_else(|e| e.into_inner());
+    let plans_guard = c.plans.lock().unwrap_or_else(|e| e.into_inner());
+    drop(plans_guard);
+    drop(arenas_guard);
+}
+EOF
+expect_rule "lock-order catches a plans<->arenas cycle in the graph crate" "lock-order"
+rm crates/graph/src/__lint_probe.rs
+
+# 9. After all restores the tree is clean again.
 "$LINT" --workspace --quiet || fail "tree must be clean again after probes"
 echo "probe ok: restored tree passes"
 

@@ -1,15 +1,15 @@
 //! Differentiable activation functions: ReLU, GELU, tanh, sigmoid and
 //! row-wise softmax.
 
-use tensor::Tensor;
+use tensor::{Tensor, UnaryOp, GELU_COEFF, SQRT_2_OVER_PI};
 
 use crate::{Result, Var};
 
-const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-const GELU_COEFF: f32 = 0.044_715;
-
+/// Scalar GELU — delegates to the shared named op so the autograd forward
+/// and the fused graph kernels run the same expression (test reference).
+#[cfg(test)]
 fn gelu_scalar(x: f32) -> f32 {
-    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x)).tanh())
+    UnaryOp::Gelu.eval(x)
 }
 
 fn gelu_grad_scalar(x: f32) -> f32 {
@@ -23,7 +23,7 @@ impl<'t> Var<'t> {
     /// Rectified linear unit.
     pub fn relu(self) -> Var<'t> {
         let x = self.value();
-        let value = x.map(|v| v.max(0.0));
+        let value = x.apply(UnaryOp::Relu);
         self.tape.push(
             value,
             vec![self.id],
@@ -38,7 +38,7 @@ impl<'t> Var<'t> {
     /// used inside the ViT encoder MLP and classification head.
     pub fn gelu(self) -> Var<'t> {
         let x = self.value();
-        let value = x.map(gelu_scalar);
+        let value = x.apply(UnaryOp::Gelu);
         self.tape.push(
             value,
             vec![self.id],
@@ -51,7 +51,7 @@ impl<'t> Var<'t> {
 
     /// Hyperbolic tangent.
     pub fn tanh(self) -> Var<'t> {
-        let value = self.value().map(f32::tanh);
+        let value = self.value().apply(UnaryOp::Tanh);
         let y = value.clone();
         self.tape.push(
             value,
@@ -65,7 +65,7 @@ impl<'t> Var<'t> {
 
     /// Logistic sigmoid.
     pub fn sigmoid(self) -> Var<'t> {
-        let value = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let value = self.value().apply(UnaryOp::Sigmoid);
         let y = value.clone();
         self.tape.push(
             value,

@@ -13,6 +13,7 @@ use std::path::Path;
 
 use autograd::{Tape, Var};
 use fingerprint::{FingerprintDataset, FingerprintObservation};
+use graph::{ExprId, Graph, GraphError, PlanCache};
 use nn::optim::{zero_grads, Adam, Optimizer};
 use nn::{Activation, Dense, Init, Layer, LayerNorm, Mlp, MultiHeadSelfAttention, Param, Session};
 use tensor::rng::SeededRng;
@@ -75,6 +76,24 @@ impl AnvilNetwork {
         let logits = self.head.forward(session, pooled)?;
         Ok((embedding, logits))
     }
+
+    /// Appends one sample's forward pass to an expression graph, packing
+    /// the two heads into a single `[1, embed ‖ classes]` output row —
+    /// exactly mirroring the eval-mode [`AnvilNetwork::forward_sample`].
+    fn push_graph_sample(
+        &self,
+        g: &mut Graph,
+        tokens: ExprId,
+    ) -> std::result::Result<ExprId, GraphError> {
+        let embedded = self.token_embed.push_graph(g, tokens)?;
+        let normed = self.norm.push_graph(g, embedded)?;
+        let attn = self.attention.push_graph(g, normed)?;
+        let attended = g.binary(attn, embedded, tensor::BinaryOp::Add)?;
+        let pooled = g.mean_row_blocks(attended, TOKENS)?;
+        let embedding = self.embed_head.push_graph(g, pooled)?;
+        let logits = self.head.push_graph(g, pooled)?;
+        g.concat_cols(&[embedding, logits])
+    }
 }
 
 impl Layer for AnvilNetwork {
@@ -97,6 +116,8 @@ pub struct AnvilLocalizer {
     network: Option<AnvilNetwork>,
     centroids: Vec<Option<Vec<f32>>>,
     num_classes: usize,
+    /// Compiled attention-network plans, keyed by `(batch, weight stamp)`.
+    plan_cache: PlanCache,
 }
 
 impl AnvilLocalizer {
@@ -109,6 +130,7 @@ impl AnvilLocalizer {
             network: None,
             centroids: Vec::new(),
             num_classes: 0,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -231,6 +253,79 @@ impl AnvilLocalizer {
         Ok((embedding.value().into_vec(), logits.value().into_vec()))
     }
 
+    /// Embeddings and logits for a batch of feature vectors through the
+    /// cached compiled plan: one `[embedding ‖ logits]` row per sample.
+    ///
+    /// Attention couples each sample's tokens, so the graph unrolls one
+    /// forward per sample over row slices of the stacked token input (the
+    /// same stacking the compiled ViT uses); the shared weight constants
+    /// dedup across the unroll.
+    fn embed_matrix(&self, features: &[Vec<f32>]) -> Result<Tensor> {
+        let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
+        let samples = features.len();
+        let width = network.token_width;
+        let mut stacked = Vec::with_capacity(samples * TOKENS * width);
+        for f in features {
+            stacked.extend(network.tokenize(f)?.into_vec());
+        }
+        let x = Tensor::from_vec(stacked, &[samples * TOKENS, width])?;
+        let entry =
+            self.plan_cache
+                .get_or_build(samples, nn::weight_stamp(&network.params()), || {
+                    let mut g = Graph::new();
+                    let input = g.input(samples * TOKENS, width);
+                    let mut rows = Vec::with_capacity(samples);
+                    for s in 0..samples {
+                        let tokens = if samples == 1 {
+                            input
+                        } else {
+                            g.slice_rows(input, s * TOKENS, (s + 1) * TOKENS)?
+                        };
+                        rows.push(network.push_graph_sample(&mut g, tokens)?);
+                    }
+                    let out = if samples == 1 {
+                        rows[0]
+                    } else {
+                        g.concat_rows(&rows)?
+                    };
+                    Ok((g, out))
+                })?;
+        Ok(entry.execute(&[&x])?)
+    }
+
+    /// Number of compiled network plans currently cached (one per batch
+    /// shape served since the last weight change).
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// [`Localizer::localize_batch`] through the eager (tape) forward — the
+    /// uncompiled reference the parity tests compare against.
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn localize_batch_eager(
+        &self,
+        observations: &[FingerprintObservation],
+    ) -> Result<Vec<usize>> {
+        let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
+            let tape = Tape::new();
+            let session = Session::new(&tape, false, 0);
+            for features in self.extractor.extract_clean_batch(chunk) {
+                let (embedding, logits) = network.forward_sample(&session, &features)?;
+                predictions.push(
+                    self.match_embedding(
+                        &embedding.value().into_vec(),
+                        &logits.value().into_vec(),
+                    )?,
+                );
+            }
+        }
+        Ok(predictions)
+    }
+
     /// Euclidean matching of one query embedding against the per-RP
     /// centroids, falling back to the classifier argmax when no centroids
     /// exist (degenerate training set).
@@ -337,22 +432,17 @@ impl Localizer for AnvilLocalizer {
 
     fn localize_batch(&self, observations: &[FingerprintObservation]) -> Result<Vec<usize>> {
         let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
-        // The attention block couples each sample's tokens, so the network
-        // runs per sample (like the VITAL transformer's attention stage),
-        // but a whole chunk shares one tape/session instead of building a
-        // fresh graph per query.
+        let embed_width = network.embed_head.out_features();
         let mut predictions = Vec::with_capacity(observations.len());
         for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
-            let tape = Tape::new();
-            let session = Session::new(&tape, false, 0);
-            for features in self.extractor.extract_clean_batch(chunk) {
-                let (embedding, logits) = network.forward_sample(&session, &features)?;
-                predictions.push(
-                    self.match_embedding(
-                        &embedding.value().into_vec(),
-                        &logits.value().into_vec(),
-                    )?,
-                );
+            // One compiled execution per chunk: each output row packs the
+            // sample's `[embedding ‖ logits]`, split for Euclidean matching.
+            let features = self.extractor.extract_clean_batch(chunk);
+            let packed = self.embed_matrix(&features)?;
+            let row_width = packed.cols()?;
+            for row in packed.as_slice().chunks_exact(row_width) {
+                let (embedding, logits) = row.split_at(embed_width);
+                predictions.push(self.match_embedding(embedding, logits)?);
             }
         }
         Ok(predictions)

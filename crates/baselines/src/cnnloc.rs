@@ -5,6 +5,7 @@ use std::path::Path;
 
 use autograd::Tape;
 use fingerprint::{FingerprintDataset, FingerprintObservation};
+use graph::{Graph, PlanCache};
 use nn::optim::{zero_grads, Adam, Optimizer};
 use nn::{Activation, Conv1d, Layer, Mlp, Param, Session, StackedAutoencoder};
 use tensor::rng::SeededRng;
@@ -24,6 +25,8 @@ pub struct CnnLocLocalizer {
     conv: Option<Conv1d>,
     classifier: Option<Mlp>,
     num_classes: usize,
+    /// Compiled SAE→conv→classifier plans, keyed by `(batch, weight stamp)`.
+    plan_cache: PlanCache,
 }
 
 impl CnnLocLocalizer {
@@ -38,6 +41,7 @@ impl CnnLocLocalizer {
             conv: None,
             classifier: None,
             num_classes: 0,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -155,7 +159,40 @@ impl CnnLocLocalizer {
         params
     }
 
+    /// Class logits for a `[batch, width]` query stack through the cached
+    /// compiled plan: SAE encoder → 1-D conv (window slices over one shared
+    /// dense kernel) → ReLU → classifier MLP, all fused into one arena
+    /// execution. Bit-identical to
+    /// [`CnnLocLocalizer::forward_logits_eager`].
     fn forward_logits(&self, features: &Tensor) -> Result<Tensor> {
+        let (ae, conv, classifier) = match (&self.autoencoder, &self.conv, &self.classifier) {
+            (Some(a), Some(c), Some(m)) => (a, c, m),
+            _ => return Err(VitalError::NotFitted),
+        };
+        let (rows, cols) = features.shape().as_matrix()?;
+        let entry = self
+            .plan_cache
+            .get_or_build(rows, nn::weight_stamp(&self.params()), || {
+                let mut g = Graph::new();
+                let x = g.input(rows, cols);
+                let code = ae.encode_push_graph(&mut g, x)?;
+                let conv_out = conv.push_graph(&mut g, code)?;
+                let activated = g.unary(conv_out, tensor::UnaryOp::Relu)?;
+                let logits = classifier.push_graph(&mut g, activated)?;
+                Ok((g, logits))
+            })?;
+        Ok(entry.execute(&[features])?)
+    }
+
+    /// Number of compiled forward plans currently cached (one per batch
+    /// shape served since the last weight change).
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Tape-based logits — the bit-exactness reference for the compiled
+    /// plan, exercised by the parity tests.
+    fn forward_logits_eager(&self, features: &Tensor) -> Result<Tensor> {
         let (ae, conv, classifier) = match (&self.autoencoder, &self.conv, &self.classifier) {
             (Some(a), Some(c), Some(m)) => (a, c, m),
             _ => return Err(VitalError::NotFitted),
@@ -167,6 +204,24 @@ impl CnnLocLocalizer {
         let conv_out = conv.forward(&session, code)?.relu();
         let logits = classifier.forward(&session, conv_out)?;
         Ok(logits.value())
+    }
+
+    /// [`Localizer::localize_batch`] through the eager (tape) forward — the
+    /// uncompiled reference the parity tests compare against.
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn localize_batch_eager(
+        &self,
+        observations: &[FingerprintObservation],
+    ) -> Result<Vec<usize>> {
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
+            let queries = self.extractor.extract_clean_batch(chunk);
+            let logits = self.forward_logits_eager(&crate::features::stack_rows(&queries)?)?;
+            predictions.extend(logits.argmax_rows()?);
+        }
+        Ok(predictions)
     }
 }
 

@@ -9,6 +9,7 @@ use std::path::Path;
 
 use autograd::Tape;
 use fingerprint::{FingerprintDataset, FingerprintObservation};
+use graph::{Graph, PlanCache};
 use nn::optim::{zero_grads, Adam, Optimizer};
 use nn::{Activation, Layer, Mlp, Session};
 use tensor::rng::SeededRng;
@@ -30,6 +31,8 @@ pub struct SherpaLocalizer {
     num_classes: usize,
     train_features: Vec<Vec<f32>>,
     train_labels: Vec<usize>,
+    /// Compiled DNN-posterior plans, keyed by `(batch, weight stamp)`.
+    plan_cache: PlanCache,
 }
 
 impl SherpaLocalizer {
@@ -45,6 +48,7 @@ impl SherpaLocalizer {
             num_classes: 0,
             train_features: Vec::new(),
             train_labels: Vec::new(),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -149,13 +153,60 @@ impl SherpaLocalizer {
     }
 
     /// DNN posterior for a stack of queries: `[batch, width]` features in,
-    /// `[batch, num_classes]` softmax rows out (one forward pass).
+    /// `[batch, num_classes]` softmax rows out.
+    ///
+    /// Runs the build-once/execute-many compiled plan (dense → ReLU chain
+    /// fused with the row softmax) keyed by batch size and weight stamp;
+    /// bit-identical to [`SherpaLocalizer::posterior_matrix_eager`].
     fn posterior_matrix(&self, features: &Tensor) -> Result<Tensor> {
+        let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
+        let (rows, cols) = features.shape().as_matrix()?;
+        let entry =
+            self.plan_cache
+                .get_or_build(rows, nn::weight_stamp(&network.params()), || {
+                    let mut g = Graph::new();
+                    let x = g.input(rows, cols);
+                    let logits = network.push_graph(&mut g, x)?;
+                    let posterior = g.softmax_rows(logits)?;
+                    Ok((g, posterior))
+                })?;
+        Ok(entry.execute(&[features])?)
+    }
+
+    /// Number of compiled posterior plans currently cached (one per batch
+    /// shape served since the last weight change).
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Tape-based posterior — the bit-exactness reference for the compiled
+    /// plan, exercised by the parity tests.
+    fn posterior_matrix_eager(&self, features: &Tensor) -> Result<Tensor> {
         let network = self.network.as_ref().ok_or(VitalError::NotFitted)?;
         let tape = Tape::new();
         let session = Session::new(&tape, false, 0);
         let logits = network.forward(&session, session.constant(features.clone()))?;
         Ok(logits.value().softmax_rows()?)
+    }
+
+    /// [`Localizer::localize_batch`] through the eager (tape) posterior —
+    /// the uncompiled reference the parity tests compare against.
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn localize_batch_eager(
+        &self,
+        observations: &[FingerprintObservation],
+    ) -> Result<Vec<usize>> {
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
+            let queries = self.extractor.extract_clean_batch(chunk);
+            let posterior = self.posterior_matrix_eager(&crate::features::stack_rows(&queries)?)?;
+            for (i, query) in queries.iter().enumerate() {
+                predictions.push(self.refine(query, posterior.row(i)?.as_slice())?);
+            }
+        }
+        Ok(predictions)
     }
 
     /// The KNN refinement stage: restricts a distance-weighted vote to the

@@ -12,6 +12,7 @@
 use std::path::Path;
 
 use fingerprint::{FingerprintDataset, FingerprintObservation};
+use graph::{Graph, PlanCache};
 use nn::{Layer, StackedAutoencoder};
 use tensor::rng::SeededRng;
 use tensor::Tensor;
@@ -34,6 +35,8 @@ pub struct WiDeepLocalizer {
     codes: Vec<Vec<f32>>,
     labels: Vec<usize>,
     num_classes: usize,
+    /// Compiled SAE-encoder plans, keyed by `(batch, weight stamp)`.
+    plan_cache: PlanCache,
 }
 
 impl WiDeepLocalizer {
@@ -49,6 +52,7 @@ impl WiDeepLocalizer {
             codes: Vec::new(),
             labels: Vec::new(),
             num_classes: 0,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -154,6 +158,75 @@ impl WiDeepLocalizer {
         Ok(ae.encode_inference(&x)?.into_vec())
     }
 
+    /// Encodes a `[batch, width]` query stack through the cached compiled
+    /// SAE-encoder plan; bit-identical to
+    /// [`StackedAutoencoder::encode_inference`] on the same stack.
+    fn encode_matrix(&self, features: &Tensor) -> Result<Tensor> {
+        let ae = self.autoencoder.as_ref().ok_or(VitalError::NotFitted)?;
+        let (rows, cols) = features.shape().as_matrix()?;
+        let entry = self
+            .plan_cache
+            .get_or_build(rows, nn::weight_stamp(&ae.params()), || {
+                let mut g = Graph::new();
+                let x = g.input(rows, cols);
+                let code = ae.encode_push_graph(&mut g, x)?;
+                Ok((g, code))
+            })?;
+        Ok(entry.execute(&[features])?)
+    }
+
+    /// Number of compiled encoder plans currently cached (one per batch
+    /// shape served since the last weight change).
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Gaussian-kernel classification of a stack of encoded queries; the
+    /// scoring only touches Sync state, so queries fan out across threads.
+    fn classify_codes(&self, codes: &Tensor) -> Result<Vec<usize>> {
+        let code_width = codes.cols()?;
+        let queries: Vec<Vec<f32>> = codes
+            .as_slice()
+            .chunks_exact(code_width)
+            .map(<[f32]>::to_vec)
+            .collect();
+        let memory_codes = &self.codes;
+        let memory_labels = &self.labels;
+        let gamma = 1.0 / (2.0 * self.length_scale * self.length_scale);
+        let num_classes = self.num_classes;
+        let scored = parallel::parallel_map(&queries, |query| {
+            let mut posterior = vec![0.0f32; num_classes];
+            for (code, &label) in memory_codes.iter().zip(memory_labels) {
+                let d2: f32 = code.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
+                posterior[label] += (-gamma * d2).exp();
+            }
+            Tensor::from_vec(posterior, &[num_classes]).and_then(|t| t.argmax())
+        });
+        scored.into_iter().map(|s| Ok(s?)).collect()
+    }
+
+    /// [`Localizer::localize_batch`] through the eager (tape) SAE encoder —
+    /// the uncompiled reference the parity tests compare against.
+    ///
+    /// # Errors
+    /// Returns [`VitalError::NotFitted`] before [`Localizer::fit`].
+    pub fn localize_batch_eager(
+        &self,
+        observations: &[FingerprintObservation],
+    ) -> Result<Vec<usize>> {
+        if self.codes.is_empty() {
+            return Err(VitalError::NotFitted);
+        }
+        let ae = self.autoencoder.as_ref().ok_or(VitalError::NotFitted)?;
+        let mut predictions = Vec::with_capacity(observations.len());
+        for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
+            let features = self.extractor.extract_clean_batch(chunk);
+            let codes = ae.encode_inference(&crate::features::stack_rows(&features)?)?;
+            predictions.extend(self.classify_codes(&codes)?);
+        }
+        Ok(predictions)
+    }
+
     /// Gaussian-kernel posterior argmax for one encoded query.
     fn classify_code(&self, query: &[f32]) -> Result<usize> {
         let gamma = 1.0 / (2.0 * self.length_scale * self.length_scale);
@@ -228,35 +301,13 @@ impl Localizer for WiDeepLocalizer {
         if self.codes.is_empty() {
             return Err(VitalError::NotFitted);
         }
-        let ae = self.autoencoder.as_ref().ok_or(VitalError::NotFitted)?;
         let mut predictions = Vec::with_capacity(observations.len());
         for chunk in observations.chunks(crate::features::INFERENCE_CHUNK) {
-            // Encode the whole chunk through the SAE in one stacked forward.
+            // Encode the whole chunk through the compiled SAE-encoder plan
+            // in one stacked pass, then kernel-score the codes.
             let features = self.extractor.extract_clean_batch(chunk);
-            let codes = ae.encode_inference(&crate::features::stack_rows(&features)?)?;
-            let code_width = codes.cols()?;
-            // The kernel scoring only touches Sync state (the stored codes
-            // and labels), so queries fan out across threads.
-            let queries: Vec<Vec<f32>> = codes
-                .as_slice()
-                .chunks_exact(code_width)
-                .map(<[f32]>::to_vec)
-                .collect();
-            let memory_codes = &self.codes;
-            let memory_labels = &self.labels;
-            let gamma = 1.0 / (2.0 * self.length_scale * self.length_scale);
-            let num_classes = self.num_classes;
-            let scored = parallel::parallel_map(&queries, |query| {
-                let mut posterior = vec![0.0f32; num_classes];
-                for (code, &label) in memory_codes.iter().zip(memory_labels) {
-                    let d2: f32 = code.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum();
-                    posterior[label] += (-gamma * d2).exp();
-                }
-                Tensor::from_vec(posterior, &[num_classes]).and_then(|t| t.argmax())
-            });
-            for s in scored {
-                predictions.push(s?);
-            }
+            let codes = self.encode_matrix(&crate::features::stack_rows(&features)?)?;
+            predictions.extend(self.classify_codes(&codes)?);
         }
         Ok(predictions)
     }

@@ -1,0 +1,213 @@
+//! Compiled-plan ↔ eager-path parity for every localizer family.
+//!
+//! Each neural localizer serves inference from a build-once/execute-many
+//! compiled plan (`crates/graph`) keyed by batch shape; the tape-based
+//! eager path is kept as the bit-exactness reference. These tests assert
+//! the two paths agree *exactly* — across batch sizes {1, 2, 32} and
+//! worker-thread counts {1, 4} — and that plan caching behaves (one plan
+//! per batch shape, reused on re-execution).
+//!
+//! KNN is the one localizer without a neural stage, so it has no compiled
+//! plan; its parity property is batch-vs-single-query consistency under
+//! the same thread counts.
+
+use baselines::{
+    AnvilLocalizer, CnnLocLocalizer, FeatureMode, KnnLocalizer, SherpaLocalizer, WiDeepLocalizer,
+};
+use fingerprint::{base_devices, DatasetConfig, FingerprintDataset, FingerprintObservation};
+use sim_radio::building_1;
+use tensor::rng::SeededRng;
+use tensor::Tensor;
+use vital::{Localizer, VitalConfig, VitalModel};
+
+const BATCH_SIZES: [usize; 3] = [1, 2, 32];
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn tiny_dataset() -> FingerprintDataset {
+    let building = building_1();
+    let dataset = FingerprintDataset::collect(
+        &building,
+        &base_devices()[..2],
+        &DatasetConfig {
+            captures_per_rp: 1,
+            samples_per_capture: 2,
+            seed: 33,
+        },
+    );
+    // Restrict to the first 10 RPs so the neural baselines train in
+    // milliseconds.
+    let subset: Vec<_> = dataset
+        .observations()
+        .iter()
+        .filter(|o| o.rp_label < 10)
+        .cloned()
+        .collect();
+    FingerprintDataset::from_observations(dataset.building(), dataset.num_aps(), 10, subset)
+}
+
+/// Cycles the dataset's observations into a query batch of exactly `n`.
+fn queries(dataset: &FingerprintDataset, n: usize) -> Vec<FingerprintObservation> {
+    dataset
+        .observations()
+        .iter()
+        .cycle()
+        .take(n)
+        .cloned()
+        .collect()
+}
+
+/// Asserts compiled `localize_batch` output equals the eager reference for
+/// every batch size and thread count, then that re-serving the same shapes
+/// hits the cached plans instead of compiling new ones.
+fn assert_compiled_parity<L: Localizer>(
+    localizer: &L,
+    dataset: &FingerprintDataset,
+    eager: impl Fn(&L, &[FingerprintObservation]) -> vital::Result<Vec<usize>>,
+    cached_plans: impl Fn(&L) -> usize,
+) {
+    for threads in THREAD_COUNTS {
+        parallel::with_threads(threads, || {
+            for batch in BATCH_SIZES {
+                let observations = queries(dataset, batch);
+                let compiled = localizer.localize_batch(&observations).unwrap();
+                let reference = eager(localizer, &observations).unwrap();
+                assert_eq!(
+                    compiled,
+                    reference,
+                    "{}: compiled diverged from eager at batch {batch} / {threads} threads",
+                    localizer.name()
+                );
+            }
+        });
+    }
+    let plans = cached_plans(localizer);
+    assert!(
+        plans <= BATCH_SIZES.len(),
+        "{}: one plan per batch shape expected, found {plans}",
+        localizer.name()
+    );
+    // Re-serving the same shapes must reuse every cached plan.
+    for batch in BATCH_SIZES {
+        let observations = queries(dataset, batch);
+        localizer.localize_batch(&observations).unwrap();
+    }
+    assert_eq!(
+        cached_plans(localizer),
+        plans,
+        "{}: re-serving a known shape must not compile a new plan",
+        localizer.name()
+    );
+}
+
+#[test]
+fn sherpa_compiled_matches_eager() {
+    let dataset = tiny_dataset();
+    let mut sherpa = SherpaLocalizer::new(11).with_epochs(2);
+    sherpa.fit(&dataset).unwrap();
+    assert_compiled_parity(
+        &sherpa,
+        &dataset,
+        |l, obs| l.localize_batch_eager(obs),
+        SherpaLocalizer::cached_plans,
+    );
+}
+
+#[test]
+fn wideep_compiled_matches_eager() {
+    let dataset = tiny_dataset();
+    let mut wideep = WiDeepLocalizer::new(12).with_pretrain_epochs(2);
+    wideep.fit(&dataset).unwrap();
+    assert_compiled_parity(
+        &wideep,
+        &dataset,
+        |l, obs| l.localize_batch_eager(obs),
+        WiDeepLocalizer::cached_plans,
+    );
+}
+
+#[test]
+fn cnnloc_compiled_matches_eager() {
+    let dataset = tiny_dataset();
+    let mut cnnloc = CnnLocLocalizer::new(13)
+        .with_epochs(2)
+        .with_pretrain_epochs(2);
+    cnnloc.fit(&dataset).unwrap();
+    assert_compiled_parity(
+        &cnnloc,
+        &dataset,
+        |l, obs| l.localize_batch_eager(obs),
+        CnnLocLocalizer::cached_plans,
+    );
+}
+
+#[test]
+fn anvil_compiled_matches_eager() {
+    let dataset = tiny_dataset();
+    let mut anvil = AnvilLocalizer::new(14).with_epochs(2);
+    anvil.fit(&dataset).unwrap();
+    assert_compiled_parity(
+        &anvil,
+        &dataset,
+        |l, obs| l.localize_batch_eager(obs),
+        AnvilLocalizer::cached_plans,
+    );
+}
+
+#[test]
+fn vital_compiled_matches_eager() {
+    let dataset = tiny_dataset();
+    let mut config = VitalConfig::fast(building_1().access_points().len(), 10);
+    config.image_size = 16;
+    config.patch_size = 4;
+    config.d_model = 24;
+    config.msa_heads = 4;
+    config.train.epochs = 2;
+    let mut model = VitalModel::new(config).unwrap();
+    model.fit(&dataset).unwrap();
+
+    for threads in THREAD_COUNTS {
+        parallel::with_threads(threads, || {
+            for batch_size in BATCH_SIZES {
+                let observations = queries(&dataset, batch_size);
+                let batch: Vec<Tensor> = observations
+                    .iter()
+                    .map(|o| {
+                        let mut rng = SeededRng::new(0);
+                        model.prepare_patches(o, false, &mut rng).unwrap()
+                    })
+                    .collect();
+                let compiled = model.transformer().predict_batch(&batch).unwrap();
+                let eager = model.transformer().predict_batch_eager(&batch).unwrap();
+                assert_eq!(
+                    compiled, eager,
+                    "VITAL: compiled diverged at batch {batch_size} / {threads} threads"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn knn_batch_matches_single_query_across_threads() {
+    // KNN has no neural stage, hence no compiled plan: its parity property
+    // is that the (parallel) batch path agrees with per-query prediction.
+    let dataset = tiny_dataset();
+    let mut knn = KnnLocalizer::new(3, FeatureMode::Ssd);
+    knn.fit(&dataset).unwrap();
+    for threads in THREAD_COUNTS {
+        parallel::with_threads(threads, || {
+            for batch in BATCH_SIZES {
+                let observations = queries(&dataset, batch);
+                let batched = knn.localize_batch(&observations).unwrap();
+                let single: Vec<usize> = observations
+                    .iter()
+                    .map(|o| knn.predict(o).unwrap())
+                    .collect();
+                assert_eq!(
+                    batched, single,
+                    "KNN batch diverged from single-query at batch {batch} / {threads} threads"
+                );
+            }
+        });
+    }
+}

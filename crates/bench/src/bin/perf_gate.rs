@@ -23,7 +23,9 @@
 //! ```json
 //! {
 //!   "gemm":  [ {"m": 256, "min_speedup": 1.8} ],
-//!   "vit":   { "batch": 32, "min_speedup": 1.3, "require_agreement": true },
+//!   "vit":   { "batch": 32, "min_speedup": 1.3, "require_agreement": true,
+//!              "max_allocs_per_request": 8, "min_alloc_reduction": 10,
+//!              "min_fused_speedup": 0.7 },
 //!   "serve": { "min_rps": 500, "max_p99_ms": 50, "max_errors": 0,
 //!              "require_verified": true },
 //!   "chaos": { "max_recovery_ms": 3000, "min_post_rps": 100,
@@ -309,6 +311,41 @@ fn run(
             speedup,
             floor,
         );
+        // Compiled-plan floors: allocations/request is the headline of the
+        // graph compiler (arena reuse -> zero steady-state allocations);
+        // the fused floor only guards against a pathologically slow
+        // compiled path, since wall-time vs eager is near parity at quick
+        // scale.
+        if let Some(ceiling) = vit_threshold
+            .get("max_allocs_per_request")
+            .and_then(Json::as_f64)
+        {
+            gate.check_max(
+                "vit compiled allocations per request",
+                num(vit, "vit report", "compiled_allocs_per_request")?,
+                ceiling,
+            );
+        }
+        if let Some(floor) = vit_threshold
+            .get("min_alloc_reduction")
+            .and_then(Json::as_f64)
+        {
+            gate.check(
+                "vit eager-vs-compiled allocation reduction",
+                num(vit, "vit report", "alloc_reduction")?,
+                floor,
+            );
+        }
+        if let Some(floor) = vit_threshold
+            .get("min_fused_speedup")
+            .and_then(Json::as_f64)
+        {
+            gate.check(
+                &format!("vit batch-{expected_batch} fused speedup vs eager"),
+                num(vit, "vit report", "fused_speedup_vs_eager")?,
+                floor,
+            );
+        }
         if vit_threshold
             .get("require_agreement")
             .and_then(Json::as_bool)

@@ -113,7 +113,19 @@ struct VitResult {
     batch: usize,
     single_ms_per_sample: f64,
     batch_ms_per_sample: f64,
+    eager_ms_per_sample: f64,
     predictions_agree: bool,
+    /// Tensor materialisations for one compiled batch request (warm plan).
+    compiled_allocs_per_request: u64,
+    /// Tensor materialisations for one eager batch request.
+    eager_allocs_per_request: u64,
+}
+
+/// Tensor allocations of one `f()` call (caller warms caches first).
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = tensor::alloc_count::tensor_allocs();
+    f();
+    tensor::alloc_count::tensor_allocs() - before
 }
 
 fn bench_vit(scale: Scale, reps: usize) -> VitResult {
@@ -149,20 +161,42 @@ fn bench_vit(scale: Scale, reps: usize) -> VitResult {
     let batch_ms = time_ms(reps, || {
         std::hint::black_box(vit.predict_batch(&batch).unwrap());
     });
+    let eager_ms = time_ms(reps, || {
+        std::hint::black_box(vit.predict_batch_eager(&batch).unwrap());
+    });
+    // Allocations per request: both paths already warm from the timing
+    // runs, so this is the steady-state cost — the compiled plan executes
+    // out of a pooled arena and should sit orders of magnitude below the
+    // eager tape's one-tensor-per-op traffic.
+    let compiled_allocs = count_allocs(|| {
+        std::hint::black_box(vit.predict_batch(&batch).unwrap());
+    });
+    let eager_allocs = count_allocs(|| {
+        std::hint::black_box(vit.predict_batch_eager(&batch).unwrap());
+    });
     let singles: Vec<usize> = batch.iter().map(|p| vit.predict(p).unwrap()).collect();
     let batched = vit.predict_batch(&batch).unwrap();
+    let eager = vit.predict_batch_eager(&batch).unwrap();
     let result = VitResult {
         batch: batch_size,
         single_ms_per_sample: single_ms / batch_size as f64,
         batch_ms_per_sample: batch_ms / batch_size as f64,
-        predictions_agree: singles == batched,
+        eager_ms_per_sample: eager_ms / batch_size as f64,
+        predictions_agree: singles == batched && batched == eager,
+        compiled_allocs_per_request: compiled_allocs,
+        eager_allocs_per_request: eager_allocs,
     };
     eprintln!(
-        "vit batch-{batch_size}  single {:.3} ms/sample  batched {:.3} ms/sample  speedup {:.2}×  \
+        "vit batch-{batch_size}  single {:.3} ms/sample  batched {:.3} ms/sample  eager-batch \
+         {:.3} ms/sample  speedup {:.2}×  fused-vs-eager {:.2}×  allocs/request {} vs {} eager  \
          agree {}",
         result.single_ms_per_sample,
         result.batch_ms_per_sample,
+        result.eager_ms_per_sample,
         result.single_ms_per_sample / result.batch_ms_per_sample,
+        result.eager_ms_per_sample / result.batch_ms_per_sample,
+        result.compiled_allocs_per_request,
+        result.eager_allocs_per_request,
         result.predictions_agree,
     );
     result
@@ -223,6 +257,24 @@ fn main() {
                 (
                     "batch_speedup",
                     r3(vit.single_ms_per_sample / vit.batch_ms_per_sample),
+                ),
+                ("eager_ms_per_sample", r4(vit.eager_ms_per_sample)),
+                (
+                    "fused_speedup_vs_eager",
+                    r3(vit.eager_ms_per_sample / vit.batch_ms_per_sample),
+                ),
+                (
+                    "compiled_allocs_per_request",
+                    Json::from(vit.compiled_allocs_per_request),
+                ),
+                (
+                    "eager_allocs_per_request",
+                    Json::from(vit.eager_allocs_per_request),
+                ),
+                (
+                    "alloc_reduction",
+                    r3(vit.eager_allocs_per_request as f64
+                        / (vit.compiled_allocs_per_request.max(1)) as f64),
                 ),
                 ("predictions_agree", Json::from(vit.predictions_agree)),
             ]),

@@ -20,6 +20,8 @@ pub enum VitalError {
     InvalidDataset(String),
     /// Saving or loading a model checkpoint failed.
     Checkpoint(CheckpointError),
+    /// Building or executing a compiled inference graph failed.
+    Graph(graph::GraphError),
 }
 
 impl fmt::Display for VitalError {
@@ -30,6 +32,7 @@ impl fmt::Display for VitalError {
             VitalError::NotFitted => write!(f, "model has not been trained yet"),
             VitalError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
             VitalError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            VitalError::Graph(e) => write!(f, "compiled-graph failure: {e}"),
         }
     }
 }
@@ -39,6 +42,7 @@ impl Error for VitalError {
         match self {
             VitalError::Tensor(e) => Some(e),
             VitalError::Checkpoint(e) => Some(e),
+            VitalError::Graph(e) => Some(e),
             _ => None,
         }
     }
@@ -47,6 +51,12 @@ impl Error for VitalError {
 impl From<TensorError> for VitalError {
     fn from(e: TensorError) -> Self {
         VitalError::Tensor(e)
+    }
+}
+
+impl From<graph::GraphError> for VitalError {
+    fn from(e: graph::GraphError) -> Self {
+        VitalError::Graph(e)
     }
 }
 

@@ -1,9 +1,10 @@
 //! The vision transformer adapted for indoor localization (paper §IV–V.B).
 
 use autograd::Var;
+use graph::{ExprId, Graph, GraphError, PlanCache};
 use nn::{Activation, Dense, Init, Layer, LayerNorm, Mlp, MultiHeadSelfAttention, Param, Session};
 use tensor::rng::SeededRng;
-use tensor::Tensor;
+use tensor::{BinaryOp, Tensor};
 
 use crate::{Result, VitalConfig, VitalError};
 
@@ -125,6 +126,36 @@ impl EncoderBlock {
         };
         Ok(fused)
     }
+
+    /// Appends the block to an expression graph, mirroring
+    /// [`EncoderBlock::forward_stacked`] step for step (per-sample
+    /// attention unrolled over row slices for `samples > 1`).
+    fn push_graph_stacked(
+        &self,
+        g: &mut Graph,
+        x: ExprId,
+        samples: usize,
+        seq_len: usize,
+    ) -> std::result::Result<ExprId, GraphError> {
+        let normed = self.norm_attention.push_graph(g, x)?;
+        let attended_pre = if samples == 1 {
+            self.attention.push_graph(g, normed)?
+        } else {
+            let mut per_sample = Vec::with_capacity(samples);
+            for s in 0..samples {
+                let sample = g.slice_rows(normed, s * seq_len, (s + 1) * seq_len)?;
+                per_sample.push(self.attention.push_graph(g, sample)?);
+            }
+            g.concat_rows(&per_sample)?
+        };
+        let attended = g.binary(attended_pre, x, BinaryOp::Add)?;
+        let normed_mlp = self.norm_mlp.push_graph(g, attended)?;
+        let mlp_out = self.mlp.push_graph(g, normed_mlp)?;
+        match self.fusion {
+            Fusion::Concat => g.concat_cols(&[attended, mlp_out]),
+            Fusion::Residual => g.binary(attended, mlp_out, BinaryOp::Add),
+        }
+    }
 }
 
 impl Layer for EncoderBlock {
@@ -150,6 +181,10 @@ pub struct VisionTransformer {
     patch_dim: usize,
     num_classes: usize,
     dropout: f32,
+    /// Compiled inference plans keyed by `(batch, weight stamp)`. Clones
+    /// of the model share the cache (they share the weights too), so N
+    /// serving workers reuse one plan per batch shape.
+    plan_cache: PlanCache,
 }
 
 impl VisionTransformer {
@@ -205,6 +240,7 @@ impl VisionTransformer {
             patch_dim,
             num_classes: config.num_classes,
             dropout: config.train.dropout,
+            plan_cache: PlanCache::new(),
         })
     }
 
@@ -290,17 +326,90 @@ impl VisionTransformer {
         Ok(self.predict_batch(std::slice::from_ref(patches))?[0])
     }
 
-    /// Batched inference: predicted classes for a batch of patch matrices,
-    /// sharing one tape and one stacked forward pass.
+    /// Batched inference through a **compiled plan**: the whole stacked
+    /// forward pass is built once per `(batch size, weight stamp)` — with
+    /// bias adds, activations and residual adds fused into their producing
+    /// GEMMs and all intermediates living in a reused buffer arena — and
+    /// then executed with zero tensor allocations per request. Output is
+    /// bit-identical to [`VisionTransformer::predict_batch_eager`]; the
+    /// property tests and `serve_loadgen --verify` assert this.
     ///
     /// # Errors
     /// Returns an error if the batch is empty or any patch matrix has the
     /// wrong shape.
     pub fn predict_batch(&self, batch: &[Tensor]) -> Result<Vec<usize>> {
+        self.validate_batch(batch)?;
+        let stamp = self.weight_stamp();
+        let entry = self
+            .plan_cache
+            .get_or_build(batch.len(), stamp, || self.build_graph(batch.len()))?;
+        let inputs: Vec<&Tensor> = batch.iter().collect();
+        Ok(entry.execute_argmax(&inputs)?)
+    }
+
+    /// Batched inference on the eager tape path (one tensor per op). Kept
+    /// as the bit-exactness reference for the compiled path.
+    ///
+    /// # Errors
+    /// Returns an error if the batch is empty or any patch matrix has the
+    /// wrong shape.
+    pub fn predict_batch_eager(&self, batch: &[Tensor]) -> Result<Vec<usize>> {
         let tape = autograd::Tape::new();
         let session = Session::new(&tape, false, 0);
         let logits = self.forward_batch(&session, batch)?.value();
         Ok(logits.argmax_rows()?)
+    }
+
+    /// Fingerprint of the current weights (folds every [`Param::version`]).
+    pub fn weight_stamp(&self) -> u64 {
+        nn::weight_stamp(&self.params())
+    }
+
+    /// Number of compiled plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    fn validate_batch(&self, batch: &[Tensor]) -> Result<()> {
+        if batch.is_empty() {
+            return Err(VitalError::InvalidDataset("empty batch".into()));
+        }
+        for patches in batch {
+            if patches.shape().dims() != [self.num_patches, self.patch_dim] {
+                return Err(VitalError::InvalidDataset(format!(
+                    "patch matrix {:?} does not match model expectation [{}, {}]",
+                    patches.shape().dims(),
+                    self.num_patches,
+                    self.patch_dim
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the expression graph of the full stacked inference forward
+    /// pass for a `samples`-image batch, mirroring
+    /// [`VisionTransformer::forward_batch`] in eval mode (dropout is an
+    /// identity there and is not represented).
+    fn build_graph(&self, samples: usize) -> std::result::Result<(Graph, ExprId), GraphError> {
+        let mut g = Graph::new();
+        let per_sample: Vec<ExprId> = (0..samples)
+            .map(|_| g.input(self.num_patches, self.patch_dim))
+            .collect();
+        let stacked = if samples == 1 {
+            per_sample[0]
+        } else {
+            g.concat_rows(&per_sample)?
+        };
+        let embedded = self.patch_embed.push_graph(&mut g, stacked)?;
+        let positional = g.constant(self.positional.value())?;
+        let mut hidden = g.add_tile_rows(embedded, positional, samples)?;
+        for block in &self.blocks {
+            hidden = block.push_graph_stacked(&mut g, hidden, samples, self.num_patches)?;
+        }
+        let pooled = g.mean_row_blocks(hidden, self.num_patches)?;
+        let logits = self.head.push_graph(&mut g, pooled)?;
+        Ok((g, logits))
     }
 }
 
@@ -442,6 +551,64 @@ mod tests {
             .map(|p| p.name())
             .collect();
         assert!(missing.is_empty(), "params without grad: {missing:?}");
+    }
+
+    #[test]
+    fn compiled_predict_matches_eager_across_batch_sizes() {
+        let mut config = tiny_config();
+        config.encoder_blocks = 2;
+        let mut rng = SeededRng::new(40);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        for batch_size in [1usize, 2, 8] {
+            let batch: Vec<Tensor> = (0..batch_size)
+                .map(|i| SeededRng::new(100 + i as u64).uniform_tensor(&[9, 48], -1.0, 1.0))
+                .collect();
+            let eager = vit.predict_batch_eager(&batch).unwrap();
+            let compiled = vit.predict_batch(&batch).unwrap();
+            assert_eq!(
+                compiled, eager,
+                "compiled plan diverged from eager at batch {batch_size}"
+            );
+        }
+        assert_eq!(vit.cached_plans(), 3, "one plan per batch shape");
+        // Second pass over the same shapes must reuse the cached plans.
+        let before = graph::stats::plans_built();
+        for batch_size in [1usize, 2, 8] {
+            let batch: Vec<Tensor> = (0..batch_size)
+                .map(|i| SeededRng::new(100 + i as u64).uniform_tensor(&[9, 48], -1.0, 1.0))
+                .collect();
+            vit.predict_batch(&batch).unwrap();
+        }
+        assert_eq!(graph::stats::plans_built(), before, "no rebuilds on hit");
+    }
+
+    #[test]
+    fn weight_updates_invalidate_cached_plans() {
+        let config = tiny_config();
+        let mut rng = SeededRng::new(41);
+        let vit = VisionTransformer::new(&mut rng, &config).unwrap();
+        let patches = SeededRng::new(42).uniform_tensor(&[9, 48], -1.0, 1.0);
+        let before = vit.predict(&patches).unwrap();
+        assert_eq!(vit.cached_plans(), 1);
+        let stamp_before = vit.weight_stamp();
+        // Mutate a weight the way the optimizer would.
+        let p = &vit.params()[0];
+        p.set_value(p.value().scale(0.5));
+        assert_ne!(vit.weight_stamp(), stamp_before);
+        let after_compiled = vit.predict(&patches).unwrap();
+        let after_eager = vit
+            .predict_batch_eager(std::slice::from_ref(&patches))
+            .unwrap()[0];
+        assert_eq!(
+            after_compiled, after_eager,
+            "post-update prediction must come from a fresh plan"
+        );
+        assert_eq!(
+            vit.cached_plans(),
+            1,
+            "stale plan evicted, fresh one cached"
+        );
+        let _ = before;
     }
 
     #[test]

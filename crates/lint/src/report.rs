@@ -19,6 +19,8 @@ pub enum Rule {
     HotPathAlloc,
     /// Concurrency hygiene (channel bans, guard-rail presence).
     Hygiene,
+    /// Opaque-closure `map` bans in compiled-inference spans.
+    ClosureMap,
 }
 
 impl Rule {
@@ -29,6 +31,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::Hygiene => "hygiene",
+            Rule::ClosureMap => "closure-map",
         }
     }
 }

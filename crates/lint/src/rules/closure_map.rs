@@ -1,0 +1,167 @@
+//! Opaque-closure `map` bans in compiled-inference spans.
+//!
+//! The compute-graph compiler (`crates/graph`) fuses elementwise chains
+//! only because every stage is a *named* op (`tensor::UnaryOp` /
+//! `tensor::BinaryOp`) it can see through; a `tensor.map(|v| …)` closure
+//! is opaque to shape inference and fusion, and silently forks the eager
+//! reference away from what a compiled plan can express. Inside the
+//! configured (file, function) spans — the inference stages ported to
+//! compiled plans — `.map(<closure>)` and `.map_inplace(<closure>)` are
+//! therefore banned; training-only gradient closures are carried as
+//! `[[closure_map.allow]]` entries with a reason.
+//!
+//! Only literal closures (`.map(|…| …)`, `.map(move |…| …)`) are flagged:
+//! a named-function argument such as `.map(gelu_grad_scalar)` still
+//! points at one auditable definition and stays legal.
+
+use crate::analyze::FileContext;
+use crate::config::RulesConfig;
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Rule};
+
+/// Runs the rule over one file's configured spans.
+pub fn check(ctx: &FileContext<'_>, config: &RulesConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let spans: Vec<_> = config
+        .closure_spans
+        .iter()
+        .filter(|s| s.file == ctx.path)
+        .collect();
+    if spans.is_empty() {
+        return findings;
+    }
+    for function in &ctx.scoped.functions {
+        if function.in_test || !spans.iter().any(|s| s.functions.contains(&function.name)) {
+            continue;
+        }
+        let tokens = &ctx.scoped.tokens;
+        for i in function.body.clone() {
+            let TokenKind::Ident(name) = &tokens[i].kind else {
+                continue;
+            };
+            if !config.closure_methods.iter().any(|m| m == name)
+                || !tokens[i - 1].is_punct('.')
+                || !tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                continue;
+            }
+            // Opaque closure argument: `(|…` or `(move |…`.
+            let opaque = match tokens.get(i + 2).map(|t| &t.kind) {
+                Some(TokenKind::Punct('|')) => true,
+                Some(TokenKind::Ident(kw)) => kw == "move",
+                _ => false,
+            };
+            if opaque {
+                findings.push(ctx.finding(
+                    Rule::ClosureMap,
+                    &tokens[i],
+                    format!(
+                        "opaque closure `.{name}(|…|)` inside compiled-inference function \
+                         `{}` — use a named tensor op (UnaryOp/BinaryOp) the graph \
+                         compiler can fuse",
+                        function.name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze::{analyze, SourceFile};
+    use crate::config::RulesConfig;
+
+    fn config() -> RulesConfig {
+        RulesConfig::from_toml(
+            r#"
+[closure_map]
+banned_methods = ["map", "map_inplace"]
+
+[[closure_map.span]]
+file = "crates/x/src/infer.rs"
+functions = ["forward_batch", "posterior"]
+"#,
+        )
+        .expect("test config parses")
+    }
+
+    fn run(content: &str) -> Vec<String> {
+        analyze(
+            &[SourceFile {
+                path: "crates/x/src/infer.rs".into(),
+                content: content.into(),
+            }],
+            &config(),
+        )
+        .findings
+        .into_iter()
+        .map(|f| f.message)
+        .collect()
+    }
+
+    #[test]
+    fn closure_map_in_span_is_flagged() {
+        let messages = run("fn forward_batch(x: &T) -> T { x.map(|v| v.max(0.0)) }");
+        assert_eq!(messages.len(), 1, "{messages:?}");
+        assert!(messages[0].contains("forward_batch"));
+    }
+
+    #[test]
+    fn move_closure_and_map_inplace_are_flagged() {
+        let messages = run("fn posterior(x: &mut T, c: f32) { x.map_inplace(move |v| v * c); }");
+        assert_eq!(messages.len(), 1, "{messages:?}");
+    }
+
+    #[test]
+    fn named_function_argument_is_legal() {
+        let messages = run("fn forward_batch(x: &T) -> T { x.map(gelu_grad_scalar) }");
+        assert!(messages.is_empty(), "{messages:?}");
+    }
+
+    #[test]
+    fn functions_outside_the_span_are_free() {
+        let messages = run("fn train_step(x: &T) -> T { x.map(|v| v * 2.0) }");
+        assert!(messages.is_empty(), "{messages:?}");
+    }
+
+    #[test]
+    fn test_scoped_closures_are_exempt() {
+        let messages = run(
+            "#[cfg(test)]\nmod tests {\n    fn forward_batch(x: &T) -> T { x.map(|v| v + 1.0) }\n}",
+        );
+        assert!(messages.is_empty(), "{messages:?}");
+    }
+
+    #[test]
+    fn allowlisted_grad_closures_are_recorded_not_fatal() {
+        let config = RulesConfig::from_toml(
+            r#"
+[closure_map]
+banned_methods = ["map"]
+
+[[closure_map.span]]
+file = "crates/x/src/infer.rs"
+functions = ["relu"]
+
+[[closure_map.allow]]
+file = "crates/x/src/infer.rs"
+contains = "if v > 0.0"
+reason = "training-only gradient closure; the inference forward uses UnaryOp::Relu"
+"#,
+        )
+        .expect("config parses");
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/x/src/infer.rs".into(),
+                content: "fn relu(x: &T) -> T { x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }) }"
+                    .into(),
+            }],
+            &config,
+        );
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.allowed.len(), 1);
+        assert!(report.stale_allows.is_empty());
+    }
+}

@@ -84,6 +84,40 @@ impl MultiHeadSelfAttention {
         let concat = Var::concat_cols(&head_outputs)?;
         self.output.forward(session, concat)
     }
+
+    /// Appends the attention sub-block to an expression graph, mirroring
+    /// the eager [`MultiHeadSelfAttention::forward`] step for step. The
+    /// `Q·Kᵀ` product compiles to a transposed-B GEMM (no materialised
+    /// transpose), and the per-head `1/√d` scale fuses into that GEMM's
+    /// output pass — both bit-identical to the eager sequence.
+    ///
+    /// # Errors
+    /// Returns a [`graph::GraphError`] on operand-shape mismatch.
+    pub fn push_graph(
+        &self,
+        g: &mut graph::Graph,
+        x: graph::ExprId,
+    ) -> std::result::Result<graph::ExprId, graph::GraphError> {
+        let q = self.query.push_graph(g, x)?;
+        let k = self.key.push_graph(g, x)?;
+        let v = self.value.push_graph(g, x)?;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let start = h * self.head_dim;
+            let end = start + self.head_dim;
+            let qh = g.slice_cols(q, start, end)?;
+            let kh = g.slice_cols(k, start, end)?;
+            let vh = g.slice_cols(v, start, end)?;
+            let scores = g.matmul(qh, kh, tensor::MatmulSpec::NT)?;
+            let scaled = g.unary(scores, tensor::UnaryOp::MulScalar(scale))?;
+            let attn = g.softmax_rows(scaled)?;
+            head_outputs.push(g.matmul(attn, vh, tensor::MatmulSpec::NN)?);
+        }
+        let concat = g.concat_cols(&head_outputs)?;
+        self.output.push_graph(g, concat)
+    }
 }
 
 impl Layer for MultiHeadSelfAttention {

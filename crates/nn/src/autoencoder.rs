@@ -77,6 +77,20 @@ impl StackedAutoencoder {
             .value())
     }
 
+    /// Appends the encoder to an expression graph, exactly mirroring the
+    /// eval-mode [`StackedAutoencoder::encode_inference`] (dense layers with
+    /// the sigmoid between them, none after the bottleneck).
+    ///
+    /// # Errors
+    /// Returns a [`graph::GraphError`] on operand-shape mismatch.
+    pub fn encode_push_graph(
+        &self,
+        g: &mut graph::Graph,
+        x: graph::ExprId,
+    ) -> std::result::Result<graph::ExprId, graph::GraphError> {
+        self.encoder.push_graph(g, x)
+    }
+
     /// Full reconstruction (encode then decode).
     ///
     /// # Errors

@@ -83,6 +83,37 @@ impl Conv1d {
         Var::concat_cols(&outputs)
     }
 
+    /// Appends the convolution to an expression graph: every sliding
+    /// window is a column slice sharing one dense projection, exactly the
+    /// decomposition [`Conv1d::forward`] records on a tape, so the compiled
+    /// kernel is bit-identical to the eager pass.
+    ///
+    /// # Errors
+    /// Returns a [`graph::GraphError`] if the input is narrower than the
+    /// kernel or an operand shape mismatches.
+    pub fn push_graph(
+        &self,
+        g: &mut graph::Graph,
+        x: graph::ExprId,
+    ) -> std::result::Result<graph::ExprId, graph::GraphError> {
+        let (rows, length) = g.dims(x)?;
+        if length < self.kernel_size {
+            return Err(graph::GraphError::ShapeMismatch {
+                op: "conv1d",
+                lhs: (rows, length),
+                rhs: (self.kernel_size, self.out_channels),
+            });
+        }
+        let windows = (length - self.kernel_size) / self.stride + 1;
+        let mut outputs = Vec::with_capacity(windows);
+        for w in 0..windows {
+            let start = w * self.stride;
+            let window = g.slice_cols(x, start, start + self.kernel_size)?;
+            outputs.push(self.kernel.push_graph(g, window)?);
+        }
+        g.concat_cols(&outputs)
+    }
+
     /// Inference-only forward pass without a tape.
     ///
     /// # Errors

@@ -64,6 +64,24 @@ impl Dense {
         x.matmul(&self.weight.value())?
             .add_row_broadcast(&self.bias.value())
     }
+
+    /// Appends this layer's affine map to an expression graph, snapshotting
+    /// the current weights as constants. The bias add fuses into the GEMM's
+    /// output pass at compile time, so the compiled plan is bit-identical
+    /// to [`Dense::forward_inference`] while touching the output once.
+    ///
+    /// # Errors
+    /// Returns a [`graph::GraphError`] on operand-shape mismatch.
+    pub fn push_graph(
+        &self,
+        g: &mut graph::Graph,
+        x: graph::ExprId,
+    ) -> std::result::Result<graph::ExprId, graph::GraphError> {
+        let w = g.constant(self.weight.value())?;
+        let b = g.constant(self.bias.value())?;
+        let mm = g.matmul(x, w, tensor::MatmulSpec::NN)?;
+        g.add_row_broadcast(mm, b)
+    }
 }
 
 impl Layer for Dense {

@@ -46,6 +46,23 @@ impl LayerNorm {
         let beta = session.param(&self.beta);
         x.layer_norm(gamma, beta, self.eps)
     }
+
+    /// Appends this normalisation to an expression graph, snapshotting
+    /// γ/β as constants. Compiles to the fused one-pass layer-norm kernel,
+    /// which evaluates the same per-element arithmetic as the eager
+    /// standardise → scale → shift sequence.
+    ///
+    /// # Errors
+    /// Returns a [`graph::GraphError`] on operand-shape mismatch.
+    pub fn push_graph(
+        &self,
+        g: &mut graph::Graph,
+        x: graph::ExprId,
+    ) -> std::result::Result<graph::ExprId, graph::GraphError> {
+        let gamma = g.constant(self.gamma.value())?;
+        let beta = g.constant(self.beta.value())?;
+        g.layer_norm(x, gamma, beta, self.eps)
+    }
 }
 
 impl Layer for LayerNorm {

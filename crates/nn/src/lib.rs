@@ -73,7 +73,7 @@ pub use dense::Dense;
 pub use init::Init;
 pub use layer_norm::LayerNorm;
 pub use mlp::{Activation, Mlp};
-pub use param::Param;
+pub use param::{weight_stamp, Param};
 pub use session::Session;
 
 /// Convenience alias for results returned by layer operations.

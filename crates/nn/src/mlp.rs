@@ -30,6 +30,19 @@ impl Activation {
             Activation::Identity => x,
         }
     }
+
+    /// The named elementwise op this activation evaluates, or `None` for
+    /// [`Activation::Identity`]. The eager forwards and the compiled-graph
+    /// kernels share these ops, so both paths run the same scalar code.
+    pub fn unary_op(self) -> Option<tensor::UnaryOp> {
+        match self {
+            Activation::Gelu => Some(tensor::UnaryOp::Gelu),
+            Activation::Relu => Some(tensor::UnaryOp::Relu),
+            Activation::Tanh => Some(tensor::UnaryOp::Tanh),
+            Activation::Sigmoid => Some(tensor::UnaryOp::Sigmoid),
+            Activation::Identity => None,
+        }
+    }
 }
 
 /// A multi-layer perceptron: a stack of [`Dense`] layers with a shared
@@ -104,6 +117,31 @@ impl Mlp {
                 h = self.activation.apply(h);
                 if self.dropout > 0.0 {
                     h = session.dropout(h, self.dropout)?;
+                }
+            }
+        }
+        Ok(h)
+    }
+
+    /// Appends the MLP to an expression graph: dense layers with the
+    /// activation between them (none after the last), exactly mirroring
+    /// the eval-mode [`Mlp::forward`]. Dropout is an identity in eval mode
+    /// and is therefore not represented in the graph.
+    ///
+    /// # Errors
+    /// Returns a [`graph::GraphError`] on operand-shape mismatch.
+    pub fn push_graph(
+        &self,
+        g: &mut graph::Graph,
+        x: graph::ExprId,
+    ) -> std::result::Result<graph::ExprId, graph::GraphError> {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.push_graph(g, h)?;
+            if i != last {
+                if let Some(op) = self.activation.unary_op() {
+                    h = g.unary(h, op)?;
                 }
             }
         }

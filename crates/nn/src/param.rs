@@ -25,6 +25,7 @@
 //! `std::rc::Rc`.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use tensor::Tensor;
@@ -37,6 +38,11 @@ struct ParamInner {
     /// Accumulated gradient — training-path state, never touched by
     /// inference.
     grad: Mutex<Option<Tensor>>,
+    /// Monotonic update counter, bumped by every [`Param::set_value`].
+    /// Compiled-plan caches fold these into a weight stamp so a plan built
+    /// against stale weights is detected in `O(params)` without comparing
+    /// tensor data.
+    version: AtomicU64,
 }
 
 /// A shared, named, thread-safe parameter tensor.
@@ -55,6 +61,7 @@ impl Param {
             name: name.into(),
             value: RwLock::new(value),
             grad: Mutex::new(None),
+            version: AtomicU64::new(0),
         }))
     }
 
@@ -80,6 +87,15 @@ impl Param {
     /// value.
     pub fn set_value(&self, value: Tensor) {
         *self.0.value.write().expect("param lock poisoned") = value;
+        self.0.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of updates this parameter has received (monotonic; starts at
+    /// zero). Plan caches mix the versions of every model parameter into a
+    /// weight stamp, so any `set_value` anywhere invalidates plans compiled
+    /// against the old weights.
+    pub fn version(&self) -> u64 {
+        self.0.version.load(Ordering::Relaxed)
     }
 
     /// Number of scalar elements.
@@ -132,6 +148,24 @@ impl Param {
     }
 }
 
+/// Folds the [`Param::version`] counters of a parameter list into one
+/// stamp (FNV-1a over the version sequence).
+///
+/// Compiled-plan caches key their entries by this value: any `set_value`
+/// on any listed parameter changes its version and therefore the stamp,
+/// so plans whose constants were snapshotted from older weights are
+/// recognisably stale in `O(params)` without touching tensor data. The
+/// fold is order- and position-sensitive — two different version vectors
+/// with equal sums still produce different stamps.
+pub fn weight_stamp(params: &[Param]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in params {
+        h = (h ^ p.version()).wrapping_mul(0x0000_0100_0000_01b3);
+        h = (h ^ (h >> 32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    h
+}
+
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let value = self.0.value.read().expect("param lock poisoned");
@@ -156,6 +190,34 @@ mod tests {
         assert!(!p.is_empty());
         p.set_value(Tensor::zeros(&[2, 2]));
         assert_eq!(p.value().sum(), 0.0);
+    }
+
+    #[test]
+    fn weight_stamp_tracks_any_update() {
+        let a = Param::new("a", Tensor::zeros(&[2]));
+        let b = Param::new("b", Tensor::zeros(&[2]));
+        let params = [a.clone(), b.clone()];
+        let s0 = weight_stamp(&params);
+        assert_eq!(s0, weight_stamp(&params), "stamp is deterministic");
+        a.set_value(Tensor::ones(&[2]));
+        let s1 = weight_stamp(&params);
+        assert_ne!(s0, s1);
+        // Position-sensitive: bumping b instead of a gives a third value.
+        b.set_value(Tensor::ones(&[2]));
+        a.set_value(Tensor::zeros(&[2]));
+        assert_ne!(weight_stamp(&params), s1);
+    }
+
+    #[test]
+    fn version_counts_updates() {
+        let p = Param::new("w", Tensor::zeros(&[2]));
+        assert_eq!(p.version(), 0);
+        p.set_value(Tensor::ones(&[2]));
+        p.set_value(Tensor::zeros(&[2]));
+        assert_eq!(p.version(), 2);
+        let q = p.clone();
+        q.set_value(Tensor::ones(&[2]));
+        assert_eq!(p.version(), 3, "clones share the version counter");
     }
 
     #[test]

@@ -254,6 +254,22 @@ impl Metrics {
                     ),
                 ]),
             ),
+            // Process-wide compiled-plan counters: hits/builds show how often
+            // inference reuses a compiled plan vs. compiling a fresh one, and
+            // the arena pair shows execution reusing buffers instead of
+            // allocating (reuses ≫ slot_allocs once the server is warm).
+            (
+                "graph",
+                Json::obj([
+                    ("plans_built", Json::from(graph::stats::plans_built())),
+                    ("plan_hits", Json::from(graph::stats::plan_hits())),
+                    (
+                        "arena_slot_allocs",
+                        Json::from(graph::stats::arena_slot_allocs()),
+                    ),
+                    ("arena_reuses", Json::from(graph::stats::arena_reuses())),
+                ]),
+            ),
         ])
     }
 }
@@ -319,6 +335,15 @@ mod tests {
         assert_eq!(hist[0].get("size").unwrap().as_f64(), Some(4.0));
         assert_eq!(hist[0].get("count").unwrap().as_f64(), Some(2.0));
         assert!(snap.get("latency_us").unwrap().get("p99").is_some());
+        let graph = snap.get("graph").unwrap();
+        for key in [
+            "plans_built",
+            "plan_hits",
+            "arena_slot_allocs",
+            "arena_reuses",
+        ] {
+            assert!(graph.get(key).is_some(), "missing graph counter {key}");
+        }
     }
 
     #[test]

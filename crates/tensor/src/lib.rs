@@ -39,8 +39,11 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
 mod error;
 mod matmul;
+mod named_ops;
 mod ops;
 mod reduce;
 pub mod rng;
@@ -49,6 +52,8 @@ mod shape;
 mod tensor_impl;
 
 pub use error::TensorError;
+pub use matmul::{gemm_ex_into, MatmulSpec};
+pub use named_ops::{BinaryOp, UnaryOp, GELU_COEFF, SQRT_2_OVER_PI};
 pub use shape::Shape;
 pub use tensor_impl::Tensor;
 

@@ -1,7 +1,10 @@
 //! Packed, register-tiled, data-parallel matrix multiplication.
 //!
-//! All three matmul variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) funnel into one packed
-//! GEMM: the operands are repacked into contiguous panels (which also absorbs
+//! Every matmul funnels into one packed GEMM through a single entry point,
+//! [`Tensor::matmul_ex`], whose [`MatmulSpec`] selects which operands are
+//! read transposed (`A·B`, `Aᵀ·B`, `A·Bᵀ`, `Aᵀ·Bᵀ`); the legacy
+//! `matmul`/`matmul_tn`/`matmul_nt` methods are thin wrappers over it.
+//! The operands are repacked into contiguous panels (which also absorbs
 //! the transposes, so the kernel never strides), an `MR × NR` register-tiled
 //! microkernel accumulates into fixed-size `f32` arrays the compiler
 //! auto-vectorizes, and row panels of the output are distributed across
@@ -39,6 +42,45 @@ pub(crate) const MR: usize = 4;
 /// Columns of the microkernel tile (see [`MR`]).
 #[cfg(not(target_feature = "avx"))]
 pub(crate) const NR: usize = 8;
+
+/// Which operands a matmul reads transposed, without materialising the
+/// transpose.
+///
+/// This is the single entry point's configuration: `matmul_ex(b, spec)`
+/// computes `op(A) · op(B)` where `op` transposes the operand iff the
+/// corresponding flag is set. The legacy `matmul` / `matmul_tn` /
+/// `matmul_nt` methods are thin wrappers over the four spec values, and
+/// the graph compiler lowers every matmul node to this spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MatmulSpec {
+    /// Read the left operand transposed (`Aᵀ`).
+    pub trans_a: bool,
+    /// Read the right operand transposed (`Bᵀ`).
+    pub trans_b: bool,
+}
+
+impl MatmulSpec {
+    /// `A · B` — neither operand transposed.
+    pub const NN: MatmulSpec = MatmulSpec {
+        trans_a: false,
+        trans_b: false,
+    };
+    /// `Aᵀ · B`.
+    pub const TN: MatmulSpec = MatmulSpec {
+        trans_a: true,
+        trans_b: false,
+    };
+    /// `A · Bᵀ`.
+    pub const NT: MatmulSpec = MatmulSpec {
+        trans_a: false,
+        trans_b: true,
+    };
+    /// `Aᵀ · Bᵀ`.
+    pub const TT: MatmulSpec = MatmulSpec {
+        trans_a: true,
+        trans_b: true,
+    };
+}
 
 /// How a stored rank-2 operand is read by the GEMM.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -164,8 +206,26 @@ fn gemm(
     b: (&[f32], Layout, usize),
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
+    gemm_into(m, k, n, a, b, &mut out);
+    out
+}
+
+/// The packed GEMM writing into a caller-provided `m · n` buffer — the
+/// allocation-free core that both [`gemm`] and the graph executor's
+/// arena-slot path share. The buffer is fully overwritten (zeroed first
+/// where the kernel accumulates), so stale contents never leak through.
+fn gemm_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: (&[f32], Layout, usize),
+    b: (&[f32], Layout, usize),
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n, "gemm output buffer size");
+    out.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
-        return out;
+        return;
     }
     let (b_data, b_layout, b_stride) = b;
     let (a_data, a_layout, a_stride) = a;
@@ -207,10 +267,10 @@ fn gemm(
                 }
             }
         }
-        return out;
+        return;
     }
     let packed_b = pack_b(b_data, b_layout, b_stride, k, n);
-    parallel::parallel_chunks_mut(&mut out, MR * n, |panel_idx, out_band| {
+    parallel::parallel_chunks_mut(out, MR * n, |panel_idx, out_band| {
         let row0 = panel_idx * MR;
         let rows = out_band.len() / n;
         let a_panel = pack_a_band(a_data, a_layout, a_stride, k, row0, rows);
@@ -223,7 +283,55 @@ fn gemm(
             }
         }
     });
-    out
+}
+
+/// Packed GEMM over raw row-major slices into a caller-provided buffer:
+/// `out = op(A) · op(B)` with `op(A)` of shape `m × k` and `op(B)` of shape
+/// `k × n` per `spec`.
+///
+/// This is the graph executor's entry point: it lets a compiled plan run
+/// matmuls directly between arena slots with zero allocations (beyond the
+/// kernel's internal pack buffers) while accumulating in exactly the order
+/// the [`Tensor::matmul_ex`] family does, preserving bit-identical results.
+///
+/// Operand slices are stored row-major *before* the transpose is applied:
+/// with `trans_a` set, `a` holds a `k × m` matrix; with `trans_b` set, `b`
+/// holds an `n × k` matrix.
+///
+/// # Panics
+/// Panics if a slice length does not match its stated dimensions — callers
+/// (the plan compiler) establish shapes statically, so a mismatch is a
+/// programming error rather than a data error.
+pub fn gemm_ex_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    spec: MatmulSpec,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm_ex_into: A length vs m × k");
+    assert_eq!(b.len(), k * n, "gemm_ex_into: B length vs k × n");
+    assert_eq!(out.len(), m * n, "gemm_ex_into: out length vs m × n");
+    let (a_layout, a_stride) = if spec.trans_a {
+        (Layout::Transposed, m)
+    } else {
+        (Layout::Normal, k)
+    };
+    let (b_layout, b_stride) = if spec.trans_b {
+        (Layout::Transposed, k)
+    } else {
+        (Layout::Normal, n)
+    };
+    gemm_into(
+        m,
+        k,
+        n,
+        (a, a_layout, a_stride),
+        (b, b_layout, b_stride),
+        out,
+    );
 }
 
 /// Interprets an operand as a matrix for a matmul-family op.
@@ -250,93 +358,104 @@ fn matmul_operand_dims(
 }
 
 impl Tensor {
+    /// Matrix product `op(self) · op(other)` — the single matmul entry
+    /// point, with per-operand transposes selected by [`MatmulSpec`] and
+    /// never materialised.
+    ///
+    /// Rank-1 operands are promoted to matrices: a rank-1 operand is read
+    /// as a single row before its transpose flag applies, and — for an
+    /// untransposed right operand only — a rank-1 right operand whose
+    /// length matches the inner dimension is a `k × 1` column (no explicit
+    /// reshape needed; the result is then `m × 1`). Rank > 2 operands are
+    /// rejected.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions
+    /// differ or either operand is not rank 1/2.
+    pub fn matmul_ex(&self, other: &Tensor, spec: MatmulSpec) -> Result<Tensor> {
+        const OP: &str = "matmul_ex (operands must be rank 1 or 2)";
+        let (m, k) = if spec.trans_a {
+            let (k, m) = matmul_operand_dims(OP, self, self, other)?;
+            (m, k)
+        } else {
+            matmul_operand_dims(OP, self, self, other)?
+        };
+        let (k2, n) = if spec.trans_b {
+            let (n, k2) = matmul_operand_dims(OP, other, self, other)?;
+            (k2, n)
+        } else {
+            match other.shape().dims() {
+                // A rank-1 right operand is a row when the inner dimension
+                // is 1 (the historical interpretation), otherwise a k×1
+                // column when its length matches the inner dimension.
+                [len] if k != 1 && *len == k => (k, 1),
+                _ => matmul_operand_dims(OP, other, self, other)?,
+            }
+        };
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_ex",
+                lhs: self.shape().dims().to_vec(),
+                rhs: other.shape().dims().to_vec(),
+            });
+        }
+        let (a_layout, a_stride) = if spec.trans_a {
+            (Layout::Transposed, m)
+        } else {
+            (Layout::Normal, k)
+        };
+        let (b_layout, b_stride) = if spec.trans_b {
+            (Layout::Transposed, k)
+        } else {
+            (Layout::Normal, n)
+        };
+        let out = gemm(
+            m,
+            k,
+            n,
+            (self.as_slice(), a_layout, a_stride),
+            (other.as_slice(), b_layout, b_stride),
+        );
+        Tensor::from_vec(out, &[m, n])
+    }
+
     /// Matrix product `self · other`.
     ///
-    /// Rank-1 operands are promoted to matrices: a rank-1 left operand is a
-    /// `1 × k` row, and a rank-1 right operand of length matching the inner
-    /// dimension is a `k × 1` column (no explicit reshape needed; the result
-    /// is then `m × 1`). Rank > 2 operands are rejected.
+    /// Thin wrapper over [`Tensor::matmul_ex`] with [`MatmulSpec::NN`];
+    /// prefer `matmul_ex` in new code — the three fixed-spec methods are
+    /// kept for incremental migration and will eventually be retired.
     ///
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ
     /// or either operand is not rank 1/2.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        const OP: &str = "matmul (operands must be rank 1 or 2)";
-        let (m, k) = matmul_operand_dims(OP, self, self, other)?;
-        let (k2, n) = match other.shape().dims() {
-            // A rank-1 right operand is a row when the inner dimension is 1
-            // (the historical interpretation), otherwise a k×1 column when
-            // its length matches the inner dimension.
-            [len] if k != 1 && *len == k => (k, 1),
-            _ => matmul_operand_dims(OP, other, self, other)?,
-        };
-        if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                lhs: self.shape().dims().to_vec(),
-                rhs: other.shape().dims().to_vec(),
-            });
-        }
-        let out = gemm(
-            m,
-            k,
-            n,
-            (self.as_slice(), Layout::Normal, k),
-            (other.as_slice(), Layout::Normal, n),
-        );
-        Tensor::from_vec(out, &[m, n])
+        self.matmul_ex(other, MatmulSpec::NN)
     }
 
     /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// Thin wrapper over [`Tensor::matmul_ex`] with [`MatmulSpec::TN`];
+    /// prefer `matmul_ex` in new code — the three fixed-spec methods are
+    /// kept for incremental migration and will eventually be retired.
     ///
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the row counts differ or
     /// either operand is not rank 1/2.
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
-        const OP: &str = "matmul_tn (operands must be rank 1 or 2)";
-        let (k, m) = matmul_operand_dims(OP, self, self, other)?;
-        let (k2, n) = matmul_operand_dims(OP, other, self, other)?;
-        if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul_tn",
-                lhs: self.shape().dims().to_vec(),
-                rhs: other.shape().dims().to_vec(),
-            });
-        }
-        let out = gemm(
-            m,
-            k,
-            n,
-            (self.as_slice(), Layout::Transposed, m),
-            (other.as_slice(), Layout::Normal, n),
-        );
-        Tensor::from_vec(out, &[m, n])
+        self.matmul_ex(other, MatmulSpec::TN)
     }
 
     /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// Thin wrapper over [`Tensor::matmul_ex`] with [`MatmulSpec::NT`];
+    /// prefer `matmul_ex` in new code — the three fixed-spec methods are
+    /// kept for incremental migration and will eventually be retired.
     ///
     /// # Errors
     /// Returns [`TensorError::ShapeMismatch`] if the column counts differ or
     /// either operand is not rank 1/2.
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
-        const OP: &str = "matmul_nt (operands must be rank 1 or 2)";
-        let (m, k) = matmul_operand_dims(OP, self, self, other)?;
-        let (n, k2) = matmul_operand_dims(OP, other, self, other)?;
-        if k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul_nt",
-                lhs: self.shape().dims().to_vec(),
-                rhs: other.shape().dims().to_vec(),
-            });
-        }
-        let out = gemm(
-            m,
-            k,
-            n,
-            (self.as_slice(), Layout::Normal, k),
-            (other.as_slice(), Layout::Transposed, k),
-        );
-        Tensor::from_vec(out, &[m, n])
+        self.matmul_ex(other, MatmulSpec::NT)
     }
 
     /// Dot product of two rank-1 tensors.
@@ -512,6 +631,59 @@ mod tests {
                 let multi = parallel::with_threads(threads, || a.matmul(&b).unwrap());
                 assert_eq!(single, multi, "threads={threads} ({m}x{k}x{n})");
             }
+        }
+    }
+
+    #[test]
+    fn matmul_ex_covers_all_four_specs() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, -1.0, 0.5, 2.0, 3.0, -2.0], &[2, 3]);
+        // NN/TN/NT agree with the legacy wrappers byte-for-byte.
+        assert_eq!(
+            a.matmul_ex(&b.transpose().unwrap(), MatmulSpec::NN)
+                .unwrap(),
+            a.matmul(&b.transpose().unwrap()).unwrap()
+        );
+        assert_eq!(
+            a.matmul_ex(&b, MatmulSpec::TN).unwrap(),
+            a.matmul_tn(&b).unwrap()
+        );
+        assert_eq!(
+            a.matmul_ex(&b, MatmulSpec::NT).unwrap(),
+            a.matmul_nt(&b).unwrap()
+        );
+        // TT matches the naive materialised double transpose:
+        // Aᵀ (3×2) · Bᵀ (2×4) = 3×4.
+        let b_tt = t(&[1.0, -1.0, 2.0, 0.5, -0.25, 3.0, 1.5, -2.0], &[4, 2]);
+        let tt = a.matmul_ex(&b_tt, MatmulSpec::TT).unwrap();
+        let naive = a
+            .transpose()
+            .unwrap()
+            .matmul(&b_tt.transpose().unwrap())
+            .unwrap();
+        assert_eq!(tt.shape().dims(), &[3, 4]);
+        assert_eq!(tt, naive);
+    }
+
+    #[test]
+    fn gemm_ex_into_matches_matmul_ex() {
+        let (m, k, n) = (5, 7, 3);
+        let a_nn: Vec<f32> = (0..m * k).map(|i| (i as f32) * 0.25 - 2.0).collect();
+        let b_nn: Vec<f32> = (0..k * n).map(|i| 1.5 - (i as f32) * 0.5).collect();
+        for spec in [
+            MatmulSpec::NN,
+            MatmulSpec::TN,
+            MatmulSpec::NT,
+            MatmulSpec::TT,
+        ] {
+            let a_dims = if spec.trans_a { [k, m] } else { [m, k] };
+            let b_dims = if spec.trans_b { [n, k] } else { [k, n] };
+            let a = t(&a_nn, &a_dims);
+            let b = t(&b_nn, &b_dims);
+            let expected = a.matmul_ex(&b, spec).unwrap();
+            let mut out = vec![f32::NAN; m * n];
+            gemm_ex_into(m, k, n, a.as_slice(), b.as_slice(), spec, &mut out);
+            assert_eq!(out.as_slice(), expected.as_slice(), "{spec:?}");
         }
     }
 

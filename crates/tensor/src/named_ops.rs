@@ -1,0 +1,179 @@
+//! Named elementwise operations shared by the eager API and fused kernels.
+//!
+//! Historically the hot inference paths applied activations through opaque
+//! closures (`x.map(|v| …)`), which a compiler — or a static analyzer —
+//! cannot see through. [`UnaryOp`] and [`BinaryOp`] name every elementwise
+//! operation the inference stack uses, so the eager path
+//! ([`Tensor::apply`], [`Tensor::binary`]) and the `graph` crate's fused
+//! single-pass kernels evaluate *the same scalar function* and stay
+//! bit-identical by construction.
+//!
+//! The scalar formulas here are the single source of truth: the `autograd`
+//! activation forwards delegate to [`UnaryOp::eval`], and the graph
+//! executor folds chains of these ops into one pass over a buffer.
+
+use crate::{Result, Tensor};
+
+/// `sqrt(2/π)` to `f32` precision — the tanh-approximation GELU constant.
+pub const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+
+/// The cubic coefficient of the tanh-approximation GELU.
+pub const GELU_COEFF: f32 = 0.044_715;
+
+/// A named elementwise unary operation.
+///
+/// Every variant is a pure scalar function evaluated by [`UnaryOp::eval`];
+/// tensors apply it elementwise via [`Tensor::apply`] /
+/// [`Tensor::apply_inplace`], and the graph compiler fuses chains of these
+/// into single-pass kernels with identical per-element arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryOp {
+    /// `max(x, 0)`.
+    Relu,
+    /// Tanh-approximation GELU:
+    /// `0.5 · x · (1 + tanh(√(2/π) · (x + 0.044715 · x³)))`.
+    Gelu,
+    /// Logistic sigmoid `1 / (1 + e^(−x))`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Natural exponent `e^x`.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// `x + c` for a fixed scalar `c`.
+    AddScalar(f32),
+    /// `x · c` for a fixed scalar `c`.
+    MulScalar(f32),
+}
+
+impl UnaryOp {
+    /// Evaluates the operation on one scalar.
+    ///
+    /// This is the shared definition both execution modes use; any change
+    /// here changes eager and fused results together, which is what keeps
+    /// them bit-identical.
+    #[inline]
+    pub fn eval(self, x: f32) -> f32 {
+        match self {
+            UnaryOp::Relu => x.max(0.0),
+            UnaryOp::Gelu => {
+                let inner = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
+                0.5 * x * (1.0 + inner.tanh())
+            }
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Ln => x.ln(),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::AddScalar(c) => x + c,
+            UnaryOp::MulScalar(c) => x * c,
+        }
+    }
+}
+
+/// A named elementwise binary operation between same-shape tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `a + b`.
+    Add,
+    /// `a − b`.
+    Sub,
+    /// `a · b`.
+    Mul,
+    /// `a / b`.
+    Div,
+}
+
+impl BinaryOp {
+    /// Evaluates the operation on one pair of scalars (`a` is the
+    /// left-hand operand).
+    #[inline]
+    pub fn eval(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+        }
+    }
+}
+
+impl Tensor {
+    /// Applies a named unary operation elementwise, returning a new tensor.
+    ///
+    /// Equivalent to `self.map(|v| op.eval(v))` but with the operation
+    /// visible to callers, static analysis, and the graph compiler.
+    pub fn apply(&self, op: UnaryOp) -> Tensor {
+        self.map(|v| op.eval(v))
+    }
+
+    /// Applies a named unary operation elementwise in place.
+    pub fn apply_inplace(&mut self, op: UnaryOp) {
+        self.map_inplace(|v| op.eval(v));
+    }
+
+    /// Applies a named binary operation elementwise against a same-shape
+    /// tensor (`self` is the left-hand operand).
+    ///
+    /// # Errors
+    /// Returns [`crate::TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn binary(&self, other: &Tensor, op: BinaryOp) -> Result<Tensor> {
+        match op {
+            BinaryOp::Add => self.add(other),
+            BinaryOp::Sub => self.sub(other),
+            BinaryOp::Mul => self.mul(other),
+            BinaryOp::Div => self.div(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_matches_closure_map() {
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[5]).unwrap();
+        assert_eq!(x.apply(UnaryOp::Relu), x.map(|v| v.max(0.0)));
+        assert_eq!(
+            x.apply(UnaryOp::Sigmoid),
+            x.map(|v| 1.0 / (1.0 + (-v).exp()))
+        );
+        assert_eq!(x.apply(UnaryOp::Tanh), x.map(f32::tanh));
+        assert_eq!(x.apply(UnaryOp::AddScalar(1.5)), x.add_scalar(1.5));
+        assert_eq!(x.apply(UnaryOp::MulScalar(-3.0)), x.scale(-3.0));
+    }
+
+    #[test]
+    fn gelu_formula_is_the_tanh_approximation() {
+        let x = 0.5f32;
+        let inner = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
+        assert_eq!(UnaryOp::Gelu.eval(x), 0.5 * x * (1.0 + inner.tanh()));
+        assert_eq!(UnaryOp::Gelu.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn apply_inplace_matches_apply() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0, -3.0], &[3]).unwrap();
+        let mut y = x.clone();
+        y.apply_inplace(UnaryOp::Abs);
+        assert_eq!(y, x.apply(UnaryOp::Abs));
+    }
+
+    #[test]
+    fn binary_dispatches_to_arithmetic() {
+        let a = Tensor::from_vec(vec![1.0, 4.0, 9.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert_eq!(a.binary(&b, BinaryOp::Add).unwrap(), a.add(&b).unwrap());
+        assert_eq!(a.binary(&b, BinaryOp::Sub).unwrap(), a.sub(&b).unwrap());
+        assert_eq!(a.binary(&b, BinaryOp::Mul).unwrap(), a.mul(&b).unwrap());
+        assert_eq!(a.binary(&b, BinaryOp::Div).unwrap(), a.div(&b).unwrap());
+        assert!(a.binary(&Tensor::zeros(&[2]), BinaryOp::Add).is_err());
+    }
+}

@@ -46,6 +46,8 @@ impl Tensor {
     /// subsequent in-place writes take the no-copy path).
     pub(crate) fn from_parts(data: Vec<f32>, shape: Shape) -> Self {
         debug_assert_eq!(data.len(), shape.volume());
+        #[cfg(feature = "alloc-count")]
+        crate::alloc_count::record_alloc();
         Tensor {
             data: Arc::new(data),
             shape,
