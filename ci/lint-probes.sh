@@ -18,7 +18,8 @@ restore() {
     git checkout -- crates/nn/src/param.rs crates/nn/src/lib.rs \
         crates/tensor/src/matmul.rs crates/baselines/src/wideep.rs 2>/dev/null || true
     rm -f crates/serve/src/__lint_probe.rs crates/parallel/src/__lint_probe.rs \
-        crates/graph/src/__lint_probe.rs
+        crates/graph/src/__lint_probe.rs crates/tensor/src/__lint_probe.rs \
+        crates/simd/src/__lint_probe.rs
 }
 
 [ -f ci/lint-rules.toml ] || fail "run from the workspace root"
@@ -161,7 +162,33 @@ EOF
 expect_rule "lock-order catches a plans<->arenas cycle in the graph crate" "lock-order"
 rm crates/graph/src/__lint_probe.rs
 
-# 9. After all restores the tree is clean again.
+# 9. hygiene, unsafe confinement: an `unsafe` block in production code
+#    outside crates/simd/src must fail — raw intrinsics have one audited
+#    home and everything else goes through the safe `simd` crate API.
+cat > crates/tensor/src/__lint_probe.rs <<'EOF'
+fn probe(values: &mut [f32]) {
+    // SAFETY: a comment alone must not excuse unsafe outside the simd crate.
+    unsafe {
+        *values.get_unchecked_mut(0) = 0.0;
+    }
+}
+EOF
+expect_rule "hygiene catches unsafe outside the simd crate" "hygiene"
+rm crates/tensor/src/__lint_probe.rs
+
+# 10. hygiene, SAFETY proximity: even inside crates/simd/src, an unsafe
+#     block with no SAFETY / `# Safety` comment within 12 lines must fail.
+cat > crates/simd/src/__lint_probe.rs <<'EOF'
+fn probe(values: &mut [f32]) {
+    unsafe {
+        *values.get_unchecked_mut(0) = 0.0;
+    }
+}
+EOF
+expect_rule "hygiene catches undocumented unsafe inside the simd crate" "hygiene"
+rm crates/simd/src/__lint_probe.rs
+
+# 11. After all restores the tree is clean again.
 "$LINT" --workspace --quiet || fail "tree must be clean again after probes"
 echo "probe ok: restored tree passes"
 

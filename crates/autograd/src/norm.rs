@@ -28,53 +28,43 @@ impl<'t> Var<'t> {
             });
         }
 
-        // Forward: keep the normalised activations and per-row inverse std for
-        // the backward pass.
-        let mut xhat = vec![0.0f32; rows * cols];
-        let mut inv_std = vec![0.0f32; rows];
-        for i in 0..rows {
-            let row = &x.as_slice()[i * cols..(i + 1) * cols];
-            let mean: f32 = row.iter().sum::<f32>() / cols as f32;
-            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            inv_std[i] = istd;
-            for j in 0..cols {
-                xhat[i * cols + j] = (row[j] - mean) * istd;
-            }
-        }
-        let xhat_t = Tensor::from_vec(xhat, &[rows, cols])?;
-        let value = xhat_t.mul_row_broadcast(&g)?.add_row_broadcast(&b)?;
+        // Forward on the runtime-dispatched SIMD kernel; keep the input and
+        // the per-row (mean, 1/std) the kernel computed so the backward
+        // closure can reconstruct x̂ without a second [rows × cols] buffer.
+        let (value, means, inv_std) = x.layer_norm_rows_stats(&g, &b, eps)?;
 
-        let xhat_for_back = xhat_t.clone();
+        let x_for_back = x.clone();
         let gamma_for_back = g.clone();
         Ok(self.tape.push(
             value,
             vec![self.id, gamma.id, beta.id],
             Some(Box::new(move |grad: &Tensor| {
                 let gs = grad.as_slice();
-                let xh = xhat_for_back.as_slice();
+                let xs = x_for_back.as_slice();
                 let gm = gamma_for_back.as_slice();
                 let mut dx = vec![0.0f32; rows * cols];
                 let mut dgamma = vec![0.0f32; cols];
                 let mut dbeta = vec![0.0f32; cols];
-                for (i, &inv_std_i) in inv_std.iter().enumerate() {
-                    // dxhat = grad ⊙ gamma
+                for (i, (&inv_std_i, &mean_i)) in inv_std.iter().zip(&means).enumerate() {
+                    // dxhat = grad ⊙ gamma, with x̂ = (x − μ)·istd rebuilt
+                    // from the saved statistics.
                     let mut sum_dxhat = 0.0f32;
                     let mut sum_dxhat_xhat = 0.0f32;
                     for (j, &gm_j) in gm.iter().enumerate() {
                         let idx = i * cols + j;
+                        let xh = (xs[idx] - mean_i) * inv_std_i;
                         let dxhat = gs[idx] * gm_j;
                         sum_dxhat += dxhat;
-                        sum_dxhat_xhat += dxhat * xh[idx];
-                        dgamma[j] += gs[idx] * xh[idx];
+                        sum_dxhat_xhat += dxhat * xh;
+                        dgamma[j] += gs[idx] * xh;
                         dbeta[j] += gs[idx];
                     }
                     let n = cols as f32;
                     for (j, &gm_j) in gm.iter().enumerate() {
                         let idx = i * cols + j;
+                        let xh = (xs[idx] - mean_i) * inv_std_i;
                         let dxhat = gs[idx] * gm_j;
-                        dx[idx] =
-                            inv_std_i * (dxhat - sum_dxhat / n - xh[idx] * sum_dxhat_xhat / n);
+                        dx[idx] = inv_std_i * (dxhat - sum_dxhat / n - xh * sum_dxhat_xhat / n);
                     }
                 }
                 vec![

@@ -22,8 +22,11 @@
 //!
 //! ```json
 //! {
-//!   "gemm":  [ {"m": 256, "min_speedup": 1.8} ],
+//!   "gemm":  [ {"m": 256, "min_speedup": 0.7} ],
+//!   "simd":  { "min_simd_speedup": 2.0,
+//!              "kernels": [ {"kernel": "softmax", "min_gbps": 1.5} ] },
 //!   "vit":   { "batch": 32, "min_speedup": 1.3, "require_agreement": true,
+//!              "max_batch_ms_per_sample": 2.0,
 //!              "max_allocs_per_request": 8, "min_alloc_reduction": 10,
 //!              "min_fused_speedup": 0.7 },
 //!   "serve": { "min_rps": 500, "max_p99_ms": 50, "max_errors": 0,
@@ -294,6 +297,55 @@ fn run(
         gate.check(&format!("gemm {size}\u{b3} packed speedup"), speedup, floor);
     }
 
+    // SIMD dispatch floors: whenever a vector level is actually active,
+    // each kernel row must clear its effective-bandwidth floor and beat the
+    // forced-scalar sweep by `min_simd_speedup`. On a scalar-only host both
+    // checks are skipped with a visible note — the speedup would compare
+    // scalar with scalar, and the bandwidth floors are calibrated against
+    // vector rates; scalar correctness stays covered by the parity tests.
+    if let Some(simd_thresholds) = thresholds.get("simd") {
+        let report = perf
+            .get("simd")
+            .ok_or("BENCH_perf.json has no simd object")?;
+        let level = report
+            .get("level")
+            .and_then(Json::as_str)
+            .ok_or("simd report has no level")?;
+        let measured = report
+            .get("kernels")
+            .and_then(Json::as_array)
+            .ok_or("simd report has no kernels array")?;
+        let min_speedup = num(simd_thresholds, "simd threshold", "min_simd_speedup")?;
+        for threshold in simd_thresholds
+            .get("kernels")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+        {
+            let name = threshold
+                .get("kernel")
+                .and_then(Json::as_str)
+                .ok_or("simd kernel threshold has no kernel name")?;
+            let row = measured
+                .iter()
+                .find(|r| r.get("kernel").and_then(Json::as_str) == Some(name))
+                .ok_or_else(|| format!("no measured simd row for kernel {name:?}"))?;
+            if level == "scalar" {
+                println!("SKIP  simd {name} bandwidth + speedup floors: active level is scalar");
+                continue;
+            }
+            gate.check(
+                &format!("simd {name} {level} effective bandwidth (GB/s)"),
+                num(row, "simd row", "gbps")?,
+                num(threshold, "simd kernel threshold", "min_gbps")?,
+            );
+            gate.check(
+                &format!("simd {name} {level} speedup vs scalar"),
+                num(row, "simd row", "speedup")?,
+                min_speedup,
+            );
+        }
+    }
+
     // Batched-ViT speedup + prediction agreement.
     if let Some(vit_threshold) = thresholds.get("vit") {
         let vit = perf.get("vit").ok_or("BENCH_perf.json has no vit object")?;
@@ -316,6 +368,18 @@ fn run(
         // the fused floor only guards against a pathologically slow
         // compiled path, since wall-time vs eager is near parity at quick
         // scale.
+        // Absolute end-to-end latency ceiling: unlike the ratio floors it
+        // cannot be satisfied by the baseline getting slower too.
+        if let Some(ceiling) = vit_threshold
+            .get("max_batch_ms_per_sample")
+            .and_then(Json::as_f64)
+        {
+            gate.check_max(
+                &format!("vit batch-{expected_batch} compiled latency (ms/sample)"),
+                num(vit, "vit report", "batch_ms_per_sample")?,
+                ceiling,
+            );
+        }
         if let Some(ceiling) = vit_threshold
             .get("max_allocs_per_request")
             .and_then(Json::as_f64)

@@ -109,6 +109,83 @@ fn bench_gemm(sizes: &[usize], reps: usize) -> Vec<GemmRow> {
         .collect()
 }
 
+struct SimdRow {
+    kernel: &'static str,
+    scalar_ms: f64,
+    simd_ms: f64,
+    /// Effective bandwidth of the dispatched kernel, counting one f32 read
+    /// and one f32 write per element per call — a fixed traffic convention
+    /// (internal passes are *not* multiplied in), so the number is
+    /// comparable across kernels and runs even though e.g. softmax sweeps
+    /// its rows three times.
+    gbps: f64,
+}
+
+/// Times the runtime-dispatched math kernels at the active level against
+/// the forced-scalar level on identical buffers.
+fn bench_simd(scale: Scale, reps: usize) -> (&'static str, Vec<SimdRow>) {
+    let level = simd::active_level();
+    // Rows × cols chosen so the working set spills L1/L2 and the timing is
+    // bandwidth-shaped rather than call-overhead-shaped.
+    let (rows, cols) = match scale {
+        Scale::Quick => (512, 256),
+        Scale::Full => (2048, 512),
+    };
+    let n = rows * cols;
+    let src = SeededRng::new(11).uniform_tensor(&[rows, cols], -4.0, 4.0);
+    let gamma = vec![1.0f32; cols];
+    let beta = vec![0.0f32; cols];
+    let bytes = (2 * 4 * n) as f64;
+    // Each closure re-applies the kernel in place on a warm buffer; the
+    // outputs stay finite under re-application (softmax of a softmax,
+    // layer-norm of a layer-norm, GELU of a GELU), so every rep measures
+    // the same bandwidth-bound sweep.
+    let mut rows_out = Vec::new();
+    type SimdKernel = Box<dyn Fn(simd::Level, &mut [f32])>;
+    let kernels: [(&'static str, SimdKernel); 3] = [
+        (
+            "softmax",
+            Box::new(move |lv, data: &mut [f32]| simd::softmax_rows_at(lv, data, cols)),
+        ),
+        (
+            "layer_norm",
+            Box::new(move |lv, data: &mut [f32]| {
+                simd::layer_norm_rows_at(lv, data, cols, &gamma, &beta, 1e-5)
+            }),
+        ),
+        (
+            "gelu",
+            Box::new(|lv, data: &mut [f32]| simd::apply_act_at(lv, simd::Act::Gelu, data)),
+        ),
+    ];
+    for (name, kernel) in &kernels {
+        let mut scalar_buf = src.as_slice().to_vec();
+        let scalar_ms = time_ms(reps, || {
+            kernel(simd::Level::Scalar, &mut scalar_buf);
+            std::hint::black_box(scalar_buf[0]);
+        });
+        let mut simd_buf = src.as_slice().to_vec();
+        let simd_ms = time_ms(reps, || {
+            kernel(level, &mut simd_buf);
+            std::hint::black_box(simd_buf[0]);
+        });
+        let gbps = bytes / (simd_ms * 1e6);
+        eprintln!(
+            "simd {name:>10}  scalar {scalar_ms:>7.3} ms  {} {simd_ms:>7.3} ms  \
+             speedup {:>5.2}×  {gbps:>6.2} GB/s",
+            level.name(),
+            scalar_ms / simd_ms,
+        );
+        rows_out.push(SimdRow {
+            kernel: name,
+            scalar_ms,
+            simd_ms,
+            gbps,
+        });
+    }
+    (level.name(), rows_out)
+}
+
 struct VitResult {
     batch: usize,
     single_ms_per_sample: f64,
@@ -211,9 +288,12 @@ fn main() {
     } else {
         Scale::from_env()
     };
+    // Quick-scale gemm sizes take ~0.1-3 ms per call, so a 3-rep median is
+    // one scheduler hiccup away from a 2x swing on a busy 1-core runner;
+    // 9 reps keeps the quick job fast while making the median robust.
     let (sizes, gemm_reps, vit_reps): (&[usize], usize, usize) = match scale {
-        Scale::Quick => (&[64, 128, 256], 3, 3),
-        Scale::Full => (&[64, 128, 256, 384, 512], 7, 5),
+        Scale::Quick => (&[64, 128, 256], 9, 3),
+        Scale::Full => (&[64, 128, 256, 384, 512], 9, 5),
     };
     let threads = parallel::num_threads();
     eprintln!(
@@ -221,6 +301,7 @@ fn main() {
     );
 
     let gemm = bench_gemm(sizes, gemm_reps);
+    let (simd_level, simd_rows) = bench_simd(scale, gemm_reps.max(5));
     let vit = bench_vit(scale, vit_reps);
 
     // Round to the precision the hand-formatted report used to commit.
@@ -248,6 +329,24 @@ fn main() {
         ),
         ("threads", Json::from(threads)),
         ("gemm", gemm_rows),
+        (
+            "simd",
+            Json::obj([
+                ("level", Json::from(simd_level)),
+                (
+                    "kernels",
+                    Json::arr(simd_rows.iter().map(|r| {
+                        Json::obj([
+                            ("kernel", Json::from(r.kernel)),
+                            ("scalar_ms", r4(r.scalar_ms)),
+                            ("simd_ms", r4(r.simd_ms)),
+                            ("speedup", r3(r.scalar_ms / r.simd_ms)),
+                            ("gbps", r3(r.gbps)),
+                        ])
+                    })),
+                ),
+            ]),
+        ),
         (
             "vit",
             Json::obj([

@@ -86,8 +86,9 @@ impl EncoderBlock {
     ///
     /// Layer-norm and the MLP are row-wise, so they run directly on the
     /// stack (one big GEMM per dense layer instead of `samples` small ones);
-    /// only the attention sub-block — whose softmax couples the rows of a
-    /// sample — is applied per sample and re-concatenated.
+    /// the attention sub-block — whose softmax couples the rows of a
+    /// sample — runs stacked too, batching every `(sample, head)` score
+    /// block through one SIMD softmax sweep.
     ///
     /// # Errors
     /// Returns an error if the row count is not a multiple of `samples` or
@@ -104,19 +105,11 @@ impl EncoderBlock {
                 "stacked sequence of {rows} rows does not divide into {samples} samples"
             )));
         }
-        let seq_len = rows / samples;
         let normed = self.norm_attention.forward(session, x)?;
-        let attended = if samples == 1 {
-            self.attention.forward(session, normed)?
-        } else {
-            let mut per_sample = Vec::with_capacity(samples);
-            for s in 0..samples {
-                let sample = normed.slice_rows(s * seq_len, (s + 1) * seq_len)?;
-                per_sample.push(self.attention.forward(session, sample)?);
-            }
-            Var::concat_rows(&per_sample)?
-        }
-        .add(x)?;
+        let attended = self
+            .attention
+            .forward_stacked(session, normed, samples)?
+            .add(x)?;
         let mlp_out = self
             .mlp
             .forward(session, self.norm_mlp.forward(session, attended)?)?;
@@ -128,26 +121,16 @@ impl EncoderBlock {
     }
 
     /// Appends the block to an expression graph, mirroring
-    /// [`EncoderBlock::forward_stacked`] step for step (per-sample
-    /// attention unrolled over row slices for `samples > 1`).
+    /// [`EncoderBlock::forward_stacked`] step for step (stacked attention
+    /// with one batched softmax over every `(sample, head)` score block).
     fn push_graph_stacked(
         &self,
         g: &mut Graph,
         x: ExprId,
         samples: usize,
-        seq_len: usize,
     ) -> std::result::Result<ExprId, GraphError> {
         let normed = self.norm_attention.push_graph(g, x)?;
-        let attended_pre = if samples == 1 {
-            self.attention.push_graph(g, normed)?
-        } else {
-            let mut per_sample = Vec::with_capacity(samples);
-            for s in 0..samples {
-                let sample = g.slice_rows(normed, s * seq_len, (s + 1) * seq_len)?;
-                per_sample.push(self.attention.push_graph(g, sample)?);
-            }
-            g.concat_rows(&per_sample)?
-        };
+        let attended_pre = self.attention.push_graph_stacked(g, normed, samples)?;
         let attended = g.binary(attended_pre, x, BinaryOp::Add)?;
         let normed_mlp = self.norm_mlp.push_graph(g, attended)?;
         let mlp_out = self.mlp.push_graph(g, normed_mlp)?;
@@ -273,10 +256,11 @@ impl VisionTransformer {
     ///
     /// The batch is executed *stacked*: every sample's patch rows are
     /// concatenated into one `[batch * num_patches, patch_dim]` matrix, so
-    /// the patch embedding, every layer-norm, every encoder MLP and the
-    /// classification head each run as a single large GEMM over the whole
-    /// batch (which the packed kernel then splits across threads). Only the
-    /// per-sample attention softmax runs sample-by-sample.
+    /// the patch embedding, every layer-norm, every encoder MLP, every
+    /// attention projection and the classification head each run as a
+    /// single large GEMM over the whole batch (which the packed kernel then
+    /// splits across threads), and all per-sample attention softmaxes run
+    /// as one batched SIMD sweep.
     ///
     /// # Errors
     /// Returns an error if the batch is empty or any patch matrix has the
@@ -405,7 +389,7 @@ impl VisionTransformer {
         let positional = g.constant(self.positional.value())?;
         let mut hidden = g.add_tile_rows(embedded, positional, samples)?;
         for block in &self.blocks {
-            hidden = block.push_graph_stacked(&mut g, hidden, samples, self.num_patches)?;
+            hidden = block.push_graph_stacked(&mut g, hidden, samples)?;
         }
         let pooled = g.mean_row_blocks(hidden, self.num_patches)?;
         let logits = self.head.push_graph(&mut g, pooled)?;

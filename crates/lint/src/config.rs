@@ -302,6 +302,11 @@ pub struct RulesConfig {
     pub ban_unbounded_channel: bool,
     /// Files that must carry `#![forbid(unsafe_code)]`.
     pub forbid_unsafe_files: Vec<String>,
+    /// Directory prefixes (workspace-relative) where `unsafe` is permitted.
+    /// When non-empty, any `unsafe` token in a production file *outside*
+    /// these prefixes is a finding — the whole workspace confines its
+    /// `unsafe` to the audited SIMD backend.
+    pub unsafe_allowed_dirs: Vec<String>,
     /// Guard-rail patterns that must stay present.
     pub required: Vec<RequiredPattern>,
     /// Hygiene allowlist.
@@ -336,6 +341,7 @@ impl RulesConfig {
             closure_allow: Vec::new(),
             ban_unbounded_channel: false,
             forbid_unsafe_files: Vec::new(),
+            unsafe_allowed_dirs: Vec::new(),
             required: Vec::new(),
             hygiene_allow: Vec::new(),
         };
@@ -419,6 +425,10 @@ impl RulesConfig {
                         table.bool_key("ban_unbounded_channel").unwrap_or(false);
                     config.forbid_unsafe_files = table
                         .array_key("forbid_unsafe_files")
+                        .unwrap_or(&[])
+                        .to_vec();
+                    config.unsafe_allowed_dirs = table
+                        .array_key("unsafe_allowed_dirs")
                         .unwrap_or(&[])
                         .to_vec();
                 }

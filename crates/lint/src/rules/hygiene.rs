@@ -1,12 +1,18 @@
-//! Concurrency hygiene: unbounded-channel ban and guard-rail presence.
+//! Concurrency hygiene: unbounded-channel ban, `unsafe` confinement, and
+//! guard-rail presence.
 //!
-//! Two checks:
+//! Three checks:
 //!
 //! * **No unbounded `mpsc::channel`** in production code, workspace-wide.
 //!   Every queue in the serve path is bounded by design (backpressure is
 //!   what keeps overload a `503` instead of an OOM); an unbounded channel
 //!   anywhere is a buffer that grows until the process dies. Use
 //!   `mpsc::sync_channel` (or the serve `JobQueue`) instead.
+//! * **`unsafe` is confined** to the directories named in
+//!   `unsafe_allowed_dirs` (the audited SIMD backend): any `unsafe` token
+//!   in a production file elsewhere is a finding, and inside the allowed
+//!   directories every `unsafe fn` / `unsafe {` must sit within a few
+//!   lines of a `SAFETY`/`# Safety` comment explaining its contract.
 //! * **Guard rails stay present** — the `#![deny(clippy::disallowed_types)]`
 //!   attributes, the compile-time `Send + Sync` assertions from the
 //!   shared-registry refactor, and the `#![forbid(unsafe_code)]` attributes
@@ -17,15 +23,37 @@ use crate::analyze::FileContext;
 use crate::config::RulesConfig;
 use crate::report::{Finding, Rule};
 
-/// Token-level checks (the channel ban) for one file.
+/// Token-level checks (the channel ban and `unsafe` confinement) for one
+/// file.
 pub fn check(ctx: &FileContext<'_>, config: &RulesConfig) -> Vec<Finding> {
     let mut findings = Vec::new();
-    if !config.ban_unbounded_channel {
-        return findings;
-    }
+    // `unsafe` may only appear under the allowed directory prefixes (the
+    // audited SIMD backend). The lexer resolves keywords to idents and
+    // `unsafe_code` / `unsafe_op_in_unsafe_fn` are single distinct
+    // identifiers, so matching the bare `unsafe` token is exact.
+    let unsafe_confined = !config.unsafe_allowed_dirs.is_empty()
+        && !config
+            .unsafe_allowed_dirs
+            .iter()
+            .any(|dir| ctx.path.starts_with(dir.as_str()));
     let tokens = &ctx.scoped.tokens;
     for (i, tok) in tokens.iter().enumerate() {
         if ctx.scoped.test_mask[i] {
+            continue;
+        }
+        if unsafe_confined && tok.ident() == Some("unsafe") {
+            findings.push(
+                ctx.finding(
+                    Rule::Hygiene,
+                    tok,
+                    "`unsafe` is confined to the audited SIMD backend (see \
+                 `unsafe_allowed_dirs` in ci/lint-rules.toml); route vector \
+                 work through the safe `simd` crate API instead"
+                        .to_string(),
+                ),
+            );
+        }
+        if !config.ban_unbounded_channel {
             continue;
         }
         // `mpsc :: channel` — the unbounded constructor. `sync_channel`
@@ -94,6 +122,47 @@ pub fn file_checks(path: &str, content: &str, config: &RulesConfig) -> Vec<Findi
                 .to_string(),
             snippet: String::new(),
         });
+    }
+    // Inside the allowed `unsafe` directories, every `unsafe fn` /
+    // `unsafe {` must carry a nearby SAFETY comment. The token stream
+    // drops comments, so this is a raw-line scan: the justification may
+    // sit on the same line or up to a comment block above the unsafe
+    // site.
+    if config
+        .unsafe_allowed_dirs
+        .iter()
+        .any(|dir| path.starts_with(dir.as_str()))
+    {
+        let lines: Vec<&str> = content.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            // Strip a trailing line comment so prose mentioning `unsafe fn`
+            // next to code does not register as an unsafe site.
+            let code = trimmed.split("//").next().unwrap_or(trimmed);
+            if !(code.contains("unsafe fn") || code.contains("unsafe {")) {
+                continue;
+            }
+            let documented = line.contains("SAFETY")
+                || lines[i.saturating_sub(12)..i].iter().rev().any(|prev| {
+                    let p = prev.trim_start();
+                    p.contains("SAFETY") || p.contains("# Safety")
+                });
+            if !documented {
+                findings.push(Finding {
+                    rule: Rule::Hygiene,
+                    file: path.to_string(),
+                    line: i as u32 + 1,
+                    col: 1,
+                    message: "`unsafe` without a nearby SAFETY comment: state the contract \
+                              that makes this sound (within 12 lines above the site)"
+                        .to_string(),
+                    snippet: (*line).to_string(),
+                });
+            }
+        }
     }
     for required in config.required.iter().filter(|r| r.file == path) {
         if !content.contains(&required.contains) {
@@ -206,6 +275,85 @@ why = "Rc ban"
             &channel_only_config(),
         );
         assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    fn unsafe_config() -> RulesConfig {
+        RulesConfig::from_toml(
+            r#"
+[hygiene]
+unsafe_allowed_dirs = ["crates/simd/src"]
+"#,
+        )
+        .expect("test config parses")
+    }
+
+    #[test]
+    fn unsafe_outside_allowed_dirs_is_flagged() {
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/tensor/src/fast.rs".into(),
+                content: "fn f(p: *const f32) -> f32 { unsafe { *p } }".into(),
+            }],
+            &unsafe_config(),
+        );
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert!(report.findings[0].message.contains("confined"));
+    }
+
+    #[test]
+    fn unsafe_attribute_idents_do_not_trip_confinement() {
+        // `unsafe_code` / `unsafe_op_in_unsafe_fn` are distinct identifiers,
+        // not the `unsafe` keyword.
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/tensor/src/lib.rs".into(),
+                content: "#![forbid(unsafe_code)]\n#![deny(unsafe_op_in_unsafe_fn)]\n".into(),
+            }],
+            &unsafe_config(),
+        );
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn unsafe_in_test_code_is_exempt_from_confinement() {
+        let report = analyze(
+            &[SourceFile {
+                path: "crates/tensor/src/fast.rs".into(),
+                content: "#[cfg(test)]\nmod tests { fn f(p: *const f32) -> f32 { unsafe { *p } } }"
+                    .into(),
+            }],
+            &unsafe_config(),
+        );
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn unsafe_in_allowed_dir_requires_safety_comment() {
+        let undocumented = analyze(
+            &[SourceFile {
+                path: "crates/simd/src/x86.rs".into(),
+                content: "fn f(p: *const f32) -> f32 { unsafe { *p } }".into(),
+            }],
+            &unsafe_config(),
+        );
+        assert_eq!(
+            undocumented.findings.len(),
+            1,
+            "{:?}",
+            undocumented.findings
+        );
+        assert!(undocumented.findings[0].message.contains("SAFETY"));
+
+        let documented = analyze(
+            &[SourceFile {
+                path: "crates/simd/src/x86.rs".into(),
+                content: "fn f(p: *const f32) -> f32 {\n    // SAFETY: caller guarantees p is \
+                          valid.\n    unsafe { *p }\n}"
+                    .into(),
+            }],
+            &unsafe_config(),
+        );
+        assert!(documented.findings.is_empty(), "{:?}", documented.findings);
     }
 
     #[test]

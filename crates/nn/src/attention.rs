@@ -63,33 +63,103 @@ impl MultiHeadSelfAttention {
     /// # Errors
     /// Returns an error if the input feature width differs from `d_model`.
     pub fn forward<'t>(&self, session: &Session<'t>, x: Var<'t>) -> Result<Var<'t>> {
+        self.forward_stacked(session, x, 1)
+    }
+
+    /// Applies self-attention independently to `samples` sequences stacked
+    /// as a `[samples * seq_len, d_model]` matrix.
+    ///
+    /// The Q/K/V and output projections run once over the whole stack (one
+    /// large GEMM each), and every `(sample, head)` score block is
+    /// row-concatenated into a single `[samples * heads * seq_len, seq_len]`
+    /// matrix so the attention weighting is **one** batched softmax sweep
+    /// through the runtime-dispatched SIMD kernel. Softmax is row-wise, so
+    /// the result is bit-identical to attending each sample alone.
+    ///
+    /// # Errors
+    /// Returns an error if the row count is not a multiple of `samples` or
+    /// the feature width differs from `d_model`.
+    pub fn forward_stacked<'t>(
+        &self,
+        session: &Session<'t>,
+        x: Var<'t>,
+        samples: usize,
+    ) -> Result<Var<'t>> {
+        let rows = x.value().rows()?;
+        if samples == 0 || !rows.is_multiple_of(samples) {
+            return Err(TensorError::ShapeMismatch {
+                op: "msa.forward_stacked",
+                lhs: vec![rows],
+                rhs: vec![samples],
+            });
+        }
+        let seq_len = rows / samples;
         let q = self.query.forward(session, x)?;
         let k = self.key.forward(session, x)?;
         let v = self.value.forward(session, x)?;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
 
-        let mut head_outputs = Vec::with_capacity(self.heads);
-        for h in 0..self.heads {
-            let start = h * self.head_dim;
-            let end = start + self.head_dim;
-            let qh = q.slice_cols(start, end)?;
-            let kh = k.slice_cols(start, end)?;
-            let vh = v.slice_cols(start, end)?;
-            // Dot-product similarity (eq. 2), softmax weighting (eq. 1).
-            let scores = qh.matmul(kh.transpose()?)?.scale(scale);
-            let attn = scores.softmax_rows()?;
-            head_outputs.push(attn.matmul(vh)?);
+        // Dot-product similarity (eq. 2) per (sample, head) block...
+        let mut scores = Vec::with_capacity(samples * self.heads);
+        for s in 0..samples {
+            let (qs, ks) = if samples == 1 {
+                (q, k)
+            } else {
+                (
+                    q.slice_rows(s * seq_len, (s + 1) * seq_len)?,
+                    k.slice_rows(s * seq_len, (s + 1) * seq_len)?,
+                )
+            };
+            for h in 0..self.heads {
+                let start = h * self.head_dim;
+                let end = start + self.head_dim;
+                let qh = qs.slice_cols(start, end)?;
+                let kh = ks.slice_cols(start, end)?;
+                scores.push(qh.matmul(kh.transpose()?)?.scale(scale));
+            }
         }
-        // Concat(h1..hn) W_o (eq. 4).
-        let concat = Var::concat_cols(&head_outputs)?;
+        // ...softmax weighting (eq. 1) as one batched sweep.
+        let stacked_scores = if scores.len() == 1 {
+            scores.pop().expect("at least one head")
+        } else {
+            Var::concat_rows(&scores)?
+        };
+        let attn_all = stacked_scores.softmax_rows()?;
+
+        // attn · V per block, reassembled to `[samples * seq_len, d_model]`.
+        let mut sample_outputs = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let vs = if samples == 1 {
+                v
+            } else {
+                v.slice_rows(s * seq_len, (s + 1) * seq_len)?
+            };
+            let mut head_outputs = Vec::with_capacity(self.heads);
+            for h in 0..self.heads {
+                let block = (s * self.heads + h) * seq_len;
+                let attn = if samples * self.heads == 1 {
+                    attn_all
+                } else {
+                    attn_all.slice_rows(block, block + seq_len)?
+                };
+                let start = h * self.head_dim;
+                let vh = vs.slice_cols(start, start + self.head_dim)?;
+                head_outputs.push(attn.matmul(vh)?);
+            }
+            // Concat(h1..hn) per sample (eq. 4)...
+            sample_outputs.push(Var::concat_cols(&head_outputs)?);
+        }
+        let concat = if samples == 1 {
+            sample_outputs.pop().expect("samples >= 1")
+        } else {
+            Var::concat_rows(&sample_outputs)?
+        };
+        // ...then the shared W_o projection over the whole stack.
         self.output.forward(session, concat)
     }
 
     /// Appends the attention sub-block to an expression graph, mirroring
-    /// the eager [`MultiHeadSelfAttention::forward`] step for step. The
-    /// `Q·Kᵀ` product compiles to a transposed-B GEMM (no materialised
-    /// transpose), and the per-head `1/√d` scale fuses into that GEMM's
-    /// output pass — both bit-identical to the eager sequence.
+    /// the eager [`MultiHeadSelfAttention::forward`] step for step.
     ///
     /// # Errors
     /// Returns a [`graph::GraphError`] on operand-shape mismatch.
@@ -98,24 +168,92 @@ impl MultiHeadSelfAttention {
         g: &mut graph::Graph,
         x: graph::ExprId,
     ) -> std::result::Result<graph::ExprId, graph::GraphError> {
+        self.push_graph_stacked(g, x, 1)
+    }
+
+    /// Appends the stacked attention sub-block to an expression graph,
+    /// mirroring [`MultiHeadSelfAttention::forward_stacked`] step for step.
+    /// The `Q·Kᵀ` products compile to transposed-B GEMMs (no materialised
+    /// transpose), each per-head `1/√d` scale fuses into its GEMM's output
+    /// pass, and all `(sample, head)` score blocks feed **one** batched
+    /// softmax kernel — bit-identical to the eager sequence at the plan's
+    /// latched dispatch level.
+    ///
+    /// # Errors
+    /// Returns a [`graph::GraphError`] on operand-shape mismatch or if the
+    /// stacked row count does not divide into `samples`.
+    pub fn push_graph_stacked(
+        &self,
+        g: &mut graph::Graph,
+        x: graph::ExprId,
+        samples: usize,
+    ) -> std::result::Result<graph::ExprId, graph::GraphError> {
+        let (rows, cols) = g.dims(x)?;
+        if samples == 0 || !rows.is_multiple_of(samples) {
+            return Err(graph::GraphError::Tensor(TensorError::ShapeMismatch {
+                op: "msa.push_graph_stacked",
+                lhs: vec![rows, cols],
+                rhs: vec![samples],
+            }));
+        }
+        let seq_len = rows / samples;
         let q = self.query.push_graph(g, x)?;
         let k = self.key.push_graph(g, x)?;
         let v = self.value.push_graph(g, x)?;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
 
-        let mut head_outputs = Vec::with_capacity(self.heads);
-        for h in 0..self.heads {
-            let start = h * self.head_dim;
-            let end = start + self.head_dim;
-            let qh = g.slice_cols(q, start, end)?;
-            let kh = g.slice_cols(k, start, end)?;
-            let vh = g.slice_cols(v, start, end)?;
-            let scores = g.matmul(qh, kh, tensor::MatmulSpec::NT)?;
-            let scaled = g.unary(scores, tensor::UnaryOp::MulScalar(scale))?;
-            let attn = g.softmax_rows(scaled)?;
-            head_outputs.push(g.matmul(attn, vh, tensor::MatmulSpec::NN)?);
+        let mut scores = Vec::with_capacity(samples * self.heads);
+        for s in 0..samples {
+            let (qs, ks) = if samples == 1 {
+                (q, k)
+            } else {
+                (
+                    g.slice_rows(q, s * seq_len, (s + 1) * seq_len)?,
+                    g.slice_rows(k, s * seq_len, (s + 1) * seq_len)?,
+                )
+            };
+            for h in 0..self.heads {
+                let start = h * self.head_dim;
+                let end = start + self.head_dim;
+                let qh = g.slice_cols(qs, start, end)?;
+                let kh = g.slice_cols(ks, start, end)?;
+                let block = g.matmul(qh, kh, tensor::MatmulSpec::NT)?;
+                scores.push(g.unary(block, tensor::UnaryOp::MulScalar(scale))?);
+            }
         }
-        let concat = g.concat_cols(&head_outputs)?;
+        let stacked_scores = if scores.len() == 1 {
+            scores[0]
+        } else {
+            g.concat_rows(&scores)?
+        };
+        let attn_all = g.softmax_rows(stacked_scores)?;
+
+        let mut sample_outputs = Vec::with_capacity(samples);
+        for s in 0..samples {
+            let vs = if samples == 1 {
+                v
+            } else {
+                g.slice_rows(v, s * seq_len, (s + 1) * seq_len)?
+            };
+            let mut head_outputs = Vec::with_capacity(self.heads);
+            for h in 0..self.heads {
+                let block = (s * self.heads + h) * seq_len;
+                let attn = if samples * self.heads == 1 {
+                    attn_all
+                } else {
+                    g.slice_rows(attn_all, block, block + seq_len)?
+                };
+                let start = h * self.head_dim;
+                let vh = g.slice_cols(vs, start, start + self.head_dim)?;
+                head_outputs.push(g.matmul(attn, vh, tensor::MatmulSpec::NN)?);
+            }
+            sample_outputs.push(g.concat_cols(&head_outputs)?);
+        }
+        let concat = if samples == 1 {
+            sample_outputs[0]
+        } else {
+            g.concat_rows(&sample_outputs)?
+        };
         self.output.push_graph(g, concat)
     }
 }

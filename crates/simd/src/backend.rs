@@ -1,0 +1,363 @@
+//! The [`SimdOp`] backend trait and its portable (no-`unsafe`) impls.
+//!
+//! A backend is a fixed-width bundle of `f32` lanes plus the primitive
+//! lane operations the kernels in [`crate::kernels`] are written against.
+//! Every kernel is generic over one backend and uses **the same 8-lane
+//! algorithm structure at every dispatch level** — the scalar backend
+//! ([`Scalar8`]) simulates the eight AVX2 lanes with a `[f32; 8]` array
+//! and the identical horizontal reduction tree, which is what makes the
+//! scalar and AVX2 levels bit-identical (each lane op is the same IEEE
+//! two-operand operation; only the FMA backend contracts multiply–add
+//! pairs and is therefore ULP-bounded rather than bit-equal).
+//!
+//! [`Scalar1`] is a one-lane backend over plain `f32`: it exists so the
+//! per-element reference functions in [`crate::scalar`] are *the same
+//! generic code* as the vector kernels — there is no second copy of the
+//! polynomial that could drift.
+
+/// Lane-level floating-point semantics shared by every backend:
+/// `min`/`max` return the **second** operand on NaN or ties, exactly like
+/// the x86 `minps`/`maxps` instructions, so the portable backends and the
+/// AVX2 backend agree bit-for-bit on specials.
+pub(crate) mod lane {
+    /// `maxps` semantics: `a` iff `a > b`, else `b` (NaN compares false).
+    #[inline(always)]
+    pub fn max(a: f32, b: f32) -> f32 {
+        if a > b {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// `minps` semantics: `a` iff `a < b`, else `b` (NaN compares false).
+    #[inline(always)]
+    pub fn min(a: f32, b: f32) -> f32 {
+        if a < b {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// `y · 2^n` for an integer-valued `n` in `[-126, 128]`, applied as
+    /// two half-sized power-of-two multiplies so neither factor's biased
+    /// exponent leaves the normal range (a single `2^128` factor would
+    /// overflow to infinity and poison finite results near `exp`'s
+    /// overflow edge).
+    #[inline(always)]
+    pub fn scale_by_pow2(y: f32, n: f32) -> f32 {
+        let ni = n as i32;
+        let h1 = ni >> 1; // floor halves, matching the vector `srai`
+        let h2 = ni - h1;
+        let f1 = f32::from_bits((((h1 + 127) as u32) & 0xff) << 23);
+        let f2 = f32::from_bits((((h2 + 127) as u32) & 0xff) << 23);
+        (y * f1) * f2
+    }
+}
+
+/// One dispatch level's bundle of `f32` lanes and primitive operations.
+///
+/// Implementations must keep the lane semantics above; the kernels rely
+/// on them for cross-level bit-equality. `mul_add` is the **only**
+/// operation allowed to differ between levels: it is an exact fused
+/// multiply–add on the FMA backend and an unfused `a·b + c` everywhere
+/// else.
+pub trait SimdOp {
+    /// The lane bundle (e.g. `[f32; 8]`, `__m256`).
+    type V: Copy;
+    /// A per-lane boolean mask produced by the comparisons.
+    type M: Copy;
+    /// Number of `f32` lanes per bundle.
+    const LANES: usize;
+
+    /// Broadcasts one value to every lane.
+    fn splat(x: f32) -> Self::V;
+    /// Loads `LANES` values from the front of `src`.
+    fn load(src: &[f32]) -> Self::V;
+    /// Stores the lanes to the front of `dst`.
+    fn store(v: Self::V, dst: &mut [f32]);
+    /// Lanewise `a + b`.
+    fn add(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `a − b`.
+    fn sub(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `a · b`.
+    fn mul(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `a / b`.
+    fn div(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `maxps`-semantics maximum.
+    fn max(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `minps`-semantics minimum.
+    fn min(a: Self::V, b: Self::V) -> Self::V;
+    /// Lanewise `a · b + c`; fused only on the FMA backend.
+    fn mul_add(a: Self::V, b: Self::V, c: Self::V) -> Self::V;
+    /// Lanewise round to nearest, ties to even.
+    fn round(v: Self::V) -> Self::V;
+    /// Lanewise `lane::scale_by_pow2` (two-step power-of-two scaling).
+    fn scale_by_pow2(y: Self::V, n: Self::V) -> Self::V;
+    /// Lanewise absolute value (clears the sign bit).
+    fn abs(v: Self::V) -> Self::V;
+    /// Lanewise copy of `sign`'s sign bit onto `mag`.
+    fn copysign(mag: Self::V, sign: Self::V) -> Self::V;
+    /// Lanewise `a > b` (false on NaN).
+    fn gt(a: Self::V, b: Self::V) -> Self::M;
+    /// Lanewise `a < b` (false on NaN).
+    fn lt(a: Self::V, b: Self::V) -> Self::M;
+    /// Lanewise NaN test.
+    fn is_nan(v: Self::V) -> Self::M;
+    /// Lanewise `mask ? t : f`.
+    fn select(mask: Self::M, t: Self::V, f: Self::V) -> Self::V;
+    /// Horizontal sum over the fixed pairwise tree
+    /// `(l0+l4, l1+l5, l2+l6, l3+l7) → (s0+s2, s1+s3) → t0+t1`.
+    fn hsum(v: Self::V) -> f32;
+    /// Horizontal max over the same tree with `maxps` lane semantics.
+    fn hmax(v: Self::V) -> f32;
+}
+
+/// Portable eight-lane backend: `[f32; 8]` with per-lane scalar ops.
+///
+/// This is the `VITAL_SIMD=scalar` dispatch level. It mirrors the AVX2
+/// backend lane for lane (same block width, same reduction tree, same
+/// special-value semantics), so its results are bit-identical to AVX2 on
+/// every input — the property the CI dispatch matrix asserts.
+pub struct Scalar8;
+
+impl SimdOp for Scalar8 {
+    type V = [f32; 8];
+    type M = [bool; 8];
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn splat(x: f32) -> [f32; 8] {
+        [x; 8]
+    }
+    #[inline(always)]
+    fn load(src: &[f32]) -> [f32; 8] {
+        let mut v = [0.0f32; 8];
+        v.copy_from_slice(&src[..8]);
+        v
+    }
+    #[inline(always)]
+    fn store(v: [f32; 8], dst: &mut [f32]) {
+        dst[..8].copy_from_slice(&v);
+    }
+    #[inline(always)]
+    fn add(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| a[i] + b[i])
+    }
+    #[inline(always)]
+    fn sub(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| a[i] - b[i])
+    }
+    #[inline(always)]
+    fn mul(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| a[i] * b[i])
+    }
+    #[inline(always)]
+    fn div(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| a[i] / b[i])
+    }
+    #[inline(always)]
+    fn max(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| lane::max(a[i], b[i]))
+    }
+    #[inline(always)]
+    fn min(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| lane::min(a[i], b[i]))
+    }
+    #[inline(always)]
+    fn mul_add(a: [f32; 8], b: [f32; 8], c: [f32; 8]) -> [f32; 8] {
+        // Deliberately unfused: bit-parity with the AVX2 level.
+        std::array::from_fn(|i| a[i] * b[i] + c[i])
+    }
+    #[inline(always)]
+    fn round(v: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| v[i].round_ties_even())
+    }
+    #[inline(always)]
+    fn scale_by_pow2(y: [f32; 8], n: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| lane::scale_by_pow2(y[i], n[i]))
+    }
+    #[inline(always)]
+    fn abs(v: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| f32::from_bits(v[i].to_bits() & 0x7fff_ffff))
+    }
+    #[inline(always)]
+    fn copysign(mag: [f32; 8], sign: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| {
+            f32::from_bits((mag[i].to_bits() & 0x7fff_ffff) | (sign[i].to_bits() & 0x8000_0000))
+        })
+    }
+    #[inline(always)]
+    fn gt(a: [f32; 8], b: [f32; 8]) -> [bool; 8] {
+        std::array::from_fn(|i| a[i] > b[i])
+    }
+    #[inline(always)]
+    fn lt(a: [f32; 8], b: [f32; 8]) -> [bool; 8] {
+        std::array::from_fn(|i| a[i] < b[i])
+    }
+    #[inline(always)]
+    fn is_nan(v: [f32; 8]) -> [bool; 8] {
+        std::array::from_fn(|i| v[i].is_nan())
+    }
+    #[inline(always)]
+    fn select(mask: [bool; 8], t: [f32; 8], f: [f32; 8]) -> [f32; 8] {
+        std::array::from_fn(|i| if mask[i] { t[i] } else { f[i] })
+    }
+    #[inline(always)]
+    fn hsum(v: [f32; 8]) -> f32 {
+        let s1 = [v[0] + v[4], v[1] + v[5], v[2] + v[6], v[3] + v[7]];
+        let s2 = [s1[0] + s1[2], s1[1] + s1[3]];
+        s2[0] + s2[1]
+    }
+    #[inline(always)]
+    fn hmax(v: [f32; 8]) -> f32 {
+        let s1 = [
+            lane::max(v[0], v[4]),
+            lane::max(v[1], v[5]),
+            lane::max(v[2], v[6]),
+            lane::max(v[3], v[7]),
+        ];
+        let s2 = [lane::max(s1[0], s1[2]), lane::max(s1[1], s1[3])];
+        lane::max(s2[0], s2[1])
+    }
+}
+
+/// One-lane backend over plain `f32`, used only to derive the per-element
+/// reference functions in [`crate::scalar`] from the shared generic code.
+///
+/// Never used by the dispatchers: the reduction kernels rely on the
+/// 8-lane accumulator structure, which a one-lane backend cannot mirror.
+pub struct Scalar1;
+
+impl SimdOp for Scalar1 {
+    type V = f32;
+    type M = bool;
+    const LANES: usize = 1;
+
+    #[inline(always)]
+    fn splat(x: f32) -> f32 {
+        x
+    }
+    #[inline(always)]
+    fn load(src: &[f32]) -> f32 {
+        src[0]
+    }
+    #[inline(always)]
+    fn store(v: f32, dst: &mut [f32]) {
+        dst[0] = v;
+    }
+    #[inline(always)]
+    fn add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    #[inline(always)]
+    fn sub(a: f32, b: f32) -> f32 {
+        a - b
+    }
+    #[inline(always)]
+    fn mul(a: f32, b: f32) -> f32 {
+        a * b
+    }
+    #[inline(always)]
+    fn div(a: f32, b: f32) -> f32 {
+        a / b
+    }
+    #[inline(always)]
+    fn max(a: f32, b: f32) -> f32 {
+        lane::max(a, b)
+    }
+    #[inline(always)]
+    fn min(a: f32, b: f32) -> f32 {
+        lane::min(a, b)
+    }
+    #[inline(always)]
+    fn mul_add(a: f32, b: f32, c: f32) -> f32 {
+        a * b + c
+    }
+    #[inline(always)]
+    fn round(v: f32) -> f32 {
+        v.round_ties_even()
+    }
+    #[inline(always)]
+    fn scale_by_pow2(y: f32, n: f32) -> f32 {
+        lane::scale_by_pow2(y, n)
+    }
+    #[inline(always)]
+    fn abs(v: f32) -> f32 {
+        f32::from_bits(v.to_bits() & 0x7fff_ffff)
+    }
+    #[inline(always)]
+    fn copysign(mag: f32, sign: f32) -> f32 {
+        f32::from_bits((mag.to_bits() & 0x7fff_ffff) | (sign.to_bits() & 0x8000_0000))
+    }
+    #[inline(always)]
+    fn gt(a: f32, b: f32) -> bool {
+        a > b
+    }
+    #[inline(always)]
+    fn lt(a: f32, b: f32) -> bool {
+        a < b
+    }
+    #[inline(always)]
+    fn is_nan(v: f32) -> bool {
+        v.is_nan()
+    }
+    #[inline(always)]
+    fn select(mask: bool, t: f32, f: f32) -> f32 {
+        if mask {
+            t
+        } else {
+            f
+        }
+    }
+    #[inline(always)]
+    fn hsum(v: f32) -> f32 {
+        v
+    }
+    #[inline(always)]
+    fn hmax(v: f32) -> f32 {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_min_max_mirror_x86_semantics() {
+        // NaN in the FIRST operand yields the second (cmp is false)...
+        assert_eq!(lane::max(f32::NAN, 1.0), 1.0);
+        assert_eq!(lane::min(f32::NAN, 1.0), 1.0);
+        // ...and NaN in the second operand propagates the NaN.
+        assert!(lane::max(1.0, f32::NAN).is_nan());
+        // Ties return the second operand: max(+0, -0) = -0.
+        assert_eq!(lane::max(0.0, -0.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn scale_by_pow2_covers_the_exp_range() {
+        assert_eq!(lane::scale_by_pow2(1.0, 10.0), 1024.0);
+        assert_eq!(lane::scale_by_pow2(1.0, -10.0), 1.0 / 1024.0);
+        // 2^128 via the two-step split stays finite long enough to scale
+        // a sub-unity mantissa into range.
+        assert_eq!(lane::scale_by_pow2(0.5, 128.0), 2.0f32.powi(127));
+        // Deep underflow flushes toward zero instead of wrapping.
+        assert_eq!(lane::scale_by_pow2(1.0, -126.0), 2.0f32.powi(-126));
+    }
+
+    #[test]
+    fn scalar8_reductions_use_the_fixed_tree() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        assert_eq!(Scalar8::hsum(v), 36.0);
+        assert_eq!(Scalar8::hmax(v), 8.0);
+        // Pins the pairing: lanes 0 and 1 never meet before the final
+        // add, so the two 1.0s are each absorbed by 2^24 (which cannot
+        // represent +1) and the tree yields 2^24 — a sequential
+        // left-to-right sum would combine the 1.0s first and yield
+        // 2^24 + 2.
+        let big = [1.0, 1.0, 16_777_216.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(Scalar8::hsum(big), 16_777_216.0);
+    }
+}

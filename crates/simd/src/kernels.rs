@@ -1,0 +1,506 @@
+//! Backend-generic math kernels.
+//!
+//! Every kernel here is written once, generically over a [`SimdOp`]
+//! backend, and monomorphized per dispatch level by the entry points in
+//! [`crate`] and [`crate::x86`]. The algorithm structure is fixed:
+//! eight-lane blocks, the same horizontal reduction trees, and padded
+//! tail blocks that push remainder elements through the *same* vector
+//! code path — which is what makes the scalar and AVX2 levels
+//! bit-identical on every input, tails and specials included.
+//!
+//! Numerical contracts:
+//! - `exp`: Cephes-style degree-5 polynomial after range reduction
+//!   `x = n·ln2 + r` (two-constant Cohen split of `ln2`), rebuilt with a
+//!   two-step power-of-two scale so `n = 128` stays representable.
+//!   Worst-case error ≈ 2 ULP on finite inputs; `+∞ → +∞`, `−∞ → 0`,
+//!   `NaN → NaN` (payload preserved), inputs below `EXP_LO` flush to
+//!   exactly `0`.
+//! - `tanh`/`sigmoid`/`gelu` are built from `exp` with exact IEEE
+//!   follow-up arithmetic, so they inherit its cross-level parity.
+//!   `tanh`'s accuracy contract is *absolute* (≈ a few ULP of 1): the
+//!   `1 − 2/(e^(2|x|)+1)` form cancels against 1 for small `|x|`, where
+//!   relative error grows while absolute error stays ≈ 1e-7 — ample for
+//!   activations, and still bit-identical across the deterministic
+//!   levels.
+//! - `softmax_rows` is the three-pass max / exp-sum / divide form;
+//!   `layer_norm_rows` accumulates sum and sum-of-squares in one sweep.
+
+// The Cephes expf constants are written with their full decimal digits on
+// purpose: each literal rounds to the exact f32 bit pattern the minimax
+// fit was computed for, and the digits document which coefficient it is.
+// Truncating them (clippy's suggestion) would obscure that, and LOG2E is
+// a deliberately *rounded* range-reduction multiplier, not a stand-in for
+// the exact mathematical constant the approx_constant lint proposes.
+#![allow(clippy::excessive_precision, clippy::approx_constant)]
+
+use crate::backend::{lane, SimdOp};
+
+/// `sqrt(2/π)` to `f32` precision — the tanh-approximation GELU constant.
+pub const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+
+/// The cubic coefficient of the tanh-approximation GELU.
+pub const GELU_COEFF: f32 = 0.044_715;
+
+/// `1/ln 2`, the range-reduction multiplier for `exp`.
+const LOG2E: f32 = 1.442_695_041;
+/// High half of `ln 2` (exact in 11 mantissa bits, so `n·LN2_HI` is exact).
+const LN2_HI: f32 = 0.693_359_375;
+/// Low half: `ln 2 − LN2_HI`.
+const LN2_LO: f32 = -2.121_944_4e-4;
+/// Above this input `exp` saturates to `+∞`.
+const EXP_HI: f32 = 88.722_84;
+/// Below this input `exp` flushes to `0` (the result would be subnormal
+/// beyond the range the reconstruction covers).
+const EXP_LO: f32 = -87.336_55;
+const EXP_P0: f32 = 1.987_569_15e-4;
+const EXP_P1: f32 = 1.398_199_950_7e-3;
+const EXP_P2: f32 = 8.333_451_907_3e-3;
+const EXP_P3: f32 = 4.166_579_589_4e-2;
+const EXP_P4: f32 = 1.666_666_546e-1;
+const EXP_P5: f32 = 5.000_000_120_1e-1;
+
+/// The activations the dispatcher vectorizes.
+///
+/// Mirrors the transcendental subset of the tensor crate's `UnaryOp`;
+/// exact single-instruction ops (abs, sqrt, scalar add/mul, …) stay as
+/// plain loops in the tensor crate because auto-vectorization already
+/// handles them and they are bit-deterministic by nature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// `if x > 0 { x } else { 0 }` (`maxps(x, 0)` semantics; NaN → 0).
+    Relu,
+    /// Tanh-approximation GELU,
+    /// `0.5 · x · (1 + tanh(√(2/π) · (x + 0.044715 · x³)))`.
+    Gelu,
+    /// Logistic sigmoid `1 / (1 + e^(−x))`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Natural exponent `e^x`.
+    Exp,
+}
+
+/// Vectorized `e^x` — see the module docs for the numerical contract.
+#[inline(always)]
+pub fn exp_v<S: SimdOp>(x: S::V) -> S::V {
+    let one = S::splat(1.0);
+    let over = S::gt(x, S::splat(EXP_HI));
+    let under = S::lt(x, S::splat(EXP_LO));
+    let nan = S::is_nan(x);
+    // Clamp so the polynomial path only ever sees finite arguments
+    // (maxps semantics map NaN to the clamp bound; the blend below
+    // restores the NaN afterwards).
+    let xc = S::min(S::max(x, S::splat(EXP_LO)), S::splat(EXP_HI));
+    let n = S::round(S::mul(xc, S::splat(LOG2E)));
+    let r = S::mul_add(n, S::splat(-LN2_HI), xc);
+    let r = S::mul_add(n, S::splat(-LN2_LO), r);
+    let mut y = S::splat(EXP_P0);
+    y = S::mul_add(y, r, S::splat(EXP_P1));
+    y = S::mul_add(y, r, S::splat(EXP_P2));
+    y = S::mul_add(y, r, S::splat(EXP_P3));
+    y = S::mul_add(y, r, S::splat(EXP_P4));
+    y = S::mul_add(y, r, S::splat(EXP_P5));
+    y = S::mul_add(y, S::mul(r, r), S::add(r, one));
+    let y = S::scale_by_pow2(y, n);
+    let y = S::select(under, S::splat(0.0), y);
+    let y = S::select(over, S::splat(f32::INFINITY), y);
+    S::select(nan, x, y)
+}
+
+/// Vectorized `tanh` via `sign(x) · (1 − 2/(e^(2|x|) + 1))`.
+///
+/// The odd-symmetry form needs no large-|x| cutoff: `e^(2|x|)` saturates
+/// to `+∞` and the quotient collapses to `0`, giving `±1` exactly.
+#[inline(always)]
+pub fn tanh_v<S: SimdOp>(x: S::V) -> S::V {
+    let one = S::splat(1.0);
+    let two = S::splat(2.0);
+    let e = exp_v::<S>(S::mul(S::abs(x), two));
+    let t = S::sub(one, S::div(two, S::add(e, one)));
+    S::copysign(t, x)
+}
+
+/// Vectorized logistic sigmoid `1 / (1 + e^(−x))`.
+#[inline(always)]
+pub fn sigmoid_v<S: SimdOp>(x: S::V) -> S::V {
+    let one = S::splat(1.0);
+    S::div(one, S::add(one, exp_v::<S>(S::sub(S::splat(0.0), x))))
+}
+
+/// Vectorized tanh-approximation GELU with the same association order as
+/// the scalar formula: `(0.5·x) · (1 + tanh(√(2/π) · (x + ((c·x)·x)·x)))`.
+#[inline(always)]
+pub fn gelu_v<S: SimdOp>(x: S::V) -> S::V {
+    let one = S::splat(1.0);
+    let x3 = S::mul(S::mul(S::mul(S::splat(GELU_COEFF), x), x), x);
+    let inner = S::mul(S::splat(SQRT_2_OVER_PI), S::add(x, x3));
+    let t = tanh_v::<S>(inner);
+    S::mul(S::mul(S::splat(0.5), x), S::add(one, t))
+}
+
+/// Vectorized ReLU with `maxps(x, 0)` semantics (NaN and `−0` map to `+0`).
+#[inline(always)]
+pub fn relu_v<S: SimdOp>(x: S::V) -> S::V {
+    S::max(x, S::splat(0.0))
+}
+
+#[inline(always)]
+fn act_block<S: SimdOp>(act: Act, v: S::V) -> S::V {
+    match act {
+        Act::Relu => relu_v::<S>(v),
+        Act::Gelu => gelu_v::<S>(v),
+        Act::Sigmoid => sigmoid_v::<S>(v),
+        Act::Tanh => tanh_v::<S>(v),
+        Act::Exp => exp_v::<S>(v),
+    }
+}
+
+/// Applies one activation elementwise in place.
+///
+/// Remainder elements go through a zero-padded block of the same vector
+/// code path, so tail results are bit-identical to body results at every
+/// dispatch level.
+#[inline(always)]
+pub fn apply_act_inplace<S: SimdOp>(act: Act, data: &mut [f32]) {
+    debug_assert!(S::LANES <= 8);
+    let mut chunks = data.chunks_exact_mut(S::LANES);
+    for chunk in &mut chunks {
+        S::store(act_block::<S>(act, S::load(chunk)), chunk);
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let mut buf = [0.0f32; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        let mut out = [0.0f32; 8];
+        S::store(act_block::<S>(act, S::load(&buf)), &mut out);
+        rem.copy_from_slice(&out[..rem.len()]);
+    }
+}
+
+/// Numerically stable row softmax over a row-major `[rows × cols]` buffer,
+/// in place: three passes per row (lane-blocked max, shifted `exp` with a
+/// lane-blocked sum, divide by the total).
+///
+/// Tail blocks are padded with `−∞`, which is the identity for both the
+/// max pass and the exp-sum pass (`e^(−∞ − m) = 0`), so every lane —
+/// real or pad — flows through the same reduction trees.
+#[inline(always)]
+pub fn softmax_rows<S: SimdOp>(data: &mut [f32], cols: usize) {
+    if cols == 0 || data.is_empty() {
+        return;
+    }
+    debug_assert_eq!(data.len() % cols, 0);
+    for row in data.chunks_exact_mut(cols) {
+        softmax_row::<S>(row);
+    }
+}
+
+#[inline(always)]
+fn softmax_row<S: SimdOp>(row: &mut [f32]) {
+    debug_assert!(S::LANES <= 8);
+    // Pass 1: row maximum through the fixed 8-lane tree.
+    let mut macc = S::splat(f32::NEG_INFINITY);
+    let mut chunks = row.chunks_exact(S::LANES);
+    for chunk in &mut chunks {
+        macc = S::max(macc, S::load(chunk));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [f32::NEG_INFINITY; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        macc = S::max(macc, S::load(&buf));
+    }
+    let mv = S::splat(S::hmax(macc));
+    // Pass 2: shifted exponentials, accumulating the denominator.
+    let mut sacc = S::splat(0.0);
+    let mut chunks = row.chunks_exact_mut(S::LANES);
+    for chunk in &mut chunks {
+        let t = exp_v::<S>(S::sub(S::load(chunk), mv));
+        S::store(t, chunk);
+        sacc = S::add(sacc, t);
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let mut buf = [f32::NEG_INFINITY; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        let t = exp_v::<S>(S::sub(S::load(&buf), mv));
+        let mut out = [0.0f32; 8];
+        S::store(t, &mut out);
+        rem.copy_from_slice(&out[..rem.len()]);
+        // Pad lanes hold exp(−∞ − m) = 0 and do not perturb the sum.
+        sacc = S::add(sacc, t);
+    }
+    let denom = S::hsum(sacc);
+    // Pass 3: divide. Division is a single IEEE operation, so the scalar
+    // tail is bit-identical to a padded block at every level.
+    let dv = S::splat(denom);
+    let mut chunks = row.chunks_exact_mut(S::LANES);
+    for chunk in &mut chunks {
+        S::store(S::div(S::load(chunk), dv), chunk);
+    }
+    for v in chunks.into_remainder() {
+        *v /= denom;
+    }
+}
+
+/// Per-row layer normalization over a row-major `[rows × cols]` buffer,
+/// in place: `y = (x − mean) · istd · γ[j] + β[j]` with
+/// `istd = 1/√(var + eps)`.
+///
+/// Mean and (population) variance come from a single sweep accumulating
+/// `Σx` and `Σx²` in lane-blocked accumulators; the tiny negative
+/// variance a catastrophic cancellation could produce is clamped to `0`.
+/// When `stats` is given, per-row `(mean, istd)` are recorded for a
+/// training backward pass.
+#[inline(always)]
+pub fn layer_norm_rows<S: SimdOp>(
+    data: &mut [f32],
+    cols: usize,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    mut stats: Option<(&mut [f32], &mut [f32])>,
+) {
+    if cols == 0 || data.is_empty() {
+        return;
+    }
+    debug_assert_eq!(data.len() % cols, 0);
+    debug_assert_eq!(gamma.len(), cols);
+    debug_assert_eq!(beta.len(), cols);
+    for (i, row) in data.chunks_exact_mut(cols).enumerate() {
+        let (mean, istd) = layer_norm_row::<S>(row, gamma, beta, eps);
+        if let Some((means, istds)) = stats.as_mut() {
+            means[i] = mean;
+            istds[i] = istd;
+        }
+    }
+}
+
+#[inline(always)]
+fn layer_norm_row<S: SimdOp>(row: &mut [f32], gamma: &[f32], beta: &[f32], eps: f32) -> (f32, f32) {
+    debug_assert!(S::LANES <= 8);
+    let n = row.len() as f32;
+    let mut sacc = S::splat(0.0);
+    let mut qacc = S::splat(0.0);
+    let mut chunks = row.chunks_exact(S::LANES);
+    for chunk in &mut chunks {
+        let v = S::load(chunk);
+        sacc = S::add(sacc, v);
+        qacc = S::mul_add(v, v, qacc);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0.0f32; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        let v = S::load(&buf);
+        sacc = S::add(sacc, v);
+        qacc = S::mul_add(v, v, qacc);
+    }
+    let mean = S::hsum(sacc) / n;
+    let var = lane::max(S::hsum(qacc) / n - mean * mean, 0.0);
+    let istd = 1.0 / (var + eps).sqrt();
+    let mv = S::splat(mean);
+    let sv = S::splat(istd);
+    let mut idx = 0usize;
+    let mut chunks = row.chunks_exact_mut(S::LANES);
+    for chunk in &mut chunks {
+        let g = S::load(&gamma[idx..]);
+        let b = S::load(&beta[idx..]);
+        let xh = S::mul(S::sub(S::load(chunk), mv), sv);
+        S::store(S::mul_add(xh, g, b), chunk);
+        idx += S::LANES;
+    }
+    let rem = chunks.into_remainder();
+    if !rem.is_empty() {
+        let r = rem.len();
+        let mut xb = [0.0f32; 8];
+        xb[..r].copy_from_slice(rem);
+        let mut gb = [0.0f32; 8];
+        gb[..r].copy_from_slice(&gamma[idx..idx + r]);
+        let mut bb = [0.0f32; 8];
+        bb[..r].copy_from_slice(&beta[idx..idx + r]);
+        let xh = S::mul(S::sub(S::load(&xb), mv), sv);
+        let mut out = [0.0f32; 8];
+        S::store(S::mul_add(xh, S::load(&gb), S::load(&bb)), &mut out);
+        rem.copy_from_slice(&out[..r]);
+    }
+    (mean, istd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Scalar1, Scalar8};
+
+    fn ulp_diff(a: f32, b: f32) -> u32 {
+        if a == b || (a.is_nan() && b.is_nan()) {
+            return 0;
+        }
+        let ia = a.to_bits() as i64;
+        let ib = b.to_bits() as i64;
+        // Map to a monotone integer line so the distance crosses zero.
+        let ma = if ia < 0 { i64::MIN ^ ia } else { ia };
+        let mb = if ib < 0 { i64::MIN ^ ib } else { ib };
+        (ma - mb).unsigned_abs().min(u32::MAX as u64) as u32
+    }
+
+    #[test]
+    fn exp_tracks_libm_within_two_ulp() {
+        let mut x = -87.0f32;
+        while x < 88.0 {
+            let got = exp_v::<Scalar1>(x);
+            assert!(
+                ulp_diff(got, x.exp()) <= 2,
+                "exp({x}) = {got}, libm = {}",
+                x.exp()
+            );
+            x += 0.377;
+        }
+        // Spot-check the exact anchor points.
+        assert_eq!(exp_v::<Scalar1>(0.0), 1.0);
+        assert_eq!(exp_v::<Scalar1>(f32::NEG_INFINITY), 0.0);
+        assert_eq!(exp_v::<Scalar1>(f32::INFINITY), f32::INFINITY);
+        assert!(exp_v::<Scalar1>(f32::NAN).is_nan());
+        assert_eq!(exp_v::<Scalar1>(-1000.0), 0.0);
+        assert_eq!(exp_v::<Scalar1>(1000.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_saturate_exactly() {
+        assert_eq!(tanh_v::<Scalar1>(50.0), 1.0);
+        assert_eq!(tanh_v::<Scalar1>(-50.0), -1.0);
+        assert_eq!(tanh_v::<Scalar1>(0.0), 0.0);
+        assert_eq!(tanh_v::<Scalar1>(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert!(tanh_v::<Scalar1>(f32::NAN).is_nan());
+        assert_eq!(sigmoid_v::<Scalar1>(f32::INFINITY), 1.0);
+        assert_eq!(sigmoid_v::<Scalar1>(f32::NEG_INFINITY), 0.0);
+        assert_eq!(sigmoid_v::<Scalar1>(0.0), 0.5);
+        let mut x = -9.0f32;
+        while x < 9.0 {
+            // tanh's accuracy contract is absolute (~a few ULP of 1):
+            // the 1 − 2/(e^(2|x|)+1) form cancels against 1 near zero,
+            // so relative error grows as |x| → 0 while absolute error
+            // stays at the ≈1e-7 level — plenty for activations.
+            let t = tanh_v::<Scalar1>(x);
+            if x.abs() >= 0.5 {
+                assert!(ulp_diff(t, x.tanh()) <= 8, "tanh({x}) = {t}");
+            } else {
+                assert!((t - x.tanh()).abs() <= 2.5e-7, "tanh({x}) = {t}");
+            }
+            assert!(
+                ulp_diff(sigmoid_v::<Scalar1>(x), 1.0 / (1.0 + (-x).exp())) <= 8,
+                "sigmoid({x})"
+            );
+            x += 0.173;
+        }
+    }
+
+    #[test]
+    fn scalar1_and_scalar8_agree_bit_for_bit_per_element() {
+        // The per-element path (Scalar1) and the lane path (Scalar8) run
+        // the same generic code over the same IEEE two-operand ops, so
+        // they must agree exactly — this is the anchor of the
+        // eager-vs-kernel parity story.
+        let inputs = [
+            -80.0f32,
+            -1.5,
+            -1.0e-40, // subnormal
+            -0.0,
+            0.0,
+            1.0e-40,
+            0.7,
+            3.3,
+            42.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+        ];
+        for &x in &inputs {
+            for act in [Act::Relu, Act::Gelu, Act::Sigmoid, Act::Tanh, Act::Exp] {
+                let mut a = [x];
+                apply_act_inplace::<Scalar1>(act, &mut a);
+                let mut b = [x; 8];
+                apply_act_inplace::<Scalar8>(act, &mut b);
+                assert_eq!(
+                    a[0].to_bits(),
+                    b[3].to_bits(),
+                    "{act:?}({x}) diverged between Scalar1 and Scalar8"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_is_stable_and_normalized() {
+        let mut m = vec![1000.0, 1001.0, 1002.0, -3.0, 0.0, 3.0];
+        softmax_rows::<Scalar8>(&mut m, 3);
+        for row in m.chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row sums to {sum}");
+            assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+        assert!(m[0] < m[1] && m[1] < m[2]);
+    }
+
+    #[test]
+    fn softmax_handles_degenerate_shapes() {
+        let mut empty: Vec<f32> = vec![];
+        softmax_rows::<Scalar8>(&mut empty, 0);
+        let mut one = vec![5.0];
+        softmax_rows::<Scalar8>(&mut one, 1);
+        assert_eq!(one, vec![1.0]);
+    }
+
+    #[test]
+    fn layer_norm_matches_direct_computation() {
+        let cols = 11; // exercises the padded tail
+        let rows = 3;
+        let mut data: Vec<f32> = (0..rows * cols).map(|i| (i as f32) * 0.37 - 5.0).collect();
+        let gamma: Vec<f32> = (0..cols).map(|j| 1.0 + j as f32 * 0.01).collect();
+        let beta: Vec<f32> = (0..cols).map(|j| j as f32 * -0.02).collect();
+        let reference = data.clone();
+        let mut means = vec![0.0; rows];
+        let mut istds = vec![0.0; rows];
+        layer_norm_rows::<Scalar8>(
+            &mut data,
+            cols,
+            &gamma,
+            &beta,
+            1e-5,
+            Some((&mut means, &mut istds)),
+        );
+        for i in 0..rows {
+            let row = &reference[i * cols..(i + 1) * cols];
+            let mean: f64 = row.iter().map(|v| *v as f64).sum::<f64>() / cols as f64;
+            let var: f64 =
+                row.iter().map(|v| (*v as f64 - mean).powi(2)).sum::<f64>() / cols as f64;
+            let istd = 1.0 / (var + 1e-5).sqrt();
+            assert!((means[i] as f64 - mean).abs() < 1e-4);
+            assert!((istds[i] as f64 - istd).abs() < 1e-3 * istd);
+            for j in 0..cols {
+                let want = (row[j] as f64 - mean) * istd * gamma[j] as f64 + beta[j] as f64;
+                assert!(
+                    (data[i * cols + j] as f64 - want).abs() < 1e-4,
+                    "row {i} col {j}: got {} want {want}",
+                    data[i * cols + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_tail_consistent() {
+        // n = k·8 ± 1 lengths: the tail path must agree with what the
+        // same values produce when they land in a full block.
+        for n in [7usize, 8, 9, 15, 16, 17, 63, 64, 65] {
+            let src: Vec<f32> = (0..n).map(|i| (i as f32) * 0.61 - 9.0).collect();
+            let mut a = src.clone();
+            apply_act_inplace::<Scalar8>(Act::Gelu, &mut a);
+            for (i, &x) in src.iter().enumerate() {
+                let mut one = [x];
+                apply_act_inplace::<Scalar1>(Act::Gelu, &mut one);
+                assert_eq!(a[i].to_bits(), one[0].to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Property-based parity between the dispatch levels.
+//!
+//! The crate's determinism contract: the `Scalar` and `Avx2` levels run
+//! the *same* generic kernels over backends with identical two-operand
+//! IEEE semantics, so they must agree **bit-for-bit** on every input —
+//! including lane-boundary lengths (`n = 8k ± 1`, exercising the padded
+//! tail), subnormals, `±∞` and `NaN`. The opt-in `Fma` level contracts
+//! multiply–add pairs into single roundings, so it is only ULP-bounded.
+//!
+//! Each property runs the kernel at `Level::Scalar` and at the target
+//! level on clones of the same buffer; on a scalar-only host
+//! `*_at(Level::Avx2, ..)` clamps to scalar and the properties check
+//! reflexivity, so the suite passes (vacuously for the cross-level part)
+//! everywhere.
+
+use proptest::prelude::*;
+use simd::{Act, Level};
+
+/// Bit pattern distance in units-in-the-last-place, walking through zero
+/// for opposite signs. Equal-payload NaNs are 0 apart by construction.
+fn ulp_diff(a: f32, b: f32) -> u64 {
+    let rank = |v: f32| {
+        let bits = v.to_bits();
+        let mag = i64::from(bits & 0x7fff_ffff);
+        if bits >> 31 == 0 {
+            mag
+        } else {
+            -mag
+        }
+    };
+    rank(a).abs_diff(rank(b))
+}
+
+/// The best bit-deterministic level this host can actually run.
+fn best_deterministic() -> Level {
+    simd::detected_level().min(Level::Avx2)
+}
+
+/// Subnormals, signed zeros, infinities, NaN, and boundary magnitudes —
+/// special-value propagation is part of the bit-parity contract, not an
+/// untested corner.
+const SPECIALS: [f32; 8] = [
+    1.0e-40,
+    -1.0e-40,
+    0.0,
+    -0.0,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    f32::NAN,
+    f32::MIN_POSITIVE,
+];
+
+/// One element: 8/10 moderate finite, 1/10 large-magnitude finite, 1/10 a
+/// special value. (The vendored proptest has no `prop_oneof`, so the
+/// branch is picked by an index drawn alongside the candidates.)
+fn any_element() -> impl Strategy<Value = f32> {
+    (
+        0usize..10,
+        -30.0f32..30.0f32,
+        -1.0e4f32..1.0e4f32,
+        0usize..SPECIALS.len(),
+    )
+        .prop_map(|(pick, moderate, wide, special)| match pick {
+            0..=7 => moderate,
+            8 => wide,
+            _ => SPECIALS[special],
+        })
+}
+
+/// Finite-only element for the FMA ULP-bound properties (NaN/∞ parity is
+/// already pinned bit-exactly at the deterministic levels).
+fn finite_element() -> impl Strategy<Value = f32> {
+    (0usize..10, -8.0f32..8.0f32, -1.0e3f32..1.0e3f32).prop_map(|(pick, moderate, wide)| match pick
+    {
+        0..=7 => moderate,
+        8 => wide,
+        _ => 1.0e-40,
+    })
+}
+
+/// Lengths that straddle the 8-lane boundary: `8k - 1`, `8k`, `8k + 1`
+/// for small `k`, so both the full-vector body and the padded tail see
+/// every alignment.
+fn lane_boundary_len() -> impl Strategy<Value = usize> {
+    (1usize..=5, 0usize..3).prop_map(|(k, d)| (8 * k + d).saturating_sub(1).max(1))
+}
+
+fn buffer(len: impl Strategy<Value = usize>) -> impl Strategy<Value = Vec<f32>> {
+    len.prop_flat_map(|n| proptest::collection::vec(any_element(), n))
+}
+
+fn assert_bits_equal(a: &[f32], b: &[f32], label: &str) -> Result<(), TestCaseError> {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert!(
+            x.to_bits() == y.to_bits(),
+            "{label}[{i}]: {x:?} (0x{:08x}) vs {y:?} (0x{:08x})",
+            x.to_bits(),
+            y.to_bits()
+        );
+    }
+    Ok(())
+}
+
+const ACTS: [Act; 5] = [Act::Relu, Act::Gelu, Act::Sigmoid, Act::Tanh, Act::Exp];
+
+proptest! {
+    /// Elementwise activations: scalar and AVX2 sweeps are bit-identical
+    /// on arbitrary buffers, specials included.
+    #[test]
+    fn apply_act_scalar_avx2_bit_identical(data in buffer(lane_boundary_len())) {
+        for act in ACTS {
+            let mut scalar = data.clone();
+            let mut vector = data.clone();
+            simd::apply_act_at(Level::Scalar, act, &mut scalar);
+            simd::apply_act_at(best_deterministic(), act, &mut vector);
+            assert_bits_equal(&scalar, &vector, &format!("{act:?}"))?;
+        }
+    }
+
+    /// The vectorized sweep also matches the one-lane `simd::scalar::*`
+    /// reference functions element by element — the property the tensor
+    /// crate's per-element `UnaryOp::eval` path relies on.
+    #[test]
+    fn apply_act_matches_per_element_reference(data in buffer(lane_boundary_len())) {
+        let mut swept = data.clone();
+        simd::apply_act_at(best_deterministic(), Act::Gelu, &mut swept);
+        for (i, (&x, &y)) in data.iter().zip(&swept).enumerate() {
+            let want = simd::scalar::gelu(x);
+            prop_assert!(
+                want.to_bits() == y.to_bits(),
+                "gelu[{i}]({x:?}): swept {y:?} vs per-element {want:?}"
+            );
+        }
+    }
+
+    /// Row-wise softmax: bit-identical across levels for any row count ×
+    /// lane-straddling width, including large-magnitude inputs (the
+    /// running-max subtraction keeps `exp` in range — the kernel must not
+    /// regress to a naive `exp(x)/Σ` that overflows) and specials.
+    #[test]
+    fn softmax_scalar_avx2_bit_identical(
+        (cols, data) in (lane_boundary_len(), 1usize..4).prop_flat_map(
+            |(cols, rows)| (Just(cols), proptest::collection::vec(any_element(), rows * cols)),
+        )
+    ) {
+        let mut scalar = data.clone();
+        let mut vector = data;
+        simd::softmax_rows_at(Level::Scalar, &mut scalar, cols);
+        simd::softmax_rows_at(best_deterministic(), &mut vector, cols);
+        assert_bits_equal(&scalar, &vector, "softmax")?;
+    }
+
+    /// Row-wise layer norm: bit-identical across levels, with non-trivial
+    /// affine parameters.
+    #[test]
+    fn layer_norm_scalar_avx2_bit_identical(
+        (cols, data, gamma, beta) in (lane_boundary_len(), 1usize..4).prop_flat_map(
+            |(cols, rows)| (
+                Just(cols),
+                proptest::collection::vec(finite_element(), rows * cols),
+                proptest::collection::vec(-2.0f32..2.0f32, cols),
+                proptest::collection::vec(-1.0f32..1.0f32, cols),
+            ),
+        )
+    ) {
+        let mut scalar = data.clone();
+        let mut vector = data;
+        simd::layer_norm_rows_at(Level::Scalar, &mut scalar, cols, &gamma, &beta, 1e-5);
+        simd::layer_norm_rows_at(best_deterministic(), &mut vector, cols, &gamma, &beta, 1e-5);
+        assert_bits_equal(&scalar, &vector, "layer_norm")?;
+    }
+
+    /// The opt-in FMA level stays within a tight ULP envelope of scalar
+    /// for elementwise activations on finite inputs. (Skipped by clamping
+    /// on hosts without FMA: `Fma` degrades to the detected level and the
+    /// distance is 0.)
+    #[test]
+    fn apply_act_fma_is_ulp_bounded(data in proptest::collection::vec(finite_element(), 1..48)) {
+        for act in ACTS {
+            let mut scalar = data.clone();
+            let mut fused = data.clone();
+            simd::apply_act_at(Level::Scalar, act, &mut scalar);
+            simd::apply_act_at(Level::Fma, act, &mut fused);
+            for (i, (s, f)) in scalar.iter().zip(&fused).enumerate() {
+                let d = ulp_diff(*s, *f);
+                prop_assert!(
+                    d <= 64,
+                    "{act:?}[{i}]({:?}): scalar {s:?} vs fma {f:?} = {d} ULP",
+                    data[i]
+                );
+            }
+        }
+    }
+
+    /// FMA softmax: outputs are well-conditioned (max-subtracted, then
+    /// normalized), so the fused path stays within a few hundred ULP.
+    #[test]
+    fn softmax_fma_is_ulp_bounded(
+        cols in lane_boundary_len(),
+        scale in 1.0f32..100.0f32,
+    ) {
+        let data: Vec<f32> = (0..cols)
+            .map(|i| ((i * 2654435761) % 1000) as f32 / 1000.0 * 2.0 * scale - scale)
+            .collect();
+        let mut scalar = data.clone();
+        let mut fused = data;
+        simd::softmax_rows_at(Level::Scalar, &mut scalar, cols);
+        simd::softmax_rows_at(Level::Fma, &mut fused, cols);
+        for (i, (s, f)) in scalar.iter().zip(&fused).enumerate() {
+            let d = ulp_diff(*s, *f);
+            prop_assert!(d <= 512, "softmax[{i}]: scalar {s:?} vs fma {f:?} = {d} ULP");
+        }
+    }
+}
+
+/// Deterministic (non-proptest) pin of the exact lane-boundary lengths
+/// around one, two and four vectors, over a buffer that covers every
+/// special class at every tail alignment.
+#[test]
+fn lane_boundaries_bit_identical_for_every_kernel() {
+    let level = best_deterministic();
+    let specials = [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        1.0e-40,
+        -1.0e-40,
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,
+        88.0,
+        -88.0,
+        1.0e4,
+        -1.0e4,
+        0.5,
+        -0.5,
+    ];
+    for n in [1, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+        let data: Vec<f32> = (0..n).map(|i| specials[i % specials.len()]).collect();
+        for act in ACTS {
+            let mut a = data.clone();
+            let mut b = data.clone();
+            simd::apply_act_at(Level::Scalar, act, &mut a);
+            simd::apply_act_at(level, act, &mut b);
+            let (ab, bb): (Vec<u32>, Vec<u32>) = (
+                a.iter().map(|v| v.to_bits()).collect(),
+                b.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(ab, bb, "{act:?} n={n}");
+        }
+        let mut a = data.clone();
+        let mut b = data.clone();
+        simd::softmax_rows_at(Level::Scalar, &mut a, n);
+        simd::softmax_rows_at(level, &mut b, n);
+        let (ab, bb): (Vec<u32>, Vec<u32>) = (
+            a.iter().map(|v| v.to_bits()).collect(),
+            b.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(ab, bb, "softmax n={n}");
+    }
+}

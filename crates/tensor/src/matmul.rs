@@ -24,8 +24,9 @@ use crate::{Result, Tensor, TensorError};
 ///
 /// The `MR × NR` f32 accumulator tile must fit in vector registers *and*
 /// expose enough independent FMA chains to hide latency. With 256-bit+
-/// vectors (AVX/AVX-512, enabled by `-C target-cpu=native` in
-/// `.cargo/config.toml`) a 6 × 8 tile — six single-YMM accumulator rows —
+/// vectors (AVX/AVX-512, opt-in via `RUSTFLAGS="-C target-cpu=native"`;
+/// the default build targets baseline x86-64 so the binary is portable)
+/// a 6 × 8 tile — six single-YMM accumulator rows —
 /// measured fastest across {4,6,8,10,12,14,16} × {8,16,32} on AVX-512
 /// hardware (wider NR tiles trip LLVM's auto-vectorizer into spilling); on
 /// baseline x86-64 (SSE2) a 4 × 8 tile keeps the accumulators within the 16

@@ -14,11 +14,7 @@
 
 use crate::{Result, Tensor};
 
-/// `sqrt(2/π)` to `f32` precision — the tanh-approximation GELU constant.
-pub const SQRT_2_OVER_PI: f32 = 0.797_884_6;
-
-/// The cubic coefficient of the tanh-approximation GELU.
-pub const GELU_COEFF: f32 = 0.044_715;
+pub use simd::{GELU_COEFF, SQRT_2_OVER_PI};
 
 /// A named elementwise unary operation.
 ///
@@ -54,25 +50,40 @@ pub enum UnaryOp {
 impl UnaryOp {
     /// Evaluates the operation on one scalar.
     ///
-    /// This is the shared definition both execution modes use; any change
-    /// here changes eager and fused results together, which is what keeps
-    /// them bit-identical.
+    /// This is the shared definition both execution modes use; the
+    /// transcendental variants delegate to [`simd::scalar`], which is the
+    /// *same generic kernel code* the vectorized sweeps run, so a
+    /// per-element call and a [`simd::apply_act`] sweep agree
+    /// bit-for-bit at the deterministic dispatch levels.
     #[inline]
     pub fn eval(self, x: f32) -> f32 {
         match self {
-            UnaryOp::Relu => x.max(0.0),
-            UnaryOp::Gelu => {
-                let inner = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
-                0.5 * x * (1.0 + inner.tanh())
-            }
-            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
-            UnaryOp::Tanh => x.tanh(),
-            UnaryOp::Exp => x.exp(),
+            UnaryOp::Relu => simd::scalar::relu(x),
+            UnaryOp::Gelu => simd::scalar::gelu(x),
+            UnaryOp::Sigmoid => simd::scalar::sigmoid(x),
+            UnaryOp::Tanh => simd::scalar::tanh(x),
+            UnaryOp::Exp => simd::scalar::exp(x),
             UnaryOp::Ln => x.ln(),
             UnaryOp::Sqrt => x.sqrt(),
             UnaryOp::Abs => x.abs(),
             UnaryOp::AddScalar(c) => x + c,
             UnaryOp::MulScalar(c) => x * c,
+        }
+    }
+
+    /// The SIMD activation this op vectorizes to, if any.
+    ///
+    /// The remaining variants are exact single-instruction operations
+    /// (or trivially auto-vectorized add/mul) that stay as plain loops.
+    #[inline]
+    pub fn vector_act(self) -> Option<simd::Act> {
+        match self {
+            UnaryOp::Relu => Some(simd::Act::Relu),
+            UnaryOp::Gelu => Some(simd::Act::Gelu),
+            UnaryOp::Sigmoid => Some(simd::Act::Sigmoid),
+            UnaryOp::Tanh => Some(simd::Act::Tanh),
+            UnaryOp::Exp => Some(simd::Act::Exp),
+            _ => None,
         }
     }
 }
@@ -107,15 +118,23 @@ impl BinaryOp {
 impl Tensor {
     /// Applies a named unary operation elementwise, returning a new tensor.
     ///
-    /// Equivalent to `self.map(|v| op.eval(v))` but with the operation
-    /// visible to callers, static analysis, and the graph compiler.
+    /// Semantically `self.map(|v| op.eval(v))`, but the transcendental
+    /// variants run through the runtime-dispatched SIMD kernels
+    /// ([`simd::apply_act`]); at the deterministic dispatch levels the
+    /// result is bit-identical to the per-element form.
     pub fn apply(&self, op: UnaryOp) -> Tensor {
-        self.map(|v| op.eval(v))
+        let mut out = self.clone();
+        out.apply_inplace(op);
+        out
     }
 
     /// Applies a named unary operation elementwise in place.
     pub fn apply_inplace(&mut self, op: UnaryOp) {
-        self.map_inplace(|v| op.eval(v));
+        if let Some(act) = op.vector_act() {
+            simd::apply_act(act, self.as_mut_slice());
+        } else {
+            self.map_inplace(|v| op.eval(v));
+        }
     }
 
     /// Applies a named binary operation elementwise against a same-shape
@@ -138,23 +157,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn unary_matches_closure_map() {
+    fn unary_matches_per_element_eval() {
         let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[5]).unwrap();
-        assert_eq!(x.apply(UnaryOp::Relu), x.map(|v| v.max(0.0)));
-        assert_eq!(
-            x.apply(UnaryOp::Sigmoid),
-            x.map(|v| 1.0 / (1.0 + (-v).exp()))
-        );
-        assert_eq!(x.apply(UnaryOp::Tanh), x.map(f32::tanh));
+        // Vectorized sweeps and per-element eval share one generic kernel
+        // and are bit-identical at the deterministic dispatch levels; the
+        // opt-in FMA level fuses multiply–adds and is only ULP-bounded.
+        for op in [
+            UnaryOp::Relu,
+            UnaryOp::Gelu,
+            UnaryOp::Sigmoid,
+            UnaryOp::Tanh,
+            UnaryOp::Exp,
+        ] {
+            let swept = x.apply(op);
+            let per_elem = x.map(|v| op.eval(v));
+            if simd::active_level() <= simd::Level::Avx2 {
+                assert_eq!(swept, per_elem, "{op:?} sweep vs per-element");
+            } else {
+                for (a, b) in swept.as_slice().iter().zip(per_elem.as_slice()) {
+                    assert!((a - b).abs() <= 1e-5 * b.abs().max(1.0), "{op:?}");
+                }
+            }
+        }
+        assert_eq!(x.apply(UnaryOp::Abs), x.map(f32::abs));
         assert_eq!(x.apply(UnaryOp::AddScalar(1.5)), x.add_scalar(1.5));
         assert_eq!(x.apply(UnaryOp::MulScalar(-3.0)), x.scale(-3.0));
+    }
+
+    #[test]
+    fn transcendentals_track_libm() {
+        for v in [-4.0f32, -1.0, -0.3, 0.0, 0.3, 1.0, 4.0] {
+            assert!((UnaryOp::Exp.eval(v) - v.exp()).abs() <= 1e-6 * v.exp());
+            assert!((UnaryOp::Tanh.eval(v) - v.tanh()).abs() <= 5e-7);
+            assert!((UnaryOp::Sigmoid.eval(v) - 1.0 / (1.0 + (-v).exp())).abs() <= 5e-7);
+        }
     }
 
     #[test]
     fn gelu_formula_is_the_tanh_approximation() {
         let x = 0.5f32;
         let inner = SQRT_2_OVER_PI * (x + GELU_COEFF * x * x * x);
-        assert_eq!(UnaryOp::Gelu.eval(x), 0.5 * x * (1.0 + inner.tanh()));
+        let want = 0.5 * x * (1.0 + inner.tanh());
+        assert!((UnaryOp::Gelu.eval(x) - want).abs() <= 5e-7);
         assert_eq!(UnaryOp::Gelu.eval(0.0), 0.0);
     }
 

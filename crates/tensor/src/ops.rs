@@ -153,9 +153,9 @@ impl Tensor {
         self.map(f32::abs)
     }
 
-    /// Elementwise natural exponent.
+    /// Elementwise natural exponent (runs on the dispatched SIMD kernel).
     pub fn exp(&self) -> Tensor {
-        self.map(f32::exp)
+        self.apply(crate::UnaryOp::Exp)
     }
 
     /// Elementwise natural logarithm.

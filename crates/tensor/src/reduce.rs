@@ -200,27 +200,74 @@ impl Tensor {
 
     /// Numerically stable softmax along the last axis of a matrix (per row).
     ///
-    /// Rank-1 tensors are treated as a single row.
+    /// Rank-1 tensors are treated as a single row. Runs on the
+    /// runtime-dispatched three-pass SIMD kernel ([`simd::softmax_rows`]);
+    /// results are bit-identical across the deterministic dispatch levels.
     ///
     /// # Errors
     /// Returns an error for rank-0 or rank>2 tensors.
     pub fn softmax_rows(&self) -> Result<Tensor> {
-        let (r, c) = self.shape().as_matrix()?;
-        let mut out = vec![0.0; r * c];
-        for i in 0..r {
-            let row = &self.as_slice()[i * c..(i + 1) * c];
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for (j, &v) in row.iter().enumerate() {
-                let e = (v - max).exp();
-                out[i * c + j] = e;
-                denom += e;
-            }
-            for j in 0..c {
-                out[i * c + j] /= denom;
-            }
-        }
+        let (_, c) = self.shape().as_matrix()?;
+        let mut out = self.as_slice().to_vec();
+        simd::softmax_rows(&mut out, c);
         Tensor::from_vec(out, self.shape().dims())
+    }
+
+    /// Per-row layer normalization of a matrix:
+    /// `y = (x − mean) · istd · γ[j] + β[j]` with `istd = 1/√(var + eps)`
+    /// over each row's population statistics.
+    ///
+    /// Runs on the runtime-dispatched single-sweep SIMD kernel
+    /// ([`simd::layer_norm_rows`]).
+    ///
+    /// # Errors
+    /// Returns an error if `self` is not a matrix or `gamma`/`beta` do not
+    /// have exactly one element per column.
+    pub fn layer_norm_rows(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<Tensor> {
+        let (_, c) = self.layer_norm_check(gamma, beta)?;
+        let mut out = self.as_slice().to_vec();
+        simd::layer_norm_rows(&mut out, c, gamma.as_slice(), beta.as_slice(), eps);
+        Tensor::from_vec(out, self.shape().dims())
+    }
+
+    /// [`Tensor::layer_norm_rows`] that also returns the per-row
+    /// `(mean, 1/std)` the kernel computed — the training backward pass
+    /// reconstructs `x̂` from them.
+    ///
+    /// # Errors
+    /// Same conditions as [`Tensor::layer_norm_rows`].
+    pub fn layer_norm_rows_stats(
+        &self,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+    ) -> Result<(Tensor, Vec<f32>, Vec<f32>)> {
+        let (r, c) = self.layer_norm_check(gamma, beta)?;
+        let mut out = self.as_slice().to_vec();
+        let mut means = vec![0.0f32; r];
+        let mut inv_stds = vec![0.0f32; r];
+        simd::layer_norm_rows_stats(
+            &mut out,
+            c,
+            gamma.as_slice(),
+            beta.as_slice(),
+            eps,
+            &mut means,
+            &mut inv_stds,
+        );
+        Ok((Tensor::from_vec(out, self.shape().dims())?, means, inv_stds))
+    }
+
+    fn layer_norm_check(&self, gamma: &Tensor, beta: &Tensor) -> Result<(usize, usize)> {
+        let (r, c) = self.shape().as_matrix()?;
+        if gamma.len() != c || beta.len() != c {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm_rows (gamma/beta must have one element per column)",
+                lhs: self.shape().dims().to_vec(),
+                rhs: vec![gamma.len(), beta.len()],
+            });
+        }
+        Ok((r, c))
     }
 
     /// Numerically stable log-sum-exp per row of a matrix.
@@ -364,6 +411,34 @@ mod tests {
         for (x, y) in s.as_slice().iter().zip(b.as_slice()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn layer_norm_rows_normalizes_each_row() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let gamma = t(&[1.0, 1.0, 1.0], &[3]);
+        let beta = t(&[0.0, 0.0, 0.0], &[3]);
+        let y = m.layer_norm_rows(&gamma, &beta, 1e-5).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        for i in 0..2 {
+            let row = y.row(i).unwrap();
+            assert!(row.mean().abs() < 1e-5);
+            assert!((row.std() - 1.0).abs() < 1e-3);
+        }
+        let (y2, means, istds) = m.layer_norm_rows_stats(&gamma, &beta, 1e-5).unwrap();
+        assert_eq!(y, y2);
+        assert!((means[0] - 2.0).abs() < 1e-6);
+        assert!((means[1] - 5.0).abs() < 1e-6);
+        assert!(istds.iter().all(|v| *v > 0.0));
+        // Scale/shift participate: gamma=2, beta=1 doubles and shifts.
+        let g2 = t(&[2.0, 2.0, 2.0], &[3]);
+        let b1 = t(&[1.0, 1.0, 1.0], &[3]);
+        let z = m.layer_norm_rows(&g2, &b1, 1e-5).unwrap();
+        for (zi, yi) in z.as_slice().iter().zip(y.as_slice()) {
+            assert!((zi - (2.0 * yi + 1.0)).abs() < 1e-5);
+        }
+        // Mismatched gamma/beta lengths are rejected.
+        assert!(m.layer_norm_rows(&t(&[1.0], &[1]), &beta, 1e-5).is_err());
     }
 
     #[test]

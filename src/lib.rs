@@ -9,11 +9,13 @@
 pub use autograd;
 pub use baselines;
 pub use fingerprint;
+pub use graph;
 pub use jsonio;
 pub use lint;
 pub use nn;
 pub use parallel;
 pub use serve;
 pub use sim_radio;
+pub use simd;
 pub use tensor;
 pub use vital;

@@ -9,7 +9,8 @@
 
 use rand::SeedableRng;
 use vital_workspace::{
-    autograd, baselines, fingerprint, jsonio, lint, nn, serve, sim_radio, tensor, vital,
+    autograd, baselines, fingerprint, graph, jsonio, lint, nn, serve, sim_radio, simd, tensor,
+    vital,
 };
 
 #[test]
@@ -80,4 +81,13 @@ fn every_member_crate_is_reachable_via_the_umbrella() {
     // lint: the static-analysis lexer tokenizes through the umbrella path
     let tokens = lint::lexer::lex("fn main() {}");
     assert!(!tokens.is_empty());
+
+    // graph: an expression graph builds through the umbrella path
+    let g = graph::Graph::new();
+    let _ = g;
+
+    // simd: the dispatch level resolves through the umbrella path, and the
+    // default level honours the determinism-by-default cap
+    assert!(simd::active_level() <= simd::Level::Fma);
+    assert!(simd::detected_level().min(simd::Level::Avx2) <= simd::Level::Avx2);
 }
