@@ -22,7 +22,8 @@
 //!
 //! ```json
 //! {
-//!   "gemm":  [ {"m": 256, "min_speedup": 0.7} ],
+//!   "gemm":  [ {"m": 256, "min_speedup": 0.7,
+//!               "min_dispatch_speedup": 1.8, "min_gflops": 12.0} ],
 //!   "simd":  { "min_simd_speedup": 2.0,
 //!              "kernels": [ {"kernel": "softmax", "min_gbps": 1.5} ] },
 //!   "vit":   { "batch": 32, "min_speedup": 1.3, "require_agreement": true,
@@ -295,6 +296,51 @@ fn run(
             .ok_or_else(|| format!("no measured gemm row for m = {size}"))?;
         let speedup = num(row, "gemm row", "speedup")?;
         gate.check(&format!("gemm {size}\u{b3} packed speedup"), speedup, floor);
+
+        // GEMM dispatch floors: the dispatched tile must beat the
+        // forced-scalar packed kernel and clear an absolute GFLOPS rate —
+        // but only when a vector level is active, same SKIP regime as the
+        // simd kernel floors below (on a scalar host the "dispatched" run
+        // IS the scalar run and the ratio is 1.0 by construction).
+        let dispatch_floor = threshold.get("min_dispatch_speedup").and_then(Json::as_f64);
+        let gflops_floor = threshold.get("min_gflops").and_then(Json::as_f64);
+        if dispatch_floor.is_some() || gflops_floor.is_some() {
+            let level = perf
+                .get("simd")
+                .and_then(|s| s.get("level"))
+                .and_then(Json::as_str)
+                .ok_or("BENCH_perf.json has no simd.level for the gemm dispatch floors")?;
+            let dispatch_rows = perf
+                .get("simd")
+                .and_then(|s| s.get("gemm"))
+                .and_then(Json::as_array)
+                .ok_or("BENCH_perf.json has no simd.gemm dispatch array")?;
+            let dispatch_row = dispatch_rows
+                .iter()
+                .find(|r| r.get("m").and_then(Json::as_f64) == Some(size))
+                .ok_or_else(|| format!("no measured gemm dispatch row for m = {size}"))?;
+            if level == "scalar" {
+                println!(
+                    "SKIP  gemm {size}\u{b3} dispatch speedup + GFLOPS floors: \
+                     active level is scalar"
+                );
+            } else {
+                if let Some(floor) = dispatch_floor {
+                    gate.check(
+                        &format!("gemm {size}\u{b3} {level} dispatch speedup vs forced scalar"),
+                        num(dispatch_row, "gemm dispatch row", "speedup")?,
+                        floor,
+                    );
+                }
+                if let Some(floor) = gflops_floor {
+                    gate.check(
+                        &format!("gemm {size}\u{b3} {level} dispatched rate (GFLOPS)"),
+                        num(dispatch_row, "gemm dispatch row", "gflops")?,
+                        floor,
+                    );
+                }
+            }
+        }
     }
 
     // SIMD dispatch floors: whenever a vector level is actually active,

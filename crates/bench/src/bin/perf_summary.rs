@@ -1,6 +1,7 @@
 //! Performance summary: times the packed GEMM against the pre-PR reference
-//! kernel and single vs. batched ViT inference, writing a machine-readable
-//! `BENCH_perf.json` at the repo root.
+//! kernel, the dispatched SIMD kernels (transcendentals and the packed
+//! GEMM) against forced-scalar, and single vs. batched ViT inference,
+//! writing a machine-readable `BENCH_perf.json` at the repo root.
 //!
 //! This seeds the performance trajectory of the workspace: every future
 //! optimisation PR reruns this binary and compares the JSON against the
@@ -186,6 +187,61 @@ fn bench_simd(scale: Scale, reps: usize) -> (&'static str, Vec<SimdRow>) {
     (level.name(), rows_out)
 }
 
+struct GemmDispatchRow {
+    size: usize,
+    scalar_ms: f64,
+    dispatched_ms: f64,
+}
+
+/// Times the packed GEMM pinned at `Level::Scalar` against the runtime-
+/// dispatched level on identical buffers — the dispatch win the `gemm`
+/// floors in `ci/perf-thresholds.json` gate (the packed-vs-reference rows
+/// above measure the *algorithmic* win instead).
+fn bench_gemm_dispatch(sizes: &[usize], reps: usize) -> (&'static str, Vec<GemmDispatchRow>) {
+    let level = simd::active_level();
+    let rows = sizes
+        .iter()
+        .map(|&size| {
+            let a = SeededRng::new(5)
+                .uniform_tensor(&[size, size], -1.0, 1.0)
+                .as_slice()
+                .to_vec();
+            let b = SeededRng::new(6)
+                .uniform_tensor(&[size, size], -1.0, 1.0)
+                .as_slice()
+                .to_vec();
+            let mut out = vec![0.0f32; size * size];
+            let mut run = |lv: simd::Level| {
+                tensor::gemm_ex_into_at(
+                    lv,
+                    size,
+                    size,
+                    size,
+                    &a,
+                    &b,
+                    tensor::MatmulSpec::NN,
+                    &mut out,
+                );
+                std::hint::black_box(out[0]);
+            };
+            let scalar_ms = time_ms(reps, || run(simd::Level::Scalar));
+            let dispatched_ms = time_ms(reps, || run(level));
+            eprintln!(
+                "gemm-dispatch {size:>4}³  scalar {scalar_ms:>8.2} ms  {} {dispatched_ms:>8.2} ms  \
+                 speedup {:>5.2}×",
+                level.name(),
+                scalar_ms / dispatched_ms,
+            );
+            GemmDispatchRow {
+                size,
+                scalar_ms,
+                dispatched_ms,
+            }
+        })
+        .collect();
+    (level.name(), rows)
+}
+
 struct VitResult {
     batch: usize,
     single_ms_per_sample: f64,
@@ -302,6 +358,7 @@ fn main() {
 
     let gemm = bench_gemm(sizes, gemm_reps);
     let (simd_level, simd_rows) = bench_simd(scale, gemm_reps.max(5));
+    let (_, gemm_dispatch) = bench_gemm_dispatch(sizes, gemm_reps);
     let vit = bench_vit(scale, vit_reps);
 
     // Round to the precision the hand-formatted report used to commit.
@@ -342,6 +399,19 @@ fn main() {
                             ("simd_ms", r4(r.simd_ms)),
                             ("speedup", r3(r.scalar_ms / r.simd_ms)),
                             ("gbps", r3(r.gbps)),
+                        ])
+                    })),
+                ),
+                (
+                    "gemm",
+                    Json::arr(gemm_dispatch.iter().map(|r| {
+                        let gflops = 2.0 * (r.size as f64).powi(3) / (r.dispatched_ms * 1e6);
+                        Json::obj([
+                            ("m", Json::from(r.size)),
+                            ("scalar_ms", r4(r.scalar_ms)),
+                            ("dispatched_ms", r4(r.dispatched_ms)),
+                            ("speedup", r3(r.scalar_ms / r.dispatched_ms)),
+                            ("gflops", Json::from((gflops * 1e2).round() / 1e2)),
                         ])
                     })),
                 ),

@@ -19,12 +19,19 @@
 //! each logit pair may differ by at most `N` units in the last place —
 //! the contract for the opt-in FMA level, whose fused multiply-adds round
 //! once instead of twice. Predictions must match exactly in both modes.
+//!
+//! Each report also carries `gemm_bits`: a GEMM-heavy leg that runs the
+//! packed kernel through all four transpose variants at sizes past the
+//! small-product fast path and off the vector tile's panel edges, so
+//! cross-level parity exercises the dispatched band microkernels
+//! directly (the smoke ViT's matmuls are small enough to stay on the
+//! unpacked path). The same bit/ULP bound applies.
 
 use std::process::ExitCode;
 
 use jsonio::{parse, Json};
 use tensor::rng::SeededRng;
-use tensor::Tensor;
+use tensor::{MatmulSpec, Tensor};
 use vital::{VisionTransformer, VitalConfig};
 
 /// The fixed smoke model + batch every dump uses: seeded weights, seeded
@@ -56,6 +63,34 @@ fn smoke_logits_and_predictions() -> (Tensor, Vec<usize>) {
     (logits, predictions)
 }
 
+/// Packed-GEMM output bits at the active level: all four transpose
+/// variants at `37 × 33 × 129` — `k·n = 4257` crosses the small-product
+/// cutoff into the packed band kernels, and every dimension sits one off
+/// a tile/panel multiple (m = 6·6+1, n = 16·8+1), so padded edge panels
+/// are part of the dump. Operands are positive so the accumulations are
+/// cancellation-free: near-zero outputs would make the FMA leg's ULP
+/// distance meaningless (a tiny absolute difference spans thousands of
+/// ULP next to zero).
+fn gemm_bits() -> Vec<u32> {
+    let level = simd::active_level();
+    let (m, k, n) = (37, 33, 129);
+    let mut rng = SeededRng::new(77);
+    let a = rng.uniform_tensor(&[m, k], 0.1, 2.0).as_slice().to_vec();
+    let b = rng.uniform_tensor(&[k, n], 0.1, 2.0).as_slice().to_vec();
+    let mut bits = Vec::new();
+    for spec in [
+        MatmulSpec::NN,
+        MatmulSpec::TN,
+        MatmulSpec::NT,
+        MatmulSpec::TT,
+    ] {
+        let mut out = vec![0.0f32; m * n];
+        tensor::gemm_ex_into_at(level, m, k, n, &a, &b, spec, &mut out);
+        bits.extend(out.iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
 fn dump(out: &str) {
     let (logits, predictions) = smoke_logits_and_predictions();
     let json = Json::obj([
@@ -74,6 +109,10 @@ fn dump(out: &str) {
                     .iter()
                     .map(|v| Json::from(u64::from(v.to_bits()))),
             ),
+        ),
+        (
+            "gemm_bits",
+            Json::arr(gemm_bits().into_iter().map(|b| Json::from(u64::from(b)))),
         ),
     ])
     .to_json_pretty();
@@ -106,11 +145,11 @@ fn load_report(path: &str) -> Result<Json, String> {
     parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
 }
 
-fn bits_array(report: &Json, path: &str) -> Result<Vec<u32>, String> {
+fn bits_array(report: &Json, path: &str, field: &str) -> Result<Vec<u32>, String> {
     report
-        .get("logits_bits")
+        .get(field)
         .and_then(Json::as_array)
-        .ok_or_else(|| format!("{path} has no logits_bits array"))?
+        .ok_or_else(|| format!("{path} has no {field} array"))?
         .iter()
         .map(|v| {
             v.as_f64()
@@ -145,39 +184,41 @@ fn compare(path_a: &str, path_b: &str, max_ulp: u64) -> Result<(), String> {
         ));
     }
 
-    let bits_a = bits_array(&a, path_a)?;
-    let bits_b = bits_array(&b, path_b)?;
-    if bits_a.len() != bits_b.len() {
-        return Err(format!(
-            "logit counts differ: {} vs {}",
-            bits_a.len(),
-            bits_b.len()
-        ));
-    }
-    let mut worst: u64 = 0;
-    let mut diffs: usize = 0;
-    for (i, (&ba, &bb)) in bits_a.iter().zip(&bits_b).enumerate() {
-        let d = ulp_diff(ba, bb);
-        if d > 0 {
-            diffs += 1;
-        }
-        if d > worst {
-            worst = d;
-        }
-        if d > max_ulp {
+    for field in ["logits_bits", "gemm_bits"] {
+        let bits_a = bits_array(&a, path_a, field)?;
+        let bits_b = bits_array(&b, path_b, field)?;
+        if bits_a.len() != bits_b.len() {
             return Err(format!(
-                "logit {i} differs by {d} ULP (> {max_ulp}): {:?} vs {:?} \
-                 between {level_a} and {level_b}",
-                f32::from_bits(ba),
-                f32::from_bits(bb)
+                "{field} counts differ: {} vs {}",
+                bits_a.len(),
+                bits_b.len()
             ));
         }
+        let mut worst: u64 = 0;
+        let mut diffs: usize = 0;
+        for (i, (&ba, &bb)) in bits_a.iter().zip(&bits_b).enumerate() {
+            let d = ulp_diff(ba, bb);
+            if d > 0 {
+                diffs += 1;
+            }
+            if d > worst {
+                worst = d;
+            }
+            if d > max_ulp {
+                return Err(format!(
+                    "{field}[{i}] differs by {d} ULP (> {max_ulp}): {:?} vs {:?} \
+                     between {level_a} and {level_b}",
+                    f32::from_bits(ba),
+                    f32::from_bits(bb)
+                ));
+            }
+        }
+        println!(
+            "simd_parity: {level_a} vs {level_b}: predictions identical, {} {field}, \
+             {diffs} differing, worst {worst} ULP (bound {max_ulp})",
+            bits_a.len()
+        );
     }
-    println!(
-        "simd_parity: {level_a} vs {level_b}: predictions identical, {} logits, \
-         {diffs} differing, worst {worst} ULP (bound {max_ulp})",
-        bits_a.len()
-    );
     Ok(())
 }
 

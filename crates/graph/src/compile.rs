@@ -17,7 +17,10 @@
 //!    pass running *the same kernel* (vectorized transcendental or exact
 //!    elementwise loop) as the eager path, so fused results are
 //!    bit-identical to eager at every dispatch level — the plan latches
-//!    [`simd::active_level`] at build time ([`CompiledPlan::level`]).
+//!    [`simd::active_level`] at build time ([`CompiledPlan::level`]) and
+//!    pins every step to it, GEMM included: matmul steps run through
+//!    `tensor::gemm_ex_into_at` at the latched level, so a plan built
+//!    under AVX2 keeps its 6×16 packed tiles (and its bits) for life.
 //! 2. **Liveness-based slot planning.** Each step's output is a virtual
 //!    register; its last use is the last step that reads it. Walking steps
 //!    in order, the output slot is drawn from a free list of
@@ -151,7 +154,8 @@ impl CompiledPlan {
     }
 
     /// The SIMD dispatch level latched when this plan was built; every
-    /// softmax / layer-norm / activation step executes at this level.
+    /// GEMM / softmax / layer-norm / activation step executes at this
+    /// level.
     pub fn level(&self) -> simd::Level {
         self.level
     }

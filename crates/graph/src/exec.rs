@@ -18,7 +18,7 @@
 //! caller only needs per-row argmaxes ([`CompiledPlan::execute_argmax`],
 //! the serve hot path).
 
-use tensor::{gemm_ex_into, Tensor};
+use tensor::{gemm_ex_into_at, Tensor};
 
 use crate::compile::{CompiledPlan, Kernel, PostOp, Ref, Step};
 use crate::error::GraphError;
@@ -184,7 +184,7 @@ impl CompiledPlan {
                 m,
                 k,
                 n,
-            } => gemm_ex_into(*m, *k, *n, res(*a), res(*b), *spec, out),
+            } => gemm_ex_into_at(self.level, *m, *k, *n, res(*a), res(*b), *spec, out),
             Kernel::SoftmaxRows { src } => {
                 // The same three-pass SIMD kernel the eager `softmax_rows`
                 // dispatches to, pinned at the plan's latched level.

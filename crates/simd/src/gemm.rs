@@ -1,0 +1,366 @@
+//! Runtime-dispatched packed-GEMM microkernels.
+//!
+//! The packing, parallel row-panel split and shape logic of the GEMM
+//! live in `tensor::matmul`; this module owns only the register-tiled
+//! core that multiplies one packed `MR`-row panel of A against the full
+//! packed B, because that core is where the dispatch levels differ:
+//!
+//! | [`Level`]  | tile (`MR × NR`) | kernel                                       |
+//! |------------|------------------|----------------------------------------------|
+//! | `Scalar`   | 4 × 8            | portable `[f32; 8]` rows, auto-vectorized    |
+//! | `Avx2`     | 6 × 16           | 2×`__m256`/row, unfused `vmulps`+`vaddps`    |
+//! | `Fma`      | 6 × 16           | 2×`__m256`/row, fused `vfmadd231ps`          |
+//!
+//! The vector tiles use twelve `__m256` accumulators (two per A row) plus
+//! two B registers and one broadcast — 15 of the 16 ymm registers — so
+//! each `vbroadcastss` and each loop iteration is amortized over 96
+//! output elements.
+//!
+//! # Determinism
+//!
+//! Every output element is one independent accumulation chain
+//! `c(i,j) = Σ_p a(i,p)·b(p,j)`, evaluated sequentially in `p` inside a
+//! single band-kernel invocation. The scalar and AVX2 tiles perform the
+//! same unfused multiply-then-add per step, so — although their tile
+//! *shapes* differ — each element's chain is the identical sequence of
+//! IEEE-754 two-operand operations and the two levels are
+//! **bit-identical on every input** (tile shape only changes which
+//! elements share a register block, never the order within a chain).
+//! The FMA tile contracts each step into a single rounding and is
+//! therefore only ULP-bounded; like the transcendental kernels it is
+//! opt-in via `VITAL_SIMD=fma`.
+//!
+//! # Packing contract
+//!
+//! Callers pack operands at the tile dims of the *clamped* level
+//! ([`tile_dims`] applies the hardware clamp, so packing and kernel
+//! always agree): `a_panel` holds `k` groups of `MR` consecutive row
+//! values (zero-padded past the live rows), `packed_b` holds
+//! `⌈n / NR⌉` panels of `k` groups of `NR` consecutive column values
+//! (zero-padded past `n`). Padded lanes are computed and discarded; they
+//! never reach the output.
+
+use crate::{clamp_supported, Level};
+
+/// Microkernel tile dims `(MR, NR)` for a dispatch level, after clamping
+/// the request at what the CPU supports.
+///
+/// Callers must pack with the dims of the same level they pass to
+/// [`gemm_band_at`]; both apply the identical clamp, so a request the
+/// hardware cannot honor degrades consistently on both sides.
+pub fn tile_dims(level: Level) -> (usize, usize) {
+    match clamp_supported(level) {
+        Level::Scalar => (4, 8),
+        Level::Avx2 | Level::Fma => (6, 16),
+    }
+}
+
+/// Multiplies one packed A panel by every packed B panel at the given
+/// level (clamped at hardware support), writing the `rows × n` result
+/// band.
+///
+/// * `a_panel`: `k × MR` packed values for this band's rows.
+/// * `packed_b`: `⌈n / NR⌉` panels of `k × NR` packed values.
+/// * `rows`: live output rows in this band (`1..=MR`).
+/// * `out`: row-major `rows × n` destination, fully overwritten.
+///
+/// # Panics
+/// Panics (via slice indexing) if the operands were packed with tile
+/// dims other than `tile_dims(level)` or `out` is shorter than
+/// `rows * n`.
+pub fn gemm_band_at(
+    level: Level,
+    a_panel: &[f32],
+    packed_b: &[f32],
+    k: usize,
+    n: usize,
+    rows: usize,
+    out: &mut [f32],
+) {
+    match clamp_supported(level) {
+        Level::Scalar => gemm_band_scalar(a_panel, packed_b, k, n, rows, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `clamp_supported` only returns Avx2 when the avx2
+        // `is_x86_feature_detected!` check passed.
+        Level::Avx2 => unsafe { x86::gemm_band_avx2(a_panel, packed_b, k, n, rows, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above; Fma additionally implies the fma feature.
+        Level::Fma => unsafe { x86::gemm_band_fma(a_panel, packed_b, k, n, rows, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => gemm_band_scalar(a_panel, packed_b, k, n, rows, out),
+    }
+}
+
+/// Portable 4 × 8 band kernel — the `Scalar` dispatch level.
+///
+/// The fixed-bound loops over `[f32; 8]` accumulator rows are the
+/// auto-vectorization target; there is deliberately no zero-skipping
+/// branch (a data-dependent shortcut would defeat vectorization and make
+/// runtime input-dependent).
+fn gemm_band_scalar(
+    a_panel: &[f32],
+    packed_b: &[f32],
+    k: usize,
+    n: usize,
+    rows: usize,
+    out: &mut [f32],
+) {
+    const MR: usize = 4;
+    const NR: usize = 8;
+    for (jp, b_panel) in packed_b.chunks(k * NR).enumerate() {
+        let j0 = jp * NR;
+        let cols = NR.min(n - j0);
+        let mut acc = [[0.0f32; NR]; MR];
+        // Fixed-size array references make every index below
+        // bounds-check free, which lets LLVM keep the tile in registers.
+        for (a, b) in a_panel
+            .chunks_exact(MR)
+            .zip(b_panel.chunks_exact(NR))
+            .take(k)
+        {
+            let a: &[f32; MR] = a.try_into().expect("A panel chunk is MR wide");
+            let b: &[f32; NR] = b.try_into().expect("B panel chunk is NR wide");
+            for (acc_row, &ai) in acc.iter_mut().zip(a) {
+                for (c, &bv) in acc_row.iter_mut().zip(b) {
+                    *c += ai * bv;
+                }
+            }
+        }
+        for (i, acc_row) in acc.iter().enumerate().take(rows) {
+            out[i * n + j0..i * n + j0 + cols].copy_from_slice(&acc_row[..cols]);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Explicit-intrinsic band kernels behind `#[target_feature]` gates.
+
+    use core::arch::x86_64::*;
+
+    /// Tile height of the vector kernels (both halves of the 6 × 16 tile).
+    const MR: usize = 6;
+    /// Tile width of the vector kernels — two `__m256` lanes per row.
+    const NR: usize = 16;
+
+    /// AVX2 6 × 16 band kernel with **unfused** multiply–add — two
+    /// `__m256` accumulators per A row, one `vbroadcastss` per A value,
+    /// `vmulps` + `vaddps` per step so every accumulation chain is the
+    /// same two-operand IEEE sequence as the scalar tile.
+    ///
+    /// # Safety
+    /// The running CPU must support AVX2 (guard with
+    /// `is_x86_feature_detected!("avx2")`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_band_avx2(
+        a_panel: &[f32],
+        packed_b: &[f32],
+        k: usize,
+        n: usize,
+        rows: usize,
+        out: &mut [f32],
+    ) {
+        for (jp, b_panel) in packed_b.chunks(k * NR).enumerate() {
+            let j0 = jp * NR;
+            let cols = NR.min(n - j0);
+            // SAFETY: AVX2 is available per this function's contract; the
+            // loads below read 8 floats at offsets 0 and 8 of 16-float
+            // `chunks_exact(NR)` slices and `loadu`/`storeu` have no
+            // alignment requirement.
+            unsafe {
+                let mut lo = [_mm256_setzero_ps(); MR];
+                let mut hi = [_mm256_setzero_ps(); MR];
+                for (a, b) in a_panel
+                    .chunks_exact(MR)
+                    .zip(b_panel.chunks_exact(NR))
+                    .take(k)
+                {
+                    let b_lo = _mm256_loadu_ps(b.as_ptr());
+                    let b_hi = _mm256_loadu_ps(b.as_ptr().add(8));
+                    for ((cl, ch), &ai) in lo.iter_mut().zip(hi.iter_mut()).zip(a) {
+                        let av = _mm256_set1_ps(ai);
+                        // Unfused on purpose: two roundings, exactly like
+                        // the scalar tile, so the levels stay bit-identical.
+                        *cl = _mm256_add_ps(_mm256_mul_ps(av, b_lo), *cl);
+                        *ch = _mm256_add_ps(_mm256_mul_ps(av, b_hi), *ch);
+                    }
+                }
+                store_band(&lo, &hi, rows, cols, j0, n, out);
+            }
+        }
+    }
+
+    /// AVX2+FMA 6 × 16 band kernel: identical structure to
+    /// [`gemm_band_avx2`] but with each step contracted into a
+    /// single-rounding `vfmadd231ps` — ULP-bounded, not bit-identical,
+    /// hence opt-in.
+    ///
+    /// # Safety
+    /// The running CPU must support AVX2 and FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_band_fma(
+        a_panel: &[f32],
+        packed_b: &[f32],
+        k: usize,
+        n: usize,
+        rows: usize,
+        out: &mut [f32],
+    ) {
+        for (jp, b_panel) in packed_b.chunks(k * NR).enumerate() {
+            let j0 = jp * NR;
+            let cols = NR.min(n - j0);
+            // SAFETY: AVX2+FMA are available per this function's
+            // contract; loads read 8 floats at offsets 0 and 8 of
+            // 16-float `chunks_exact(NR)` slices, unaligned ops
+            // throughout.
+            unsafe {
+                let mut lo = [_mm256_setzero_ps(); MR];
+                let mut hi = [_mm256_setzero_ps(); MR];
+                for (a, b) in a_panel
+                    .chunks_exact(MR)
+                    .zip(b_panel.chunks_exact(NR))
+                    .take(k)
+                {
+                    let b_lo = _mm256_loadu_ps(b.as_ptr());
+                    let b_hi = _mm256_loadu_ps(b.as_ptr().add(8));
+                    for ((cl, ch), &ai) in lo.iter_mut().zip(hi.iter_mut()).zip(a) {
+                        let av = _mm256_set1_ps(ai);
+                        *cl = _mm256_fmadd_ps(av, b_lo, *cl);
+                        *ch = _mm256_fmadd_ps(av, b_hi, *ch);
+                    }
+                }
+                store_band(&lo, &hi, rows, cols, j0, n, out);
+            }
+        }
+    }
+
+    /// Writes the live `rows × cols` corner of a 6 × 16 accumulator tile
+    /// (`lo` = columns 0–7, `hi` = columns 8–15) into the output band at
+    /// column offset `j0`.
+    ///
+    /// # Safety
+    /// The caller must have AVX enabled (both callers are
+    /// `#[target_feature]` gated) and `out` must hold at least
+    /// `rows * n` elements with `j0 + cols <= n`.
+    #[inline(always)]
+    unsafe fn store_band(
+        lo: &[__m256; MR],
+        hi: &[__m256; MR],
+        rows: usize,
+        cols: usize,
+        j0: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        for (i, (row_lo, row_hi)) in lo.iter().zip(hi).enumerate().take(rows) {
+            let dst = &mut out[i * n + j0..i * n + j0 + cols];
+            if cols == NR {
+                // SAFETY: `dst` is exactly NR = 16 floats when cols == NR;
+                // `storeu` has no alignment requirement.
+                unsafe {
+                    _mm256_storeu_ps(dst.as_mut_ptr(), *row_lo);
+                    _mm256_storeu_ps(dst.as_mut_ptr().add(8), *row_hi);
+                }
+            } else {
+                // Partial edge panel: spill the tile row to the stack and
+                // copy only the live columns.
+                let mut tmp = [0.0f32; NR];
+                // SAFETY: `tmp` is exactly NR = 16 floats; unaligned
+                // stores at offsets 0 and 8.
+                unsafe {
+                    _mm256_storeu_ps(tmp.as_mut_ptr(), *row_lo);
+                    _mm256_storeu_ps(tmp.as_mut_ptr().add(8), *row_hi);
+                }
+                dst.copy_from_slice(&tmp[..cols]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Packs rows `[0, rows)` of a row-major `rows_total × k` matrix into
+    /// one MR-padded panel (test-local mirror of the tensor crate's
+    /// packing).
+    fn pack_a(data: &[f32], k: usize, rows: usize, mr: usize) -> Vec<f32> {
+        let mut packed = vec![0.0f32; k * mr];
+        for p in 0..k {
+            for i in 0..rows {
+                packed[p * mr + i] = data[i * k + p];
+            }
+        }
+        packed
+    }
+
+    /// Packs a row-major `k × n` matrix into NR-padded panel order.
+    fn pack_b(data: &[f32], k: usize, n: usize, nr: usize) -> Vec<f32> {
+        let panels = n.div_ceil(nr);
+        let mut packed = vec![0.0f32; panels * k * nr];
+        for panel in 0..panels {
+            let base = panel * nr;
+            let live = nr.min(n - base);
+            for p in 0..k {
+                for j in 0..live {
+                    packed[panel * k * nr + p * nr + j] = data[p * n + base + j];
+                }
+            }
+        }
+        packed
+    }
+
+    fn band_at(level: Level, a: &[f32], b: &[f32], k: usize, n: usize, rows: usize) -> Vec<f32> {
+        let (mr, nr) = tile_dims(level);
+        assert!(rows <= mr, "test band must fit one panel");
+        let a_panel = pack_a(a, k, rows, mr);
+        let packed_b = pack_b(b, k, n, nr);
+        let mut out = vec![f32::NAN; rows * n];
+        gemm_band_at(level, &a_panel, &packed_b, k, n, rows, &mut out);
+        out
+    }
+
+    #[test]
+    fn tile_dims_are_wide_where_supported() {
+        assert_eq!(tile_dims(Level::Scalar), (4, 8));
+        let (mr, nr) = tile_dims(crate::detected_level());
+        assert!(mr >= 4 && nr >= 8);
+    }
+
+    #[test]
+    fn every_level_matches_the_naive_product() {
+        let (k, n) = (17, 21); // off the NR edge → partial edge panel
+        let a: Vec<f32> = (0..4 * k).map(|i| ((i % 13) as f32) * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 7) as f32) * 0.25 - 0.75).collect();
+        for level in [Level::Scalar, Level::Avx2, Level::Fma] {
+            let rows = tile_dims(level).0.min(4);
+            let got = band_at(level, &a, &b, k, n, rows);
+            for i in 0..rows {
+                for j in 0..n {
+                    let naive: f32 = (0..k).map(|p| a[i * k + p] * b[p * n + j]).sum();
+                    let g = got[i * n + j];
+                    assert!(
+                        (g - naive).abs() <= 1e-4 * naive.abs().max(1.0),
+                        "{level:?} ({i},{j}): {g} vs {naive}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_avx2_bands_are_bit_identical() {
+        let (k, n) = (33, 19);
+        let a: Vec<f32> = (0..4 * k)
+            .map(|i| (((i * 31) % 101) as f32) * 0.173 - 8.0)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| (((i * 17) % 89) as f32) * 0.211 - 9.0)
+            .collect();
+        let scalar = band_at(Level::Scalar, &a, &b, k, n, 4);
+        let avx2 = band_at(Level::Avx2, &a, &b, k, n, 4);
+        let sb: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+        let ab: Vec<u32> = avx2.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, ab, "scalar vs avx2 band bits");
+    }
+}

@@ -23,6 +23,12 @@
 //! `VITAL_SIMD=fma` must be set explicitly to trade determinism for the
 //! fused path.
 //!
+//! Alongside the trait-generic transcendental kernels, [`gemm`] holds
+//! the packed-GEMM band microkernels (explicit intrinsics rather than
+//! `SimdOp`, since the tile *shape* varies per level) under the same
+//! dispatch latch and the same determinism contract: scalar ≡ avx2
+//! bit-identical, FMA opt-in and ULP-bounded.
+//!
 //! # Environment override
 //!
 //! `VITAL_SIMD=scalar|avx2|fma` forces a level (capped at what the CPU
@@ -42,6 +48,7 @@
 #![deny(missing_docs)]
 
 pub mod backend;
+pub mod gemm;
 pub mod kernels;
 #[cfg(target_arch = "x86_64")]
 pub mod x86;
@@ -131,7 +138,7 @@ pub fn active_level() -> Level {
 /// Caps a requested level at what the CPU actually supports, so the
 /// feature-gated entry points are only ever reached with their CPUID
 /// precondition established.
-fn clamp_supported(level: Level) -> Level {
+pub(crate) fn clamp_supported(level: Level) -> Level {
     level.min(detected_level())
 }
 

@@ -52,7 +52,7 @@ mod shape;
 mod tensor_impl;
 
 pub use error::TensorError;
-pub use matmul::{gemm_ex_into, MatmulSpec};
+pub use matmul::{gemm_ex_into, gemm_ex_into_at, MatmulSpec};
 pub use named_ops::{BinaryOp, UnaryOp, GELU_COEFF, SQRT_2_OVER_PI};
 pub use shape::Shape;
 pub use tensor_impl::Tensor;

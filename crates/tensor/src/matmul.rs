@@ -1,48 +1,33 @@
-//! Packed, register-tiled, data-parallel matrix multiplication.
+//! Packed, register-tiled, data-parallel, runtime-dispatched matrix
+//! multiplication.
 //!
 //! Every matmul funnels into one packed GEMM through a single entry point,
 //! [`Tensor::matmul_ex`], whose [`MatmulSpec`] selects which operands are
 //! read transposed (`A·B`, `Aᵀ·B`, `A·Bᵀ`, `Aᵀ·Bᵀ`); the legacy
 //! `matmul`/`matmul_tn`/`matmul_nt` methods are thin wrappers over it.
 //! The operands are repacked into contiguous panels (which also absorbs
-//! the transposes, so the kernel never strides), an `MR × NR` register-tiled
-//! microkernel accumulates into fixed-size `f32` arrays the compiler
-//! auto-vectorizes, and row panels of the output are distributed across
-//! threads via the `parallel` crate.
+//! the transposes, so the kernel never strides) and row panels of the
+//! output are distributed across threads via the `parallel` crate. The
+//! register-tiled core lives in [`simd::gemm`]: the tile dims come **at
+//! runtime** from the active dispatch level (`simd::gemm::tile_dims` —
+//! portable 4 × 8 scalar tile, explicit-intrinsic 6 × 8 AVX2 tile,
+//! opt-in 8 × 8 FMA tile), so the one portable binary runs the wide tile
+//! wherever the CPU supports it — no `-C target-cpu=native` rebuild.
 //!
 //! # Determinism
 //!
-//! Every output element is accumulated by one sequential `k`-loop inside one
-//! microkernel invocation, and panel boundaries depend only on the operand
-//! shapes — never on the thread count. Results are therefore byte-identical
-//! under `VITAL_THREADS=1` and `VITAL_THREADS=N` (the property tests in
-//! `tests/proptest_gemm.rs` enforce this).
+//! Every output element is accumulated by one sequential `k`-loop inside
+//! one band-kernel invocation, and panel boundaries depend only on the
+//! operand shapes — never on the thread count. Results are therefore
+//! byte-identical under `VITAL_THREADS=1` and `VITAL_THREADS=N` (the
+//! property tests in `tests/proptest_gemm.rs` enforce this). Across
+//! dispatch levels the GEMM inherits the simd crate's contract: the
+//! scalar and AVX2 tiles run the identical unfused multiply-then-add
+//! chain per output element, so `VITAL_SIMD=scalar` and `=avx2` are
+//! **bit-identical on every input** (`tests/proptest_gemm_dispatch.rs`),
+//! while the opt-in FMA tile is only ULP-bounded.
 
 use crate::{Result, Tensor, TensorError};
-
-/// Rows of the microkernel tile.
-///
-/// The `MR × NR` f32 accumulator tile must fit in vector registers *and*
-/// expose enough independent FMA chains to hide latency. With 256-bit+
-/// vectors (AVX/AVX-512, opt-in via `RUSTFLAGS="-C target-cpu=native"`;
-/// the default build targets baseline x86-64 so the binary is portable)
-/// a 6 × 8 tile — six single-YMM accumulator rows —
-/// measured fastest across {4,6,8,10,12,14,16} × {8,16,32} on AVX-512
-/// hardware (wider NR tiles trip LLVM's auto-vectorizer into spilling); on
-/// baseline x86-64 (SSE2) a 4 × 8 tile keeps the accumulators within the 16
-/// XMM registers.
-#[cfg(target_feature = "avx")]
-pub(crate) const MR: usize = 6;
-/// Columns of the microkernel tile (see [`MR`]).
-#[cfg(target_feature = "avx")]
-pub(crate) const NR: usize = 8;
-
-/// Rows of the microkernel tile (baseline SSE2 variant, see the AVX docs).
-#[cfg(not(target_feature = "avx"))]
-pub(crate) const MR: usize = 4;
-/// Columns of the microkernel tile (see [`MR`]).
-#[cfg(not(target_feature = "avx"))]
-pub(crate) const NR: usize = 8;
 
 /// Which operands a matmul reads transposed, without materialising the
 /// transpose.
@@ -93,9 +78,10 @@ enum Layout {
 }
 
 /// Packs rows `[row0, row0 + rows)` of the `m × k` operand `op(A)` into
-/// MR-padded panel order: one panel per MR rows, each storing `k` groups of
-/// MR consecutive row values (zero-padded past `rows`), so the microkernel
-/// reads A with unit stride.
+/// `mr`-padded panel order: one panel per `mr` rows, each storing `k`
+/// groups of `mr` consecutive row values (zero-padded past `rows`), so
+/// the band kernel reads A with unit stride. `mr` comes from the active
+/// dispatch level's tile dims at runtime.
 fn pack_a_band(
     data: &[f32],
     layout: Layout,
@@ -103,15 +89,16 @@ fn pack_a_band(
     k: usize,
     row0: usize,
     rows: usize,
+    mr: usize,
 ) -> Vec<f32> {
-    let panels = rows.div_ceil(MR);
-    let mut packed = vec![0.0f32; panels * k * MR];
+    let panels = rows.div_ceil(mr);
+    let mut packed = vec![0.0f32; panels * k * mr];
     for panel in 0..panels {
-        let base_row = row0 + panel * MR;
-        let live = MR.min(row0 + rows - base_row);
-        let dst_panel = &mut packed[panel * k * MR..(panel + 1) * k * MR];
+        let base_row = row0 + panel * mr;
+        let live = mr.min(row0 + rows - base_row);
+        let dst_panel = &mut packed[panel * k * mr..(panel + 1) * k * mr];
         for p in 0..k {
-            let dst = &mut dst_panel[p * MR..p * MR + live];
+            let dst = &mut dst_panel[p * mr..p * mr + live];
             match layout {
                 Layout::Normal => {
                     for (i, d) in dst.iter_mut().enumerate() {
@@ -128,18 +115,18 @@ fn pack_a_band(
     packed
 }
 
-/// Packs the full `k × n` operand `op(B)` into NR-padded panel order: one
-/// panel per NR columns, each storing `k` groups of NR consecutive column
-/// values (zero-padded past `n`).
-fn pack_b(data: &[f32], layout: Layout, stride: usize, k: usize, n: usize) -> Vec<f32> {
-    let panels = n.div_ceil(NR);
-    let mut packed = vec![0.0f32; panels * k * NR];
+/// Packs the full `k × n` operand `op(B)` into `nr`-padded panel order:
+/// one panel per `nr` columns, each storing `k` groups of `nr` consecutive
+/// column values (zero-padded past `n`).
+fn pack_b(data: &[f32], layout: Layout, stride: usize, k: usize, n: usize, nr: usize) -> Vec<f32> {
+    let panels = n.div_ceil(nr);
+    let mut packed = vec![0.0f32; panels * k * nr];
     for panel in 0..panels {
-        let base_col = panel * NR;
-        let live = NR.min(n - base_col);
-        let dst_panel = &mut packed[panel * k * NR..(panel + 1) * k * NR];
+        let base_col = panel * nr;
+        let live = nr.min(n - base_col);
+        let dst_panel = &mut packed[panel * k * nr..(panel + 1) * k * nr];
         for p in 0..k {
-            let dst = &mut dst_panel[p * NR..p * NR + live];
+            let dst = &mut dst_panel[p * nr..p * nr + live];
             match layout {
                 Layout::Normal => {
                     let src = &data[p * stride + base_col..p * stride + base_col + live];
@@ -154,35 +141,6 @@ fn pack_b(data: &[f32], layout: Layout, stride: usize, k: usize, n: usize) -> Ve
         }
     }
     packed
-}
-
-/// The register-tiled core: multiplies one packed MR-row panel of A by one
-/// packed NR-column panel of B over the shared dimension `k`, returning the
-/// full (padded) MR×NR accumulator tile.
-///
-/// The fixed-bound inner loops over `[f32; NR]` arrays are the
-/// auto-vectorization target; there is deliberately no zero-skipping branch
-/// (the old kernel's `a_ip == 0.0` shortcut defeated vectorization and made
-/// runtime data-dependent).
-#[inline]
-fn microkernel(a_panel: &[f32], b_panel: &[f32], k: usize) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
-    // Fixed-size array references make every index below bounds-check free,
-    // which is what lets LLVM keep the accumulator tile in registers.
-    for (a, b) in a_panel
-        .chunks_exact(MR)
-        .zip(b_panel.chunks_exact(NR))
-        .take(k)
-    {
-        let a: &[f32; MR] = a.try_into().expect("A panel chunk is MR wide");
-        let b: &[f32; NR] = b.try_into().expect("B panel chunk is NR wide");
-        for (acc_row, &ai) in acc.iter_mut().zip(a) {
-            for (c, &bv) in acc_row.iter_mut().zip(b) {
-                *c += ai * bv;
-            }
-        }
-    }
-    acc
 }
 
 /// Packed GEMM over raw row-major buffers: `out = op(A) · op(B)` with
@@ -207,7 +165,7 @@ fn gemm(
     b: (&[f32], Layout, usize),
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; m * n];
-    gemm_into(m, k, n, a, b, &mut out);
+    gemm_into(simd::active_level(), m, k, n, a, b, &mut out);
     out
 }
 
@@ -215,7 +173,12 @@ fn gemm(
 /// allocation-free core that both [`gemm`] and the graph executor's
 /// arena-slot path share. The buffer is fully overwritten (zeroed first
 /// where the kernel accumulates), so stale contents never leak through.
+///
+/// `level` selects the band microkernel (and with it the packing tile
+/// dims) at runtime; requests above the CPU's capability clamp down
+/// identically on both sides of the seam (see `simd::gemm::tile_dims`).
 fn gemm_into(
+    level: simd::Level,
     m: usize,
     k: usize,
     n: usize,
@@ -270,19 +233,13 @@ fn gemm_into(
         }
         return;
     }
-    let packed_b = pack_b(b_data, b_layout, b_stride, k, n);
-    parallel::parallel_chunks_mut(out, MR * n, |panel_idx, out_band| {
-        let row0 = panel_idx * MR;
+    let (mr, nr) = simd::gemm::tile_dims(level);
+    let packed_b = pack_b(b_data, b_layout, b_stride, k, n, nr);
+    parallel::parallel_chunks_mut(out, mr * n, |panel_idx, out_band| {
+        let row0 = panel_idx * mr;
         let rows = out_band.len() / n;
-        let a_panel = pack_a_band(a_data, a_layout, a_stride, k, row0, rows);
-        for (jp, b_panel) in packed_b.chunks(k * NR).enumerate() {
-            let j0 = jp * NR;
-            let cols = NR.min(n - j0);
-            let acc = microkernel(&a_panel, b_panel, k);
-            for (i, acc_row) in acc.iter().enumerate().take(rows) {
-                out_band[i * n + j0..i * n + j0 + cols].copy_from_slice(&acc_row[..cols]);
-            }
-        }
+        let a_panel = pack_a_band(a_data, a_layout, a_stride, k, row0, rows, mr);
+        simd::gemm::gemm_band_at(level, &a_panel, &packed_b, k, n, rows, out_band);
     });
 }
 
@@ -312,6 +269,33 @@ pub fn gemm_ex_into(
     spec: MatmulSpec,
     out: &mut [f32],
 ) {
+    gemm_ex_into_at(simd::active_level(), m, k, n, a, b, spec, out);
+}
+
+/// [`gemm_ex_into`] pinned at an explicit SIMD dispatch level (clamped at
+/// hardware support).
+///
+/// This is what lets a compiled graph plan latch `simd::active_level()`
+/// at build time and execute every GEMM step at that level for the life
+/// of the plan — the same eager ≡ compiled guarantee the transcendental
+/// kernels already carry — and what the dispatch-parity tests and
+/// forced-scalar benchmark sweeps use to compare levels inside one
+/// process.
+///
+/// # Panics
+/// Panics if a slice length does not match its stated dimensions (see
+/// [`gemm_ex_into`]).
+#[allow(clippy::too_many_arguments)] // mirrors gemm_ex_into plus the level pin
+pub fn gemm_ex_into_at(
+    level: simd::Level,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    spec: MatmulSpec,
+    out: &mut [f32],
+) {
     assert_eq!(a.len(), m * k, "gemm_ex_into: A length vs m × k");
     assert_eq!(b.len(), k * n, "gemm_ex_into: B length vs k × n");
     assert_eq!(out.len(), m * n, "gemm_ex_into: out length vs m × n");
@@ -326,6 +310,7 @@ pub fn gemm_ex_into(
         (Layout::Normal, n)
     };
     gemm_into(
+        level,
         m,
         k,
         n,
